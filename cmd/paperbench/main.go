@@ -1,0 +1,169 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section (§7) plus the sensitivity studies, printing
+// normalized tables in the same shape as the paper's stacked bars.
+//
+// Usage:
+//
+//	paperbench                     # everything (Figures 3-7, paper scale)
+//	paperbench -fig 5              # one figure
+//	paperbench -fig 3 -cores 16    # one figure, one machine size
+//	paperbench -ablate swbackoff   # §7.1.1 software-backoff study
+//	paperbench -ablate padding     # §7.1.1 lock-padding study
+//	paperbench -ablate eqchecks    # §7.1.3 equality-check study
+//	paperbench -ablate hwparams    # backoff parameter sweep
+//	paperbench -scale 10           # 10x smaller workloads (quick look)
+//	paperbench -csv out.csv        # also dump machine-readable rows
+//	paperbench -list-config        # print Table 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"denovosync"
+)
+
+func main() {
+	var (
+		fig        = flag.Int("fig", 0, "figure to reproduce (3-7); 0 = all")
+		coresFlag  = flag.Int("cores", 0, "restrict kernel figures to 16 or 64 cores; 0 = both")
+		ablate     = flag.String("ablate", "", "ablation: swbackoff | padding | eqchecks | signatures | invall | contention | mcs | granularity | hwparams")
+		scale      = flag.Int("scale", 1, "workload divisor (1 = paper scale)")
+		csvPath    = flag.String("csv", "", "append machine-readable results to this file")
+		listConfig = flag.Bool("list-config", false, "print the Table 1 system parameters")
+		bars       = flag.Bool("bars", false, "render ASCII stacked bars instead of tables")
+		check      = flag.Bool("check", true, "evaluate the paper's qualitative claims per figure")
+	)
+	flag.Parse()
+
+	if *listConfig {
+		printTable1()
+		return
+	}
+
+	opt := denovosync.FigureOptions{Scale: *scale}
+	var csv *os.File
+	if *csvPath != "" {
+		f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		csv = f
+	}
+
+	emit := func(f *denovosync.Figure, err error) {
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *bars {
+			f.RenderBars(os.Stdout)
+		} else {
+			f.Render(os.Stdout)
+		}
+		if *check {
+			if pass, dev := denovosync.CheckClaims(f, os.Stdout); pass+dev > 0 {
+				fmt.Printf("claims: %d hold, %d deviate\n", pass, dev)
+			}
+		}
+		ds0e, ds0t := f.GeoMeanVsMESI(denovosync.DeNovoSync0)
+		dse, dst := f.GeoMeanVsMESI(denovosync.DeNovoSync)
+		fmt.Printf("geomean vs MESI:  DS0 exec %.2fx traffic %.2fx | DS exec %.2fx traffic %.2fx\n\n",
+			ds0e, ds0t, dse, dst)
+		if csv != nil {
+			f.CSV(csv)
+		}
+	}
+
+	if *ablate != "" {
+		cores := *coresFlag
+		if cores == 0 {
+			cores = 64
+		}
+		switch *ablate {
+		case "swbackoff":
+			emit(denovosync.AblationSWBackoff(cores, opt))
+		case "padding":
+			emit(denovosync.AblationPadding(cores, opt))
+		case "eqchecks":
+			emit(denovosync.AblationEqChecks(cores, opt))
+		case "signatures":
+			emit(denovosync.AblationSignatures(cores, opt))
+		case "invall":
+			emit(denovosync.AblationInvalidateAll(cores, opt))
+		case "contention":
+			emit(denovosync.AblationLinkContention(cores, opt))
+		case "mcs":
+			emit(denovosync.AblationAltLocks(cores, opt))
+		case "granularity":
+			emit(denovosync.AblationGranularity(cores, opt))
+		case "hwparams":
+			emit(denovosync.AblationBackoffParams(cores, opt))
+		default:
+			fatalf("unknown ablation %q", *ablate)
+		}
+		return
+	}
+
+	sizes := []int{16, 64}
+	if *coresFlag != 0 {
+		sizes = []int{*coresFlag}
+	}
+
+	runKernelFig := func(n int, fn func(int, denovosync.FigureOptions) (*denovosync.Figure, error)) {
+		for _, c := range sizes {
+			emit(fn(c, opt))
+		}
+		_ = n
+	}
+
+	if *fig == 0 || *fig == 3 {
+		runKernelFig(3, denovosync.Fig3)
+	}
+	if *fig == 0 || *fig == 4 {
+		runKernelFig(4, denovosync.Fig4)
+	}
+	if *fig == 0 || *fig == 5 {
+		runKernelFig(5, denovosync.Fig5)
+	}
+	if *fig == 0 || *fig == 6 {
+		runKernelFig(6, denovosync.Fig6)
+	}
+	if *fig == 0 || *fig == 7 {
+		if *fig == 7 || *coresFlag == 0 {
+			emit(denovosync.Fig7(opt))
+		}
+	}
+}
+
+func printTable1() {
+	for _, n := range []int{16, 64} {
+		var p denovosync.Params
+		if n == 16 {
+			p = denovosync.Params16()
+		} else {
+			p = denovosync.Params64()
+		}
+		maxHops := (p.MeshW - 1 + p.MeshH - 1)
+		perHop := func(h int) denovosync.Cycle {
+			return (denovosync.Cycle(h)*p.PerHopNum + p.PerHopDen - 1) / p.PerHopDen
+		}
+		l2 := denovosync.Cycle(1) + p.L2AccessLat
+		rl1 := l2 + p.RemoteL1Lat
+		memLat := l2 + p.DRAMLat
+		fmt.Printf("Table 1 — %d cores:\n", n)
+		fmt.Printf("  mesh               %dx%d, 16-bit flits, %d/%d cycles per hop\n", p.MeshW, p.MeshH, p.PerHopNum, p.PerHopDen)
+		fmt.Printf("  L1 data cache      %d KB, %d-way, %d B lines, hit %d cycle\n", p.L1Size/1024, p.L1Ways, 64, p.L1AccessLat)
+		fmt.Printf("  L2 (shared NUCA)   %d banks, hit %d to %d cycles\n", n, l2, l2+perHop(2*maxHops))
+		fmt.Printf("  remote L1 hit      %d to %d cycles\n", rl1, rl1+perHop(3*maxHops))
+		fmt.Printf("  memory hit         %d to %d cycles\n", memLat, memLat+perHop(4*maxHops))
+		fmt.Printf("  hw backoff         %d-bit counter, default increment %d, grow every %d remote reads\n\n",
+			p.BackoffBits, p.DefaultIncrement, p.IncEveryN)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "paperbench: "+format+"\n", args...)
+	os.Exit(1)
+}

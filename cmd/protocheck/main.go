@@ -1,0 +1,56 @@
+// Command protocheck exhaustively model-checks abstract versions of both
+// coherence protocols and prints the state-space comparison behind the
+// paper's simplicity claim (§2.2, after Komuravelli et al. [21]): DeNovo
+// has three stable states and essentially one transient flavor, while
+// MESI's blocking directory and invalidation races breed many more.
+//
+// Usage:
+//
+//	protocheck            # 2 and 3 cores, 2 ops each
+//	protocheck -cores 3 -ops 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"denovosync/internal/verify"
+)
+
+func main() {
+	cores := flag.Int("cores", 0, "core count (0 = run 2 and 3)")
+	ops := flag.Int("ops", 2, "sync operations per core")
+	flag.Parse()
+
+	sizes := []int{2, 3}
+	if *cores != 0 {
+		sizes = []int{*cores}
+	}
+
+	fmt.Println("Exhaustive protocol state-space exploration (all message interleavings)")
+	fmt.Println()
+	fmt.Printf("%-12s %-6s %-6s %16s %14s %12s %10s\n",
+		"protocol", "cores", "ops", "reachable", "L1 states", "transient", "violations")
+	fail := false
+	for _, n := range sizes {
+		for _, run := range []func(int, int) *verify.Result{verify.NewDeNovoModelBase, verify.NewMESIModelBase, verify.NewDeNovoModel, verify.NewMESIModel} {
+			r := run(n, *ops)
+			fmt.Printf("%-12s %-6d %-6d %16d %14d %12d %10d\n",
+				r.Protocol, r.Cores, r.MaxOps, r.ReachableStates,
+				r.L1ControllerStates, r.TransientL1States, len(r.Violations))
+			for _, v := range r.Violations {
+				fmt.Fprintf(os.Stderr, "  VIOLATION: %s\n", v)
+				fail = true
+			}
+		}
+	}
+	fmt.Println()
+	fmt.Println("Invariants checked: single registrant / SWMR, registry-owner agreement,")
+	fmt.Println("no M+S coexistence, deadlock freedom. The -base models cover reads and")
+	fmt.Println("writes only (the like-for-like complexity comparison); the full models")
+	fmt.Println("add eviction/writeback races (and data reads for DeNovoSync).")
+	if fail {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,263 @@
+// Command report digests the machine-readable results emitted by
+// `paperbench -csv` into the per-figure markdown tables embedded in
+// EXPERIMENTS.md (one row per workload with the DS0/DS execution-time and
+// network-traffic ratios against MESI), and optionally re-evaluates the
+// paper's qualitative claims against the archived numbers.
+//
+// Usage:
+//
+//	paperbench -csv results.csv
+//	report -csv results.csv > tables.md
+//	report -csv results.csv -claims
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"denovosync"
+)
+
+type row struct {
+	figure, workload, protocol string
+	cores                      int
+	exec, traffic              float64
+	times                      []float64 // per TimeComponent
+	classes                    []float64 // per MsgClass
+}
+
+func main() {
+	path := flag.String("csv", "results.csv", "results file from paperbench -csv")
+	claims := flag.Bool("claims", false, "evaluate the paper's qualitative claims instead of printing tables")
+	full := flag.Bool("full", false, "print full normalized component tables (like paperbench output)")
+	flag.Parse()
+
+	f, err := os.Open(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	recs, err := r.ReadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+
+	var rows []row
+	col := map[string]int{}
+	for _, rec := range recs {
+		if rec[0] == "figure" { // header (repeats per figure)
+			for i, name := range rec {
+				col[name] = i
+			}
+			continue
+		}
+		exec, _ := strconv.ParseFloat(rec[col["exec_cycles"]], 64)
+		traffic, _ := strconv.ParseFloat(rec[col["total_traffic"]], 64)
+		cores, _ := strconv.Atoi(rec[col["cores"]])
+		rw := row{
+			figure:   rec[col["figure"]],
+			workload: rec[col["workload"]],
+			protocol: rec[col["protocol"]],
+			cores:    cores,
+			exec:     exec,
+			traffic:  traffic,
+		}
+		for _, name := range []string{"time_non-synch", "time_compute", "time_memory_stall", "time_sw_backoff", "time_hw_backoff", "time_barrier"} {
+			v, _ := strconv.ParseFloat(rec[col[name]], 64)
+			rw.times = append(rw.times, v)
+		}
+		for _, name := range []string{"traffic_LD", "traffic_ST", "traffic_WB", "traffic_Inv", "traffic_SYNCH"} {
+			v, _ := strconv.ParseFloat(rec[col[name]], 64)
+			rw.classes = append(rw.classes, v)
+		}
+		rows = append(rows, rw)
+	}
+
+	// Group by figure, preserving first-seen order.
+	var figures []string
+	byFig := map[string][]row{}
+	for _, rw := range rows {
+		if _, ok := byFig[rw.figure]; !ok {
+			figures = append(figures, rw.figure)
+		}
+		byFig[rw.figure] = append(byFig[rw.figure], rw)
+	}
+
+	if *full {
+		printFull(figures, byFig)
+		return
+	}
+
+	if *claims {
+		totalPass, totalDev := 0, 0
+		for _, fig := range figures {
+			f := rebuild(fig, byFig[fig])
+			if len(denovosync.ClaimsFor(f)) == 0 {
+				continue
+			}
+			fmt.Printf("-- %s --\n", fig)
+			p, d := denovosync.CheckClaims(f, os.Stdout)
+			totalPass += p
+			totalDev += d
+		}
+		fmt.Printf("\ntotal: %d claims hold, %d deviate\n", totalPass, totalDev)
+		return
+	}
+
+	for _, fig := range figures {
+		rs := byFig[fig]
+		// Index MESI baselines.
+		base := map[string]row{}
+		for _, rw := range rs {
+			if rw.protocol == "M" {
+				base[rw.workload] = rw
+			}
+		}
+		hasDS0 := false
+		for _, rw := range rs {
+			if rw.protocol == "DS0" {
+				hasDS0 = true
+			}
+		}
+		fmt.Printf("### %s\n\n", fig)
+		if hasDS0 {
+			fmt.Println("| workload | DS0 exec | DS exec | DS0 traffic | DS traffic |")
+			fmt.Println("|---|---|---|---|---|")
+		} else {
+			fmt.Println("| workload | DS exec | DS traffic |")
+			fmt.Println("|---|---|---|")
+		}
+		var order []string
+		seen := map[string]bool{}
+		vals := map[string]map[string]row{}
+		for _, rw := range rs {
+			if !seen[rw.workload] {
+				seen[rw.workload] = true
+				order = append(order, rw.workload)
+				vals[rw.workload] = map[string]row{}
+			}
+			vals[rw.workload][rw.protocol] = rw
+		}
+		ratio := func(w, prot string, traffic bool) string {
+			b, ok := base[w]
+			v, ok2 := vals[w][prot]
+			if !ok || !ok2 {
+				return "—"
+			}
+			num, den := v.exec, b.exec
+			if traffic {
+				num, den = v.traffic, b.traffic
+			}
+			if den == 0 {
+				return "—"
+			}
+			return fmt.Sprintf("%.2fx", num/den)
+		}
+		for _, w := range order {
+			if hasDS0 {
+				fmt.Printf("| %s | %s | %s | %s | %s |\n", w,
+					ratio(w, "DS0", false), ratio(w, "DS", false),
+					ratio(w, "DS0", true), ratio(w, "DS", true))
+			} else {
+				fmt.Printf("| %s | %s | %s |\n", w,
+					ratio(w, "DS", false), ratio(w, "DS", true))
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// rebuild reconstructs a harness Figure (exec/traffic only) from CSV rows
+// so claims can be re-evaluated offline.
+func rebuild(id string, rs []row) *denovosync.Figure {
+	f := &denovosync.Figure{ID: id}
+	for _, rw := range rs {
+		if f.Cores == 0 {
+			f.Cores = rw.cores
+		}
+		var prot denovosync.Protocol
+		switch rw.protocol {
+		case "M":
+			prot = denovosync.MESI
+		case "DS0":
+			prot = denovosync.DeNovoSync0
+		case "DS":
+			prot = denovosync.DeNovoSync
+		default:
+			continue // labeled ablation variants carry no claims
+		}
+		st := &denovosync.RunStats{
+			Workload:     rw.workload,
+			Cores:        rw.cores,
+			ExecTime:     denovosync.Cycle(rw.exec),
+			TotalTraffic: uint64(rw.traffic),
+		}
+		f.Rows = append(f.Rows, denovosync.FigureRow{Workload: rw.workload, Protocol: prot, Stats: st})
+	}
+	return f
+}
+
+// printFull reproduces paperbench's normalized component tables from the
+// archived CSV (used to rebuild experiments_raw.txt if the live output is
+// lost or garbled).
+func printFull(figures []string, byFig map[string][]row) {
+	pct := func(v, norm float64) string {
+		if norm == 0 {
+			return "     —"
+		}
+		return fmt.Sprintf("%6.1f", v/norm*100)
+	}
+	for _, fig := range figures {
+		rs := byFig[fig]
+		base := map[string]row{}
+		var order []string
+		for _, rw := range rs {
+			if rw.protocol == "M" {
+				if _, ok := base[rw.workload]; !ok {
+					order = append(order, rw.workload)
+				}
+				base[rw.workload] = rw
+			}
+		}
+		fmt.Printf("%s — execution time (%% of MESI)\n", fig)
+		fmt.Printf("%-26s %-5s %7s | %8s %8s %8s %8s %8s %8s\n", "workload", "prot", "total",
+			"nonsynch", "compute", "memstall", "swbkoff", "hwbkoff", "barrier")
+		for _, w := range order {
+			for _, rw := range rs {
+				if rw.workload != w {
+					continue
+				}
+				b := base[w]
+				fmt.Printf("%-26s %-5s %7s |", w, rw.protocol, pct(rw.exec, b.exec))
+				for _, v := range rw.times {
+					fmt.Printf(" %8s", pct(v, b.exec))
+				}
+				fmt.Println()
+			}
+		}
+		fmt.Printf("\n%s — network traffic (%% of MESI)\n", fig)
+		fmt.Printf("%-26s %-5s %7s | %8s %8s %8s %8s %8s\n", "workload", "prot", "total",
+			"LD", "ST", "WB", "Inv", "SYNCH")
+		for _, w := range order {
+			for _, rw := range rs {
+				if rw.workload != w {
+					continue
+				}
+				b := base[w]
+				fmt.Printf("%-26s %-5s %7s |", w, rw.protocol, pct(rw.traffic, b.traffic))
+				for _, v := range rw.classes {
+					fmt.Printf(" %8s", pct(v, b.traffic))
+				}
+				fmt.Println()
+			}
+		}
+		fmt.Println()
+	}
+}

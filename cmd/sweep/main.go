@@ -1,0 +1,88 @@
+// Command sweep runs the contention sweep the paper's fixed
+// configurations only sample: kernel performance versus offered load
+// (the dummy-computation gap between synchronization operations), across
+// protocols — locating the crossover where DeNovoSync0's
+// read-registration ping-pong overtakes MESI's invalidation cost and
+// where DeNovoSync's backoff pays off.
+//
+// Usage:
+//
+//	sweep -kernel nb-m-s-queue
+//	sweep -kernel tatas-counter -cores 64
+//	sweep -kernel nb-treiber-stack -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"denovosync"
+)
+
+func main() {
+	var (
+		kernelID = flag.String("kernel", "nb-m-s-queue", "kernel slug (see denovosim -list)")
+		cores    = flag.Int("cores", 16, "machine size: 16 or 64")
+		iters    = flag.Int("iters", 30, "kernel iterations per thread")
+		csvPath  = flag.String("csv", "", "write CSV to this file as well")
+	)
+	flag.Parse()
+
+	k, ok := denovosync.KernelByID(*kernelID)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sweep: unknown kernel %q\n", *kernelID)
+		os.Exit(1)
+	}
+
+	var csv *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csv = f
+		fmt.Fprintln(csv, "kernel,protocol,gap_cycles,exec_cycles,traffic_flit_hops")
+	}
+
+	protos := []denovosync.Protocol{denovosync.MESI, denovosync.DeNovoSync0, denovosync.DeNovoSync}
+	fmt.Printf("Sweep: %s on %d cores, %d iterations/thread — exec cycles (traffic)\n", k.ID, *cores, *iters)
+	fmt.Println("gap = dummy-compute cycles between operations (smaller = more contention)")
+	fmt.Println()
+	fmt.Printf("%8s", "gap")
+	for _, p := range protos {
+		fmt.Printf("  %22s", p)
+	}
+	fmt.Println()
+
+	gaps := []int{25600, 12800, 6400, 3200, 1600, 800, 400}
+	for _, gap := range gaps {
+		fmt.Printf("%8d", gap)
+		for _, prot := range protos {
+			var params denovosync.Params
+			if *cores == 64 {
+				params = denovosync.Params64()
+			} else {
+				params = denovosync.Params16()
+			}
+			m := denovosync.NewMachine(params, prot, denovosync.NewSpace())
+			cfg := denovosync.KernelConfig{
+				Cores: *cores, Iters: *iters, EqChecks: -1,
+				NonSynchMin: denovosync.Cycle(gap),
+				NonSynchMax: denovosync.Cycle(gap) + denovosync.Cycle(gap)/4 + 1,
+			}
+			rs, err := denovosync.RunKernel(k, m, cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "\nsweep: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  %12d (%8d)", rs.ExecTime, rs.TotalTraffic)
+			if csv != nil {
+				fmt.Fprintf(csv, "%s,%s,%d,%d,%d\n", k.ID, prot.Short(), gap, rs.ExecTime, rs.TotalTraffic)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Assemble EXPERIMENTS.md from the archived run:
+#   results.csv          (paperbench -csv — canonical figure data)
+#   ablations.txt        (paperbench -ablate runs)
+#   docs/commentary.md   (per-figure analysis)
+# Usage: sh docs/assemble_experiments.sh
+set -e
+cd "$(dirname "$0")/.."
+
+go run ./cmd/report -csv results.csv -full > experiments_raw.txt
+
+{
+	# Preamble up to the results marker.
+	sed -n '1,/<!-- RESULTS -->/p' EXPERIMENTS.md | sed '$d'
+
+	echo "## Figures 3-7 — measured ratios (vs MESI, lower is better)"
+	echo
+	go run ./cmd/report -csv results.csv
+	echo "Full normalized component tables: experiments_raw.txt (regenerable"
+	echo "with \`go run ./cmd/report -csv results.csv -full\`)."
+	echo
+	echo "## Paper-claim verdicts"
+	echo
+	echo '```'
+	go run ./cmd/report -csv results.csv -claims
+	echo '```'
+	echo
+	# Per-figure commentary (skip its title line).
+	tail -n +2 docs/commentary.md
+	echo
+	echo "## Sensitivity studies"
+	echo
+	echo "Raw tables in ablations.txt; geometric-mean summaries:"
+	echo
+	echo '```'
+	awk '/^=== ABLATION/{name=$0} /geomean/{if(name!=""){print name; name=""} print}' ablations.txt
+	echo '```'
+	echo
+	# Everything after the ablations marker.
+	sed -n '/<!-- ABLATIONS -->/,$p' EXPERIMENTS.md | tail -n +2
+} > EXPERIMENTS.md.new
+mv EXPERIMENTS.md.new EXPERIMENTS.md
+echo "EXPERIMENTS.md assembled."

@@ -1,0 +1,104 @@
+// Alternative synchronization algorithms: compare every lock (TATAS,
+// Anderson array, MCS) and every barrier (centralized, binary tree,
+// n-ary tree, dissemination) in the library across the three protocols —
+// the §6 qualitative analysis, extended to the algorithms the paper's
+// references cover but its figures do not.
+package main
+
+import (
+	"fmt"
+
+	"denovosync"
+)
+
+const iters = 25
+
+func main() {
+	fmt.Println("Lock handoff under full contention (16 threads, cycles/CS; lower is better)")
+	fmt.Printf("%-8s %12s %14s %12s\n", "lock", "MESI", "DeNovoSync0", "DeNovoSync")
+	for _, kind := range []string{"tatas", "array", "mcs"} {
+		fmt.Printf("%-8s", kind)
+		for _, prot := range []denovosync.Protocol{denovosync.MESI, denovosync.DeNovoSync0, denovosync.DeNovoSync} {
+			fmt.Printf(" %12d", lockRun(kind, prot))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("Barrier episode latency, unbalanced arrivals (16 threads, cycles/episode)")
+	fmt.Printf("%-14s %12s %14s %12s\n", "barrier", "MESI", "DeNovoSync0", "DeNovoSync")
+	for _, kind := range []string{"central", "tree", "n-ary", "dissemination"} {
+		fmt.Printf("%-14s", kind)
+		for _, prot := range []denovosync.Protocol{denovosync.MESI, denovosync.DeNovoSync0, denovosync.DeNovoSync} {
+			fmt.Printf(" %12d", barrierRun(kind, prot))
+		}
+		fmt.Println()
+	}
+}
+
+func lockRun(kind string, prot denovosync.Protocol) uint64 {
+	space := denovosync.NewSpace()
+	region := space.Region("data")
+	ctr := space.AllocAligned(1, region)
+	protect := denovosync.NewRegionSet(region)
+	var lock denovosync.Lock
+	switch kind {
+	case "tatas":
+		lock = denovosync.NewTATASLock(space, space.Region("lk"), protect, true)
+	case "array":
+		al := denovosync.NewArrayLock(space, space.Region("lk"), protect, 16)
+		defer func() {}()
+		lock = al
+	case "mcs":
+		lock = denovosync.NewMCSLock(space, space.Region("lk"), protect, 16)
+	}
+	m := denovosync.NewMachine(denovosync.Params16(), prot, space)
+	if al, ok := lock.(*denovosync.ArrayLock); ok {
+		m.Store.Write(al.SlotAddr(0), 1)
+	}
+	rs, err := m.Run("lock-"+kind, func(t *denovosync.Thread) {
+		for i := 0; i < iters; i++ {
+			tk := lock.Acquire(t)
+			v := t.Load(ctr)
+			t.Compute(20)
+			t.Store(ctr, v+1)
+			t.Fence()
+			lock.Release(t, tk)
+			t.Compute(t.RNG.Cycles(100, 400))
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	if got := m.Store.Read(ctr); got != 16*iters {
+		panic(fmt.Sprintf("%s on %v: mutual exclusion broken: %d", kind, prot, got))
+	}
+	return uint64(rs.ExecTime) / uint64(16*iters)
+}
+
+func barrierRun(kind string, prot denovosync.Protocol) uint64 {
+	const episodes = 12
+	space := denovosync.NewSpace()
+	var b denovosync.Barrier
+	switch kind {
+	case "central":
+		b = denovosync.NewCentralBarrier(space, space.Region("bar"), 0, 16)
+	case "tree":
+		b = denovosync.NewTreeBarrier(space, space.Region("bar"), 0, 16, 2, 2)
+	case "n-ary":
+		b = denovosync.NewTreeBarrier(space, space.Region("bar"), 0, 16, 4, 2)
+	case "dissemination":
+		b = denovosync.NewDisseminationBarrier(space, space.Region("bar"), 0, 16)
+	}
+	m := denovosync.NewMachine(denovosync.Params16(), prot, space)
+	rs, err := m.Run("bar-"+kind, func(t *denovosync.Thread) {
+		for e := 0; e < episodes; e++ {
+			t.Compute(t.RNG.Cycles(200, 2000)) // unbalanced arrivals
+			b.Wait(t)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return uint64(rs.ExecTime) / episodes
+}

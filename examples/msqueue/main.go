@@ -1,0 +1,52 @@
+// Non-blocking queue throughput: run the Michael-Scott queue at rising
+// thread counts on all three protocols and print ops/kilocycle — the
+// experiment behind Figure 5's M-S queue bars, as a self-contained
+// program. Shows DeNovoSync0's registration ping-pong appearing at high
+// contention and DeNovoSync's hardware backoff recovering it.
+package main
+
+import (
+	"fmt"
+
+	"denovosync"
+)
+
+func main() {
+	fmt.Println("Michael-Scott queue throughput (ops per 1000 cycles, higher is better)")
+	fmt.Println()
+	fmt.Printf("%-12s", "threads")
+	protos := []denovosync.Protocol{denovosync.MESI, denovosync.DeNovoSync0, denovosync.DeNovoSync}
+	for _, p := range protos {
+		fmt.Printf("%14s", p)
+	}
+	fmt.Println()
+
+	for _, threads := range []int{2, 4, 8, 16} {
+		fmt.Printf("%-12d", threads)
+		for _, prot := range protos {
+			fmt.Printf("%14.2f", throughput(prot, threads))
+		}
+		fmt.Println()
+	}
+}
+
+func throughput(prot denovosync.Protocol, threads int) float64 {
+	const opsPerThread = 40
+	space := denovosync.NewSpace()
+	m := denovosync.NewMachine(denovosync.Params16(), prot, space)
+	q := denovosync.NewMSQueue(space, m.Store)
+	rs, err := m.Run("msqueue", func(t *denovosync.Thread) {
+		if t.ID >= threads {
+			return
+		}
+		for i := 0; i < opsPerThread; i++ {
+			q.Enqueue(t, uint64(t.ID*1000+i))
+			q.Dequeue(t)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	totalOps := float64(2 * opsPerThread * threads)
+	return totalOps / float64(rs.ExecTime) * 1000
+}

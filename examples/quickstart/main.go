@@ -1,0 +1,43 @@
+// Quickstart: build a 16-core machine, run a Michael-Scott queue
+// producer/consumer workload on all three protocols, and compare the
+// execution time and network traffic — the one-minute tour of the
+// library.
+package main
+
+import (
+	"fmt"
+
+	"denovosync"
+)
+
+func main() {
+	fmt.Println("DeNovoSync quickstart: 16 cores, Michael-Scott queue, 8 ops/thread")
+	fmt.Println()
+
+	for _, prot := range []denovosync.Protocol{
+		denovosync.MESI, denovosync.DeNovoSync0, denovosync.DeNovoSync,
+	} {
+		space := denovosync.NewSpace()
+		m := denovosync.NewMachine(denovosync.Params16(), prot, space)
+		q := denovosync.NewMSQueue(space, m.Store)
+
+		rs, err := m.Run("quickstart", func(t *denovosync.Thread) {
+			for i := 0; i < 8; i++ {
+				q.Enqueue(t, uint64(t.ID*100+i))
+				t.Compute(t.RNG.Cycles(200, 600)) // think time
+				if v, ok := q.Dequeue(t); ok {
+					_ = v
+				}
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-12s exec %7d cycles   traffic %8d flit-hops   L1 %5d hits / %5d misses\n",
+			prot, rs.ExecTime, rs.TotalTraffic, rs.L1Hits, rs.L1Misses)
+	}
+
+	fmt.Println()
+	fmt.Println("DeNovo needs no invalidation messages or sharer lists; DeNovoSync's")
+	fmt.Println("hardware backoff additionally damps sync-read registration ping-pong.")
+}

@@ -1,0 +1,3 @@
+module denovosync
+
+go 1.22

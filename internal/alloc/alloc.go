@@ -1,0 +1,101 @@
+// Package alloc provides the simulated shared-memory allocator and the
+// software region map. Disciplined software assigns every shared location
+// to a region (§3 of the paper); the allocator is where workloads declare
+// those assignments, and it serves as the global RegionMapper consulted by
+// cores and DeNovo L1 fills.
+//
+// Allocation is bump-pointer and never reuses addresses, which (a) keeps
+// runs deterministic and (b) sidesteps ABA on CAS-based structures the
+// same way counted pointers would, without simulating them.
+package alloc
+
+import (
+	"fmt"
+
+	"denovosync/internal/proto"
+)
+
+// base keeps simulated data away from address 0 so a zero value is never a
+// valid pointer (lock-free structures use 0 as nil).
+const base proto.Addr = 0x1_0000
+
+// Space is a simulated address space with region tagging.
+type Space struct {
+	next       proto.Addr
+	regionOf   map[proto.Addr]proto.RegionID // per word
+	regionIDs  map[string]proto.RegionID
+	nextRegion proto.RegionID
+}
+
+// New returns an empty space. Region 0 ("default") is pre-assigned to all
+// otherwise untagged data.
+func New() *Space {
+	return &Space{
+		next:       base,
+		regionOf:   make(map[proto.Addr]proto.RegionID),
+		regionIDs:  map[string]proto.RegionID{"default": 0},
+		nextRegion: 1,
+	}
+}
+
+// Region returns the region ID for name, allocating one on first use.
+func (s *Space) Region(name string) proto.RegionID {
+	if id, ok := s.regionIDs[name]; ok {
+		return id
+	}
+	id := s.nextRegion
+	if id >= proto.MaxRegions {
+		panic("alloc: out of region IDs")
+	}
+	s.nextRegion++
+	s.regionIDs[name] = id
+	return id
+}
+
+// Alloc reserves words contiguous words tagged with region and returns the
+// base address (word-aligned).
+func (s *Space) Alloc(words int, region proto.RegionID) proto.Addr {
+	if words <= 0 {
+		panic("alloc: non-positive size")
+	}
+	a := s.next
+	s.next += proto.Addr(words * proto.WordBytes)
+	for i := 0; i < words; i++ {
+		s.regionOf[a+proto.Addr(i*proto.WordBytes)] = region
+	}
+	return a
+}
+
+// AllocAligned reserves words words starting on a fresh cache line,
+// consuming the remainder of the line as padding (the paper notes most
+// software pads lock variables to avoid false sharing).
+func (s *Space) AllocAligned(words int, region proto.RegionID) proto.Addr {
+	if rem := s.next % proto.LineBytes; rem != 0 {
+		s.next += proto.LineBytes - rem
+	}
+	return s.Alloc(words, region)
+}
+
+// AllocPadded reserves a single word alone on its own cache line — the
+// padded-lock layout used for all synchronization variables unless a
+// workload opts out (the §7.1.1 padding ablation).
+func (s *Space) AllocPadded(region proto.RegionID) proto.Addr {
+	a := s.AllocAligned(1, region)
+	s.next = a + proto.LineBytes // consume the rest of the line
+	return a
+}
+
+// RegionOf implements proto.RegionMapper.
+func (s *Space) RegionOf(a proto.Addr) proto.RegionID {
+	return s.regionOf[a.Word()]
+}
+
+// Used returns the number of bytes allocated so far.
+func (s *Space) Used() uint64 { return uint64(s.next - base) }
+
+// String summarizes the space for diagnostics.
+func (s *Space) String() string {
+	return fmt.Sprintf("alloc.Space{%d bytes, %d regions}", s.Used(), s.nextRegion)
+}
+
+var _ proto.RegionMapper = (*Space)(nil)

@@ -1,0 +1,113 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"denovosync/internal/proto"
+)
+
+func TestRegionNaming(t *testing.T) {
+	s := New()
+	a := s.Region("alpha")
+	b := s.Region("beta")
+	if a == b {
+		t.Fatal("distinct names share an ID")
+	}
+	if got := s.Region("alpha"); got != a {
+		t.Fatal("same name returned different ID")
+	}
+	if s.Region("default") != 0 {
+		t.Fatal("default region is not 0")
+	}
+}
+
+func TestAllocTagsWords(t *testing.T) {
+	s := New()
+	r := s.Region("data")
+	a := s.Alloc(4, r)
+	for i := 0; i < 4; i++ {
+		if got := s.RegionOf(a + proto.Addr(i*proto.WordBytes)); got != r {
+			t.Fatalf("word %d region = %d, want %d", i, got, r)
+		}
+	}
+	if s.RegionOf(a+16) == r && s.RegionOf(a+16) != 0 {
+		t.Fatal("untagged word has a region")
+	}
+}
+
+func TestAllocAligned(t *testing.T) {
+	s := New()
+	s.Alloc(3, 0) // misalign the bump pointer
+	a := s.AllocAligned(2, 0)
+	if a%proto.LineBytes != 0 {
+		t.Fatalf("AllocAligned returned %v, not line-aligned", a)
+	}
+}
+
+func TestAllocPadded(t *testing.T) {
+	s := New()
+	a := s.AllocPadded(0)
+	b := s.AllocPadded(0)
+	if a.Line() == b.Line() {
+		t.Fatal("padded allocations share a line")
+	}
+	if a%proto.LineBytes != 0 {
+		t.Fatal("padded word not line-aligned")
+	}
+}
+
+func TestAllocPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Alloc(0) did not panic")
+		}
+	}()
+	s.Alloc(0, 0)
+}
+
+// Property: allocations never overlap, regardless of the sequence of
+// sizes and alignment kinds.
+func TestAllocNonOverlapProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s := New()
+		type span struct{ lo, hi proto.Addr }
+		var spans []span
+		for _, op := range ops {
+			words := int(op%7) + 1
+			var a proto.Addr
+			switch op % 3 {
+			case 0:
+				a = s.Alloc(words, 0)
+			case 1:
+				a = s.AllocAligned(words, 0)
+			case 2:
+				a = s.AllocPadded(0)
+				words = 1
+			}
+			sp := span{a, a + proto.Addr(words*proto.WordBytes)}
+			for _, o := range spans {
+				if sp.lo < o.hi && o.lo < sp.hi {
+					return false
+				}
+			}
+			spans = append(spans, sp)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsed(t *testing.T) {
+	s := New()
+	if s.Used() != 0 {
+		t.Fatal("fresh space reports usage")
+	}
+	s.Alloc(4, 0)
+	if s.Used() != 16 {
+		t.Fatalf("Used = %d, want 16", s.Used())
+	}
+}

@@ -1,0 +1,116 @@
+package apps_test
+
+import (
+	"testing"
+
+	"denovosync/internal/alloc"
+	"denovosync/internal/apps"
+	"denovosync/internal/machine"
+)
+
+func TestAllHas13(t *testing.T) {
+	as := apps.All()
+	if len(as) != 13 {
+		t.Fatalf("app count = %d, want 13", len(as))
+	}
+	ids := map[string]bool{}
+	for _, a := range as {
+		if ids[a.ID] {
+			t.Fatalf("duplicate app ID %q", a.ID)
+		}
+		ids[a.ID] = true
+		want := 64
+		if a.ID == "ferret" || a.ID == "x264" {
+			want = 16 // §5.3.2: inputs do not fully utilize 64 cores
+		}
+		if a.DefaultCores != want {
+			t.Errorf("%s: DefaultCores = %d, want %d", a.ID, a.DefaultCores, want)
+		}
+		if a.Input == "" || a.Pattern == "" {
+			t.Errorf("%s: missing Input/Pattern metadata", a.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	a, ok := apps.ByID("canneal")
+	if !ok || a.Name != "canneal" {
+		t.Fatalf("ByID failed: %+v %v", a, ok)
+	}
+	if _, ok := apps.ByID("doom"); ok {
+		t.Fatal("bogus app resolved")
+	}
+}
+
+// TestEveryAppRunsOnMESIAndDS runs the full 13-app matrix at 16 cores
+// with heavily scaled-down inputs on both Figure 7 protocols.
+func TestEveryAppRunsOnMESIAndDS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix test skipped in -short mode")
+	}
+	for _, a := range apps.All() {
+		for _, prot := range []machine.Protocol{machine.MESI, machine.DeNovoSync} {
+			a, prot := a, prot
+			t.Run(a.ID+"/"+prot.String(), func(t *testing.T) {
+				t.Parallel()
+				m := machine.New(machine.Params16(), prot, alloc.New())
+				rs, err := apps.Run(a, m, 4)
+				if err != nil {
+					t.Fatalf("%s on %v: %v", a.ID, prot, err)
+				}
+				if rs.ExecTime == 0 || rs.TotalTraffic == 0 {
+					t.Fatalf("%s on %v: empty stats", a.ID, prot)
+				}
+			})
+		}
+	}
+}
+
+// TestAppsRunOnDS0 spot-checks DeNovoSync0 compatibility (Figure 7 only
+// compares M and DS, but the models must be protocol-agnostic).
+func TestAppsRunOnDS0(t *testing.T) {
+	for _, id := range []string{"lu", "canneal", "ferret"} {
+		a, _ := apps.ByID(id)
+		m := machine.New(machine.Params16(), machine.DeNovoSync0, alloc.New())
+		if _, err := apps.Run(a, m, 4); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// TestAppDeterminism: applications are cycle-exact reproducible.
+func TestAppDeterminism(t *testing.T) {
+	for _, id := range []string{"fft", "fluidanimate", "x264"} {
+		a, _ := apps.ByID(id)
+		run := func() (uint64, uint64) {
+			m := machine.New(machine.Params16(), machine.MESI, alloc.New())
+			rs, err := apps.Run(a, m, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return uint64(rs.ExecTime), rs.TotalTraffic
+		}
+		e1, t1 := run()
+		e2, t2 := run()
+		if e1 != e2 || t1 != t2 {
+			t.Fatalf("%s nondeterministic: (%d,%d) vs (%d,%d)", id, e1, t1, e2, t2)
+		}
+	}
+}
+
+// TestAppsAt64Cores: one barrier app and one lock app at full 64-core
+// scale (scaled-down inputs) to cover the 8x8 mesh path.
+func TestAppsAt64Cores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-core test skipped in -short mode")
+	}
+	for _, id := range []string{"ocean", "water"} {
+		a, _ := apps.ByID(id)
+		for _, prot := range []machine.Protocol{machine.MESI, machine.DeNovoSync} {
+			m := machine.New(machine.Params64(), prot, alloc.New())
+			if _, err := apps.Run(a, m, 4); err != nil {
+				t.Fatalf("%s on %v: %v", id, prot, err)
+			}
+		}
+	}
+}

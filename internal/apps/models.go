@@ -1,0 +1,574 @@
+package apps
+
+import (
+	"denovosync/internal/cpu"
+	"denovosync/internal/locks"
+	"denovosync/internal/machine"
+	"denovosync/internal/proto"
+	"denovosync/internal/sim"
+)
+
+// newTATAS builds an app lock, honoring the run's signature mode.
+func newTATAS(b *build, name string, protect proto.RegionSet) *locks.TATAS {
+	l := locks.NewTATAS(b.space, b.space.Region(name), protect, true)
+	l.Signatures = b.sigs
+	return l
+}
+
+// ---- barrier-only applications (§7.2 "Barrier-only") ----
+
+// fft: barrier phases with an all-to-all transpose — after each barrier a
+// thread reads one block from every other thread's output.
+func fft() App {
+	return App{
+		ID: "fft", Name: "FFT", DefaultCores: 64, Pattern: "barrier-only", Input: "6 phases, 64-word chunks, all-to-all transpose",
+		build: func(b *build) func(int) machine.Workload {
+			region := b.space.Region("fft.data")
+			data := newChunkedArray(b, region, 64)
+			bar := newTreeBarrier(b, proto.NewRegionSet(region))
+			phases := b.div(6)
+			return barrierPhases(b, bar, phases, func(t *cpu.Thread, p int) {
+				// Local butterfly pass over the thread's own chunk.
+				for i := 0; i < 64; i++ {
+					v := t.Load(data.word(t.ID, i))
+					t.Compute(2)
+					t.Store(data.word(t.ID, i), v+uint64(p))
+				}
+				// Transpose: one element from every other thread's chunk.
+				var acc uint64
+				for o := 1; o < b.cores; o++ {
+					acc += t.Load(data.word((t.ID+o)%b.cores, p*7+o))
+				}
+				t.Store(data.word(t.ID, 0), acc)
+				t.Fence()
+			})
+		},
+	}
+}
+
+// lu: blocked factorization whose block boundaries interleave adjacent
+// threads' words within cache lines — data false sharing on MESI, which
+// word-granularity DeNovo avoids (§7.2: "LU exhibits data false sharing
+// with MESI").
+func lu() App {
+	return App{
+		ID: "lu", Name: "LU", DefaultCores: 64, Pattern: "barrier-only", Input: "6 phases, 48-word blocks + 4-word interleaved borders",
+		build: func(b *build) func(int) machine.Workload {
+			region := b.space.Region("lu.data")
+			blocks := newChunkedArray(b, region, 48)
+			border := newInterleavedArray(b, region, 8)
+			bar := newTreeBarrier(b, proto.NewRegionSet(region))
+			phases := b.div(6)
+			return barrierPhases(b, bar, phases, func(t *cpu.Thread, p int) {
+				// Interior of the thread's block: private lines.
+				for i := 0; i < 48; i++ {
+					v := t.Load(blocks.word(t.ID, i))
+					t.Compute(8)
+					t.Store(blocks.word(t.ID, i), v+1)
+				}
+				// Block boundary: adjacent threads' words interleave within
+				// cache lines — MESI false-shares, DeNovo does not. Only
+				// the reduction phases touch the boundary.
+				for i := 0; i < 4 && p%2 == 0; i++ {
+					v := t.Load(border.word(t.ID, i))
+					t.Compute(2)
+					t.Store(border.word(t.ID, i), v+1)
+				}
+				t.Fence()
+			})
+		},
+	}
+}
+
+// blackscholes: embarrassingly parallel option pricing over private data,
+// with a few coordination barriers.
+func blackscholes() App {
+	return App{
+		ID: "blackscholes", Name: "blackscholes", DefaultCores: 64, Pattern: "barrier-only", Input: "4 phases, 64 private options/thread",
+		build: func(b *build) func(int) machine.Workload {
+			region := b.space.Region("bs.data")
+			priv := newChunkedArray(b, region, 64)
+			bar := newTreeBarrier(b, 0) // private data: nothing to invalidate
+			phases := b.div(4)
+			return barrierPhases(b, bar, phases, func(t *cpu.Thread, p int) {
+				for i := 0; i < 64; i++ {
+					v := t.Load(priv.word(t.ID, i))
+					t.Compute(30) // Black-Scholes formula evaluation
+					t.Store(priv.word(t.ID, i), v*3+1)
+				}
+				t.Fence()
+			})
+		},
+	}
+}
+
+// swaptions: Monte-Carlo simulation — compute-heavy, private data.
+func swaptions() App {
+	return App{
+		ID: "swaptions", Name: "swaptions", DefaultCores: 64, Pattern: "barrier-only", Input: "3 phases, 8 Monte-Carlo trials/phase",
+		build: func(b *build) func(int) machine.Workload {
+			region := b.space.Region("sw.data")
+			priv := newChunkedArray(b, region, 32)
+			bar := newTreeBarrier(b, 0)
+			phases := b.div(3)
+			return barrierPhases(b, bar, phases, func(t *cpu.Thread, p int) {
+				for trial := 0; trial < 8; trial++ {
+					t.Compute(400) // path simulation
+					for i := 0; i < 8; i++ {
+						v := t.Load(priv.word(t.ID, trial*8+i))
+						t.Store(priv.word(t.ID, trial*8+i), v+uint64(trial))
+					}
+				}
+				t.Fence()
+			})
+		},
+	}
+}
+
+// radix: sort phases whose histogram scatter writes hit words spread over
+// shared lines (line-level write sharing for MESI, none for DeNovo).
+func radix() App {
+	return App{
+		ID: "radix", Name: "radix", DefaultCores: 64, Pattern: "barrier-only", Input: "4 phases, 64 keys/thread, 1024-bucket scatter",
+		build: func(b *build) func(int) machine.Workload {
+			keysR := b.space.Region("radix.keys")
+			histR := b.space.Region("radix.hist")
+			keys := newChunkedArray(b, keysR, 64)
+			hist := b.space.AllocAligned(1024, histR)
+			bar := newTreeBarrier(b, proto.NewRegionSet(keysR, histR))
+			phases := b.div(4)
+			return barrierPhases(b, bar, phases, func(t *cpu.Thread, p int) {
+				// Local histogram pass over the thread's own keys.
+				for i := 0; i < 64; i++ {
+					k := t.Load(keys.word(t.ID, i))
+					t.Compute(4)
+					t.Store(keys.word(t.ID, i), k+1)
+				}
+				// Global scatter: words spread over shared lines.
+				for i := 0; i < 8; i++ {
+					bucket := (t.ID*17 + i*131 + p) % 1024
+					v := t.Load(wordAddr(hist, bucket))
+					t.Store(wordAddr(hist, bucket), v+1)
+					t.Compute(4)
+				}
+				t.Fence()
+			})
+		},
+	}
+}
+
+// ---- barriers + locks (§7.2 "Barriers and locks") ----
+
+// bodytrack: barrier phases dominated by per-particle likelihood
+// computation, with occasional lock-protected updates of the shared pose
+// model.
+func bodytrack() App {
+	return App{
+		ID: "bodytrack", Name: "bodytrack", DefaultCores: 64, Pattern: "barriers+locks", Input: "4 phases, 3 particles/thread, 128-word shared pose",
+		build: func(b *build) func(int) machine.Workload {
+			poseR := b.space.Region("bt.pose")
+			privR := b.space.Region("bt.priv")
+			pose := b.space.AllocAligned(128, poseR)
+			priv := newChunkedArray(b, privR, 16)
+			const nLocks = 16
+			var ls []*locks.TATAS
+			for i := 0; i < nLocks; i++ {
+				ls = append(ls, newTATAS(b, "bt.lock", proto.NewRegionSet(poseR)))
+			}
+			bar := newTreeBarrier(b, proto.NewRegionSet(poseR))
+			phases := b.div(4)
+			return barrierPhases(b, bar, phases, func(t *cpu.Thread, p int) {
+				// Particle-filter evaluation on private data (dominant).
+				for particle := 0; particle < 3; particle++ {
+					t.Compute(2800)
+					for i := 0; i < 8; i++ {
+						v := t.Load(priv.word(t.ID, particle*4+i))
+						t.Store(priv.word(t.ID, particle*4+i), v+1)
+					}
+					// Update the shared pose estimate under a lock.
+					cell := (t.ID*7 + particle*31 + p) % 128
+					lk := ls[cell%nLocks]
+					tk := lk.Acquire(t)
+					v := t.Load(wordAddr(pose, cell))
+					t.Store(wordAddr(pose, cell), v+1)
+					t.Fence()
+					lk.Release(t, tk)
+				}
+			})
+		},
+	}
+}
+
+// barnes: irregular reads of a shared tree plus lock-protected force
+// updates on a separate accumulation region.
+func barnes() App {
+	return App{
+		ID: "barnes", Name: "barnes", DefaultCores: 64, Pattern: "barriers+locks", Input: "3 phases, 1024-node tree, 48-step walks, 16 locks",
+		build: func(b *build) func(int) machine.Workload {
+			treeR := b.space.Region("barnes.tree")
+			forceR := b.space.Region("barnes.force")
+			tree := b.space.AllocAligned(1024, treeR)
+			force := b.space.AllocAligned(256, forceR)
+			const nLocks = 16
+			var ls []*locks.TATAS
+			for i := 0; i < nLocks; i++ {
+				ls = append(ls, newTATAS(b, "barnes.lock", proto.NewRegionSet(forceR)))
+			}
+			bar := newTreeBarrier(b, proto.NewRegionSet(treeR, forceR))
+			phases := b.div(3)
+			return barrierPhases(b, bar, phases, func(t *cpu.Thread, p int) {
+				// Tree walk: data-dependent traversal of the shared octree,
+				// compute-heavy force evaluation per visited node.
+				pos := (t.ID*37 + p*11) % 1024
+				var acc uint64
+				for step := 0; step < 48; step++ {
+					acc += t.Load(wordAddr(tree, pos))
+					t.Compute(24)
+					pos = (pos*5 + t.ID + step) % 1024
+				}
+				// Occasional force accumulation under per-partition locks.
+				for u := 0; u < 3; u++ {
+					cell := (t.ID*13 + u*29 + p) % 256
+					lk := ls[cell%nLocks]
+					tk := lk.Acquire(t)
+					v := t.Load(wordAddr(force, cell))
+					t.Store(wordAddr(force, cell), v+acc)
+					t.Fence()
+					lk.Release(t, tk)
+				}
+			})
+		},
+	}
+}
+
+// water: private molecule computation with lock-partitioned global force
+// accumulation.
+func water() App {
+	return App{
+		ID: "water", Name: "water", DefaultCores: 64, Pattern: "barriers+locks", Input: "3 phases, 32 molecules/thread, 8 accumulation locks",
+		build: func(b *build) func(int) machine.Workload {
+			molR := b.space.Region("water.mol")
+			accR := b.space.Region("water.acc")
+			mol := newChunkedArray(b, molR, 32)
+			acc := b.space.AllocAligned(128, accR)
+			const nLocks = 8
+			var ls []*locks.TATAS
+			for i := 0; i < nLocks; i++ {
+				ls = append(ls, newTATAS(b, "water.lock", proto.NewRegionSet(accR)))
+			}
+			bar := newTreeBarrier(b, proto.NewRegionSet(accR))
+			phases := b.div(3)
+			return barrierPhases(b, bar, phases, func(t *cpu.Thread, p int) {
+				for i := 0; i < 32; i++ {
+					v := t.Load(mol.word(t.ID, i))
+					t.Compute(8)
+					t.Store(mol.word(t.ID, i), v+1)
+				}
+				for u := 0; u < 4; u++ {
+					cell := (t.ID + u*nLocks) % 128
+					lk := ls[cell%nLocks]
+					tk := lk.Acquire(t)
+					v := t.Load(wordAddr(acc, cell))
+					t.Store(wordAddr(acc, cell), v+uint64(t.ID))
+					t.Fence()
+					lk.Release(t, tk)
+				}
+			})
+		},
+	}
+}
+
+// ocean: many light barrier phases with nearest-neighbor boundary reads.
+func ocean() App {
+	return App{
+		ID: "ocean", Name: "ocean", DefaultCores: 64, Pattern: "barriers+locks", Input: "8 phases, 64-word rows, neighbor + column boundaries",
+		build: func(b *build) func(int) machine.Workload {
+			region := b.space.Region("ocean.grid")
+			grid := newChunkedArray(b, region, 64)
+			// Column boundaries of the 2D decomposition: adjacent threads'
+			// words interleave within lines (false sharing for MESI).
+			cols := newInterleavedArray(b, region, 4)
+			bar := newTreeBarrier(b, proto.NewRegionSet(region))
+			phases := b.div(8)
+			return barrierPhases(b, bar, phases, func(t *cpu.Thread, p int) {
+				up := (t.ID + b.cores - 1) % b.cores
+				down := (t.ID + 1) % b.cores
+				// Read neighbor boundary rows, relax own rows.
+				for i := 0; i < 16; i++ {
+					nb := t.Load(grid.word(up, 48+i)) + t.Load(grid.word(down, i))
+					v := t.Load(grid.word(t.ID, i))
+					t.Compute(3)
+					t.Store(grid.word(t.ID, i), (v+nb)/2)
+				}
+				for i := 16; i < 48; i++ {
+					v := t.Load(grid.word(t.ID, i))
+					t.Compute(4)
+					t.Store(grid.word(t.ID, i), v+1)
+				}
+				// Column-boundary update (alternating phases).
+				for i := 0; i < 4 && p%2 == 0; i++ {
+					v := t.Load(cols.word(t.ID, i))
+					t.Store(cols.word(t.ID, i), v+1)
+				}
+				t.Fence()
+			})
+		},
+	}
+}
+
+// fluidanimate: fine-grain cell locks over one big cell region — the
+// conservative static self-invalidation at every acquire is exactly the
+// case §7.2 reports as DeNovoSync's 7% loss.
+func fluidanimate() App {
+	return App{
+		ID: "fluidanimate", Name: "fluidanimate", DefaultCores: 64, Pattern: "barriers+locks", Input: "3 phases, 16-cell neighborhoods, 256 cell locks",
+		build: func(b *build) func(int) machine.Workload {
+			cellsR := b.space.Region("fluid.cells")
+			// Each thread owns a 16-word cell neighborhood; boundary cells
+			// are shared with the next thread.
+			cells := b.space.AllocAligned(b.cores*16, cellsR)
+			const nLocks = 256
+			var ls []*locks.TATAS
+			for i := 0; i < nLocks; i++ {
+				// Static information cannot tell which cells a given lock
+				// guards, so every acquire conservatively self-invalidates
+				// the whole cell region (§7.2: this is what costs
+				// DeNovoSync its 7% on fluidanimate).
+				ls = append(ls, newTATAS(b, "fluid.lock", proto.NewRegionSet(cellsR)))
+			}
+			nCells := b.cores * 16
+			bar := newTreeBarrier(b, proto.NewRegionSet(cellsR))
+			phases := b.div(3)
+			return barrierPhases(b, bar, phases, func(t *cpu.Thread, p int) {
+				for it := 0; it < 12; it++ {
+					// Mostly own neighborhood, occasionally the boundary
+					// cell shared with the neighbor thread.
+					cell := t.ID*16 + (it*5+p)%16
+					if it%6 == 5 {
+						cell = ((t.ID+1)%b.cores)*16 + (it*3)%4
+					}
+					lk := ls[cell%nLocks]
+					tk := lk.Acquire(t)
+					// Read the neighborhood (re-missed on DeNovo after the
+					// conservative self-invalidation; cached hits on MESI),
+					// update the cell.
+					var acc uint64
+					for w := 0; w < 6; w++ {
+						acc += t.Load(wordAddr(cells, (cell+w)%nCells))
+					}
+					t.Store(wordAddr(cells, cell), acc)
+					t.Fence()
+					lk.Release(t, tk)
+					t.Compute(150)
+				}
+			})
+		},
+	}
+}
+
+// ---- non-blocking synchronization (§7.2 "Non-blocking") ----
+
+// canneal: an aggressive lock-free swap loop over shared location words —
+// synchronization forms a large fraction of all memory accesses.
+func canneal() App {
+	return App{
+		ID: "canneal", Name: "canneal", DefaultCores: 64, Pattern: "lock-free CAS", Input: "32 moves/thread, 2048 elements (4/line), CAS swaps",
+		build: func(b *build) func(int) machine.Workload {
+			locR := b.space.Region("canneal.loc")
+			netR := b.space.Region("canneal.net")
+			// Element locations are packed four per cache line, as in the
+			// real netlist layout: MESI false-shares them; DeNovo's word
+			// coherence does not.
+			const nElems = 2048
+			elems := make([]proto.Addr, nElems)
+			for i := range elems {
+				elems[i] = b.space.AllocAligned(4, locR)
+				b.store.Write(elems[i], uint64(i+1))
+			}
+			netlist := b.space.AllocAligned(512, netR)
+			bar := newTreeBarrier(b, 0)
+			iters := b.div(32)
+			return func(i int) machine.Workload {
+				return func(t *cpu.Thread) {
+					for it := 0; it < iters; it++ {
+						a := elems[t.RNG.Intn(nElems)]
+						bb := elems[t.RNG.Intn(nElems)]
+						if a == bb {
+							continue
+						}
+						va := t.SyncLoad(a)
+						vb := t.SyncLoad(bb)
+						// Cost evaluation reads the netlist.
+						var cost uint64
+						for r := 0; r < 8; r++ {
+							cost += t.Load(wordAddr(netlist, int(va+vb)+r*31))
+						}
+						t.Compute(120)
+						if cost%3 != 0 { // accept the move
+							if t.CAS(a, va, vb) {
+								if !t.CAS(bb, vb, va) {
+									// Second leg failed: undo the first.
+									t.CAS(a, vb, va)
+								}
+							}
+						}
+					}
+					bar.Wait(t)
+				}
+			}
+		},
+	}
+}
+
+// ---- pipeline parallelism (§7.2 "Pipeline parallelism") ----
+
+// pipeQueue is a lock-protected bounded ring — the pthread-style pipeline
+// queue used by ferret.
+type pipeQueue struct {
+	lock       *locks.TATAS
+	head, tail proto.Addr
+	buf        proto.Addr
+	capacity   int
+}
+
+func newPipeQueue(b *build, name string, capacity int) *pipeQueue {
+	region := b.space.Region("pipe." + name)
+	return &pipeQueue{
+		lock:     locks.NewTATAS(b.space, b.space.Region("pipe.lock."+name), proto.NewRegionSet(region), true),
+		head:     b.space.AllocAligned(1, region),
+		tail:     b.space.AllocAligned(1, region),
+		buf:      b.space.AllocAligned(capacity, region),
+		capacity: capacity,
+	}
+}
+
+func (q *pipeQueue) tryPut(t *cpu.Thread, v uint64) bool {
+	tk := q.lock.Acquire(t)
+	defer q.lock.Release(t, tk)
+	h, tl := t.Load(q.head), t.Load(q.tail)
+	if tl-h >= uint64(q.capacity) {
+		return false
+	}
+	t.Store(q.buf+proto.Addr(int(tl)%q.capacity*proto.WordBytes), v)
+	t.Store(q.tail, tl+1)
+	t.Fence()
+	return true
+}
+
+func (q *pipeQueue) tryGet(t *cpu.Thread) (uint64, bool) {
+	tk := q.lock.Acquire(t)
+	defer q.lock.Release(t, tk)
+	h, tl := t.Load(q.head), t.Load(q.tail)
+	if h == tl {
+		return 0, false
+	}
+	v := t.Load(q.buf + proto.Addr(int(h)%q.capacity*proto.WordBytes))
+	t.Store(q.head, h+1)
+	t.Fence()
+	return v, true
+}
+
+// ferret: a four-stage similarity-search pipeline over lock-protected
+// queues; threads are striped across stages.
+func ferret() App {
+	return App{
+		ID: "ferret", Name: "ferret", DefaultCores: 16, Pattern: "pipeline", Input: "4 stages x 4 threads, 12 items/producer, 32-deep queues",
+		build: func(b *build) func(int) machine.Workload {
+			const stages = 4
+			queues := []*pipeQueue{
+				newPipeQueue(b, "q01", 32),
+				newPipeQueue(b, "q12", 32),
+				newPipeQueue(b, "q23", 32),
+			}
+			ctrR := b.space.Region("ferret.ctr")
+			// processed[k] counts items completed by stage k+1; every
+			// thread of a stage exits once its stage has handled the full
+			// item count — no early-exit/stranded-item races.
+			processed := make([]proto.Addr, stages-1)
+			for i := range processed {
+				processed[i] = b.space.AllocPadded(ctrR)
+			}
+			producers := b.cores / stages
+			itemsPerProducer := b.div(12)
+			total := uint64(producers * itemsPerProducer)
+			bar := newTreeBarrier(b, 0)
+			stageCost := []sim.Cycle{900, 2200, 1800, 700}
+			return func(i int) machine.Workload {
+				stage := i % stages
+				return func(t *cpu.Thread) {
+					switch stage {
+					case 0:
+						for it := 0; it < itemsPerProducer; it++ {
+							t.Compute(stageCost[0])
+							for !queues[0].tryPut(t, uint64(t.ID*1000+it)) {
+								t.SWBackoff(200)
+							}
+						}
+					default:
+						in := queues[stage-1]
+						ctr := processed[stage-1]
+						for t.SyncLoad(ctr) < total {
+							v, ok := in.tryGet(t)
+							if !ok {
+								t.SWBackoff(200)
+								continue
+							}
+							t.Compute(stageCost[stage])
+							if stage < stages-1 {
+								for !queues[stage].tryPut(t, v+1) {
+									t.SWBackoff(200)
+								}
+							}
+							t.FetchAdd(ctr, 1)
+						}
+					}
+					bar.Wait(t)
+				}
+			}
+		},
+	}
+}
+
+// x264: wavefront pipeline parallelism — each thread encodes frames that
+// depend on its predecessor's progress counter.
+func x264() App {
+	return App{
+		ID: "x264", Name: "x264", DefaultCores: 16, Pattern: "pipeline", Input: "8 frames/thread, wavefront progress dependencies",
+		build: func(b *build) func(int) machine.Workload {
+			progR := b.space.Region("x264.progress")
+			frameR := b.space.Region("x264.frames")
+			progress := make([]proto.Addr, b.cores)
+			for i := range progress {
+				progress[i] = b.space.AllocPadded(progR)
+			}
+			frames := newChunkedArray(b, frameR, 64)
+			bar := newTreeBarrier(b, proto.NewRegionSet(frameR))
+			nFrames := b.div(8)
+			return func(i int) machine.Workload {
+				return func(t *cpu.Thread) {
+					for f := 0; f < nFrames; f++ {
+						if t.ID > 0 {
+							// Wait for the reference rows of the previous
+							// thread's frame (motion-vector dependency).
+							ff := uint64(f)
+							t.SpinSyncLoadUntil(progress[t.ID-1], func(v uint64) bool { return v > ff })
+							t.SelfInvalidate(proto.NewRegionSet(frameR))
+							// Read reference data from the predecessor.
+							for r := 0; r < 8; r++ {
+								_ = t.Load(frames.word(t.ID-1, f*8+r))
+							}
+						}
+						// Encode own rows.
+						for r := 0; r < 32; r++ {
+							v := t.Load(frames.word(t.ID, f*4+r))
+							t.Compute(12)
+							t.Store(frames.word(t.ID, f*4+r), v+uint64(f))
+						}
+						t.SyncStore(progress[t.ID], uint64(f+1))
+					}
+					bar.Wait(t)
+				}
+			}
+		},
+	}
+}

@@ -1,0 +1,172 @@
+// Package barrier implements the barrier algorithms of §5.3.1, derived
+// from the pseudo-code in Scott's Shared Memory Synchronization [33]:
+// a centralized sense-reversing barrier and static tree barriers with
+// configurable arrival fan-in and wakeup fan-out (binary = 2/2; the
+// paper's "n-ary" = fan-in 4, fan-out 2).
+package barrier
+
+import (
+	"denovosync/internal/alloc"
+	"denovosync/internal/cpu"
+	"denovosync/internal/mem"
+	"denovosync/internal/proto"
+)
+
+// Barrier is the common barrier interface.
+type Barrier interface {
+	// Wait blocks thread t until all n threads have arrived. On departure
+	// it self-invalidates the configured region set (the data-consistency
+	// hook for DeNovo; a no-op on MESI).
+	Wait(t *cpu.Thread)
+}
+
+// Central is a centralized sense-reversing barrier: one arrival counter
+// and one global sense word, both heavily read-shared — the unscalable
+// pattern §6.3 warns about.
+type Central struct {
+	n       int
+	count   proto.Addr
+	sense   proto.Addr
+	local   []uint64 // per-thread local sense
+	protect proto.RegionSet
+}
+
+// NewCentral allocates a centralized barrier for n threads.
+func NewCentral(s *alloc.Space, region proto.RegionID, protect proto.RegionSet, n int) *Central {
+	return &Central{
+		n:       n,
+		count:   s.AllocPadded(region),
+		sense:   s.AllocPadded(region),
+		local:   make([]uint64, 256),
+		protect: protect,
+	}
+}
+
+// Wait implements Barrier.
+func (b *Central) Wait(t *cpu.Thread) {
+	mySense := b.local[t.ID] + 1
+	b.local[t.ID] = mySense
+	// Arrival: fetch-and-increment the counter (the serialized
+	// linearization point of §6.3).
+	arrived := t.FetchAdd(b.count, 1)
+	if int(arrived) == b.n-1 {
+		// Last arriver: reset the counter and release everyone by
+		// reversing the sense.
+		t.SyncStore(b.count, 0)
+		t.SyncStore(b.sense, mySense)
+	} else {
+		t.SpinSyncLoadUntil(b.sense, func(v uint64) bool { return v >= mySense })
+	}
+	t.SelfInvalidate(b.protect)
+}
+
+// Tree is a static tree barrier: thread i's arrival parent is
+// (i-1)/fanIn and its wakeup children are i*fanOut+1 … i*fanOut+fanOut.
+// Every flag has exactly one reader and one writer (§6.3), so it behaves
+// like an array lock slot. Rounds are encoded as increasing flag values,
+// avoiding reinitialization.
+type Tree struct {
+	n              int
+	fanIn, fanOut  int
+	arrive, wakeup []proto.Addr
+	round          []uint64
+	protect        proto.RegionSet
+}
+
+// NewTree allocates a tree barrier for n threads with the given arrival
+// fan-in and wakeup fan-out.
+func NewTree(s *alloc.Space, region proto.RegionID, protect proto.RegionSet, n, fanIn, fanOut int) *Tree {
+	if fanIn < 2 || fanOut < 2 {
+		panic("barrier: fan degrees must be at least 2")
+	}
+	b := &Tree{n: n, fanIn: fanIn, fanOut: fanOut, round: make([]uint64, 256), protect: protect}
+	for i := 0; i < n; i++ {
+		b.arrive = append(b.arrive, s.AllocPadded(region))
+		b.wakeup = append(b.wakeup, s.AllocPadded(region))
+	}
+	return b
+}
+
+// Wait implements Barrier.
+func (b *Tree) Wait(t *cpu.Thread) {
+	i := t.ID
+	round := b.round[i] + 1
+	b.round[i] = round
+
+	// Arrival phase: gather children of the fan-in tree, then notify the
+	// parent. Each arrive flag has one writer (the child) and one reader
+	// (the parent).
+	for c := 1; c <= b.fanIn; c++ {
+		child := i*b.fanIn + c
+		if child >= b.n {
+			break
+		}
+		t.SpinSyncLoadUntil(b.arrive[child], func(v uint64) bool { return v >= round })
+	}
+	if i != 0 {
+		t.SyncStore(b.arrive[i], round)
+		// Departure phase: wait for the parent's wakeup.
+		t.SpinSyncLoadUntil(b.wakeup[i], func(v uint64) bool { return v >= round })
+	}
+	// Propagate the wakeup down the fan-out tree.
+	for c := 1; c <= b.fanOut; c++ {
+		child := i*b.fanOut + c
+		if child >= b.n {
+			break
+		}
+		t.SyncStore(b.wakeup[child], round)
+	}
+	t.SelfInvalidate(b.protect)
+}
+
+// Preset is a no-op for Tree (flags start at zero, rounds at one); it
+// exists so kernels can treat all barrier types uniformly.
+func (b *Tree) Preset(*mem.Store) {}
+
+// Preset is a no-op for Central (counter starts at zero).
+func (b *Central) Preset(*mem.Store) {}
+
+// Dissemination is the dissemination barrier (Hensgen/Finkel/Manber, as
+// presented in [33]): ceil(log2 n) rounds in which thread i signals
+// thread (i + 2^r) mod n and waits on its own per-round flag. No thread
+// spins on a flag any other waiter reads — fully distributed, no root
+// bottleneck, at the cost of n·log n flags.
+type Dissemination struct {
+	n      int
+	rounds int
+	// flags[i][r] is signaled by thread (i - 2^r + n) mod n; values are
+	// barrier-episode numbers so no reinitialization is needed.
+	flags   [][]proto.Addr
+	episode []uint64
+	protect proto.RegionSet
+}
+
+// NewDissemination allocates a dissemination barrier for n threads.
+func NewDissemination(s *alloc.Space, region proto.RegionID, protect proto.RegionSet, n int) *Dissemination {
+	rounds := 0
+	for 1<<rounds < n {
+		rounds++
+	}
+	b := &Dissemination{n: n, rounds: rounds, episode: make([]uint64, 256), protect: protect}
+	for i := 0; i < n; i++ {
+		var row []proto.Addr
+		for r := 0; r < rounds; r++ {
+			row = append(row, s.AllocPadded(region))
+		}
+		b.flags = append(b.flags, row)
+	}
+	return b
+}
+
+// Wait implements Barrier.
+func (b *Dissemination) Wait(t *cpu.Thread) {
+	i := t.ID
+	ep := b.episode[i] + 1
+	b.episode[i] = ep
+	for r := 0; r < b.rounds; r++ {
+		peer := (i + 1<<r) % b.n
+		t.SyncStore(b.flags[peer][r], ep)
+		t.SpinSyncLoadUntil(b.flags[i][r], func(v uint64) bool { return v >= ep })
+	}
+	t.SelfInvalidate(b.protect)
+}

@@ -1,0 +1,166 @@
+package barrier_test
+
+import (
+	"testing"
+
+	"denovosync/internal/alloc"
+	"denovosync/internal/barrier"
+	"denovosync/internal/cpu"
+	"denovosync/internal/machine"
+	"denovosync/internal/proto"
+	"denovosync/internal/sim"
+)
+
+var protocols = []machine.Protocol{machine.MESI, machine.DeNovoSync0, machine.DeNovoSync}
+
+// checkBarrier runs several rounds with unbalanced work and asserts that
+// no thread enters round r+1 before every thread finished round r.
+func checkBarrier(t *testing.T, name string, mk func(*alloc.Space, int) barrier.Barrier) {
+	const rounds = 5
+	for _, prot := range protocols {
+		space := alloc.New()
+		b := mk(space, 16)
+		m := machine.New(machine.Params16(), prot, space)
+		arrived := make([]int, rounds+1)
+		departed := make([]int, rounds+1)
+		ok := true
+		_, err := m.Run(name, func(th *cpu.Thread) {
+			for r := 0; r < rounds; r++ {
+				th.Compute(sim.Cycle(th.RNG.Range(100, 3000)))
+				arrived[r]++
+				b.Wait(th)
+				if arrived[r] != 16 {
+					ok = false // departed before everyone arrived
+				}
+				departed[r]++
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v/%s: %v", prot, name, err)
+		}
+		if !ok {
+			t.Errorf("%v/%s: a thread departed before all arrived", prot, name)
+		}
+		for r := 0; r < rounds; r++ {
+			if departed[r] != 16 {
+				t.Errorf("%v/%s: round %d departures = %d", prot, name, r, departed[r])
+			}
+		}
+	}
+}
+
+func TestCentralBarrier(t *testing.T) {
+	checkBarrier(t, "central", func(s *alloc.Space, n int) barrier.Barrier {
+		return barrier.NewCentral(s, s.Region("bar"), 0, n)
+	})
+}
+
+func TestBinaryTreeBarrier(t *testing.T) {
+	checkBarrier(t, "tree", func(s *alloc.Space, n int) barrier.Barrier {
+		return barrier.NewTree(s, s.Region("bar"), 0, n, 2, 2)
+	})
+}
+
+func TestNaryTreeBarrier(t *testing.T) {
+	checkBarrier(t, "nary", func(s *alloc.Space, n int) barrier.Barrier {
+		return barrier.NewTree(s, s.Region("bar"), 0, n, 4, 2)
+	})
+}
+
+// TestBarrierSelfInvalidation: the departure self-invalidation makes data
+// written before the barrier visible to DeNovo readers after it.
+func TestBarrierSelfInvalidation(t *testing.T) {
+	space := alloc.New()
+	region := space.Region("phase-data")
+	data := space.AllocAligned(16, region)
+	b := barrier.NewTree(space, space.Region("bar"), proto.NewRegionSet(region), 16, 2, 2)
+	m := machine.New(machine.Params16(), machine.DeNovoSync0, space)
+	bad := false
+	_, err := m.Run("barinv", func(th *cpu.Thread) {
+		slot := data + proto.Addr(th.ID*proto.WordBytes)
+		// Phase 1: everyone reads everything (caching stale zeros), then
+		// writes its own slot.
+		for i := 0; i < 16; i++ {
+			_ = th.Load(data + proto.Addr(i*proto.WordBytes))
+		}
+		th.Store(slot, uint64(th.ID+1))
+		b.Wait(th)
+		// Phase 2: every slot must show its writer's value.
+		for i := 0; i < 16; i++ {
+			if v := th.Load(data + proto.Addr(i*proto.WordBytes)); v != uint64(i+1) {
+				bad = true
+			}
+		}
+		b.Wait(th)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad {
+		t.Fatal("stale data visible after barrier with self-invalidation")
+	}
+}
+
+// TestTreeBarrierIsTrafficLean: per §6.3/§7.1.4, tree barriers have
+// single-reader single-writer flags, so DeNovo traffic is far below a
+// centralized barrier's with many waiters.
+func TestTreeBarrierIsTrafficLean(t *testing.T) {
+	run := func(mk func(*alloc.Space) barrier.Barrier) uint64 {
+		space := alloc.New()
+		b := mk(space)
+		m := machine.New(machine.Params16(), machine.DeNovoSync0, space)
+		_, err := m.Run("traffic", func(th *cpu.Thread) {
+			for r := 0; r < 3; r++ {
+				// Strong imbalance maximizes waiting.
+				th.Compute(sim.Cycle(th.ID) * 500)
+				b.Wait(th)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Net.Traffic()[proto.ClassSynch]
+	}
+	tree := run(func(s *alloc.Space) barrier.Barrier {
+		return barrier.NewTree(s, s.Region("bar"), 0, 16, 2, 2)
+	})
+	central := run(func(s *alloc.Space) barrier.Barrier {
+		return barrier.NewCentral(s, s.Region("bar"), 0, 16)
+	})
+	if tree >= central {
+		t.Fatalf("tree barrier SYNCH traffic (%d) not below centralized (%d)", tree, central)
+	}
+}
+
+func TestDisseminationBarrier(t *testing.T) {
+	checkBarrier(t, "dissemination", func(s *alloc.Space, n int) barrier.Barrier {
+		return barrier.NewDissemination(s, s.Region("bar"), 0, n)
+	})
+}
+
+// TestDisseminationNoHotFlag: every flag has exactly one writer and one
+// reader, so DeNovo sync traffic stays point-to-point (no registration
+// ping-pong regardless of imbalance).
+func TestDisseminationNoHotFlag(t *testing.T) {
+	space := alloc.New()
+	b := barrier.NewDissemination(space, space.Region("bar"), 0, 16)
+	m := machine.New(machine.Params16(), machine.DeNovoSync0, space)
+	rs, err := m.Run("diss-traffic", func(th *cpu.Thread) {
+		for r := 0; r < 4; r++ {
+			th.Compute(sim.Cycle(th.ID) * 400) // strong imbalance
+			b.Wait(th)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 threads x 4 rounds x log2(16)=4 signal/wait pairs: traffic should
+	// be linear in that count, not quadratic ping-pong.
+	msgs := m.Net.Messages()[proto.ClassSynch]
+	if msgs > 16*4*4*12 {
+		t.Fatalf("dissemination sync messages suspiciously high: %d", msgs)
+	}
+	if rs.ExecTime == 0 {
+		t.Fatal("empty run")
+	}
+}

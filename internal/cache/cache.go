@@ -1,0 +1,136 @@
+// Package cache provides the storage structures shared by the protocol
+// controllers: a set-associative, LRU-replacement line array with per-word
+// state (DeNovo keeps coherence state at word granularity; MESI uses the
+// per-line state field), plus a small MSHR table.
+package cache
+
+import "denovosync/internal/proto"
+
+// Line is one cache line's worth of storage and metadata. State bytes are
+// protocol-defined: MESI uses LineState only; DeNovo uses the per-word
+// WordState array (Invalid/Valid/Registered).
+type Line struct {
+	Addr      proto.Addr // line-aligned; valid only when Present
+	Present   bool
+	LineState byte
+	WordState [proto.WordsPerLine]byte
+	Values    [proto.WordsPerLine]uint64
+	Regions   [proto.WordsPerLine]proto.RegionID
+
+	// lru is the set-relative recency stamp (bigger = more recent).
+	lru uint64
+}
+
+// ClearWords resets all per-word metadata to the zero state.
+func (l *Line) ClearWords() {
+	l.WordState = [proto.WordsPerLine]byte{}
+	l.Values = [proto.WordsPerLine]uint64{}
+	l.Regions = [proto.WordsPerLine]proto.RegionID{}
+}
+
+// Cache is a set-associative cache. It only manages placement and
+// replacement; the protocol controller owns the meaning of states.
+type Cache struct {
+	sets  int
+	ways  int
+	lines []Line // sets*ways, set-major
+	index map[proto.Addr]*Line
+	clock uint64
+}
+
+// New constructs a cache with the given geometry. sizeBytes must be an
+// exact multiple of ways*LineBytes and the set count a power of two.
+func New(sizeBytes, ways int) *Cache {
+	lines := sizeBytes / proto.LineBytes
+	if lines%ways != 0 {
+		panic("cache: size not a multiple of ways")
+	}
+	sets := lines / ways
+	if sets&(sets-1) != 0 {
+		panic("cache: set count not a power of two")
+	}
+	return &Cache{
+		sets:  sets,
+		ways:  ways,
+		lines: make([]Line, lines),
+		index: make(map[proto.Addr]*Line, lines),
+	}
+}
+
+// Sets returns the number of sets; Ways the associativity.
+func (c *Cache) Sets() int { return c.sets }
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) setOf(line proto.Addr) int {
+	return int(line/proto.LineBytes) & (c.sets - 1)
+}
+
+// Lookup returns the line holding addr's line, or nil. It does not update
+// recency; use Touch for that.
+func (c *Cache) Lookup(addr proto.Addr) *Line {
+	return c.index[addr.Line()]
+}
+
+// Touch marks l most recently used.
+func (c *Cache) Touch(l *Line) {
+	c.clock++
+	l.lru = c.clock
+}
+
+// Victim returns the line that would be evicted to make room for addr's
+// line: an empty way if one exists, else the LRU line of the set. The
+// caller is responsible for writing back the victim as the protocol
+// requires, then calling Install.
+func (c *Cache) Victim(addr proto.Addr) *Line {
+	set := c.setOf(addr.Line())
+	ways := c.lines[set*c.ways : (set+1)*c.ways]
+	var victim *Line
+	for i := range ways {
+		l := &ways[i]
+		if !l.Present {
+			return l
+		}
+		if victim == nil || l.lru < victim.lru {
+			victim = l
+		}
+	}
+	return victim
+}
+
+// Install claims l (as returned by Victim) for addr's line, clearing all
+// word metadata and marking it most recently used. Any previous occupant
+// is removed from the index.
+func (c *Cache) Install(l *Line, addr proto.Addr) {
+	if l.Present {
+		delete(c.index, l.Addr)
+	}
+	l.Addr = addr.Line()
+	l.Present = true
+	l.LineState = 0
+	l.ClearWords()
+	c.index[l.Addr] = l
+	c.Touch(l)
+}
+
+// Evict removes l from the cache (the protocol has already written it back).
+func (c *Cache) Evict(l *Line) {
+	if !l.Present {
+		return
+	}
+	delete(c.index, l.Addr)
+	l.Present = false
+	l.LineState = 0
+	l.ClearWords()
+}
+
+// ForEach calls fn on every present line. fn must not install or evict.
+func (c *Cache) ForEach(fn func(*Line)) {
+	for i := range c.lines {
+		if c.lines[i].Present {
+			fn(&c.lines[i])
+		}
+	}
+}
+
+// Len returns the number of present lines.
+func (c *Cache) Len() int { return len(c.index) }

@@ -1,0 +1,61 @@
+package cache
+
+import "denovosync/internal/proto"
+
+// MSHREntry tracks one outstanding miss. Waiters are callbacks to run when
+// the miss resolves; Parked holds protocol messages that arrived for the
+// address while the miss was in flight (DeNovoSync parks forwarded
+// registration requests here — the distributed registration queue of §4.1).
+type MSHREntry struct {
+	Addr    proto.Addr // word address for DeNovo, line address for MESI
+	Waiters []func()
+	Parked  []interface{}
+
+	// Tag lets the protocol record what kind of miss is outstanding.
+	Tag int
+}
+
+// MSHR is a table of outstanding misses keyed by address.
+type MSHR struct {
+	entries map[proto.Addr]*MSHREntry
+}
+
+// NewMSHR returns an empty MSHR table.
+func NewMSHR() *MSHR {
+	return &MSHR{entries: make(map[proto.Addr]*MSHREntry)}
+}
+
+// Lookup returns the entry for addr, or nil.
+func (m *MSHR) Lookup(addr proto.Addr) *MSHREntry { return m.entries[addr] }
+
+// Allocate creates an entry for addr. It panics if one already exists:
+// the protocol must coalesce via Lookup first.
+func (m *MSHR) Allocate(addr proto.Addr) *MSHREntry {
+	if m.entries[addr] != nil {
+		panic("cache: MSHR double allocation")
+	}
+	e := &MSHREntry{Addr: addr}
+	m.entries[addr] = e
+	return e
+}
+
+// Free removes the entry and returns it so the protocol can drain waiters
+// and parked messages after updating cache state.
+func (m *MSHR) Free(addr proto.Addr) *MSHREntry {
+	e := m.entries[addr]
+	if e == nil {
+		panic("cache: MSHR free of absent entry")
+	}
+	delete(m.entries, addr)
+	return e
+}
+
+// Len returns the number of outstanding entries.
+func (m *MSHR) Len() int { return len(m.entries) }
+
+// ForEach visits all outstanding entries.
+func (m *MSHR) ForEach(fn func(*MSHREntry)) {
+	for _, e := range m.entries {
+		fn(e)
+	}
+}

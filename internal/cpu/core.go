@@ -1,0 +1,140 @@
+// Package cpu models the simulated cores and the thread API that workloads
+// are written against.
+//
+// The paper's core model (§5.1): simple, single-issue, in-order, 1 CPI for
+// non-memory instructions, blocking loads, non-blocking stores;
+// synchronization accesses obey program order (a sync access is not issued
+// until the previous one completes).
+//
+// Each simulated thread is an ordinary Go function running on its own
+// goroutine, coroutined with the single-threaded simulation engine through
+// a strict channel handshake: the engine blocks while the thread decides
+// its next operation, and the thread blocks while the engine simulates it.
+// Exactly one of the two is ever runnable, so simulation remains
+// deterministic and race-free.
+package cpu
+
+import (
+	"denovosync/internal/proto"
+	"denovosync/internal/sim"
+	"denovosync/internal/stats"
+)
+
+// Phase labels what part of the workload is executing, driving the
+// execution-time breakdown of Figures 3–6: kernel code, the dummy
+// computation between kernel iterations, or the closing barrier.
+type Phase int
+
+const (
+	PhaseKernel Phase = iota
+	PhaseNonSynch
+	PhaseBarrier
+)
+
+// threadOp is one simulated operation, executed on the engine goroutine.
+// It must arrange for c.complete to be called exactly once.
+type threadOp func(c *Core)
+
+// Core is one simulated processor.
+type Core struct {
+	eng *sim.Engine
+	id  proto.CoreID
+	l1  proto.L1Controller
+
+	ops  chan threadOp
+	resp chan uint64
+
+	phase    Phase
+	time     stats.CoreTime
+	finished bool
+	onFinish func()
+}
+
+// NewCore builds core id over l1. onFinish runs when the thread ends.
+func NewCore(eng *sim.Engine, id proto.CoreID, l1 proto.L1Controller, onFinish func()) *Core {
+	return &Core{
+		eng:      eng,
+		id:       id,
+		l1:       l1,
+		ops:      make(chan threadOp),
+		resp:     make(chan uint64),
+		onFinish: onFinish,
+	}
+}
+
+// ID returns the core's ID.
+func (c *Core) ID() proto.CoreID { return c.id }
+
+// L1 returns the core's cache controller.
+func (c *Core) L1() proto.L1Controller { return c.l1 }
+
+// Time returns the core's accumulated cycle breakdown.
+func (c *Core) Time() stats.CoreTime { return c.time }
+
+// Finished reports whether the thread has ended.
+func (c *Core) Finished() bool { return c.finished }
+
+// Start schedules the core's first service of its thread at cycle 0.
+func (c *Core) Start() {
+	c.eng.Schedule(0, c.serviceThread)
+}
+
+// serviceThread blocks the engine until the thread issues its next
+// operation (or ends), then runs it. The thread is guaranteed to be either
+// computing natively (and will promptly send) or already blocked sending.
+func (c *Core) serviceThread() {
+	op, ok := <-c.ops
+	if !ok {
+		c.finished = true
+		c.time.Finish = c.eng.Now()
+		if c.onFinish != nil {
+			c.onFinish()
+		}
+		return
+	}
+	op(c)
+}
+
+// complete resumes the thread with value v, then waits for its next op.
+// Called exactly once per threadOp, from an engine event.
+func (c *Core) complete(v uint64) {
+	c.resp <- v
+	c.serviceThread()
+}
+
+// charge attributes n cycles to component comp, redirected by the current
+// phase: everything in the non-synch phase lands in NonSynch, and in the
+// barrier phase all waiting lands in BarrierStall. Hardware and software
+// backoff keep their own buckets in the kernel phase (the paper plots them
+// separately).
+func (c *Core) charge(comp stats.TimeComponent, n sim.Cycle) {
+	if n == 0 {
+		return
+	}
+	switch c.phase {
+	case PhaseNonSynch:
+		comp = stats.NonSynch
+	case PhaseBarrier:
+		if comp != stats.HWBackoff && comp != stats.SWBackoff {
+			comp = stats.BarrierStall
+		}
+	}
+	c.time.Add(comp, n)
+}
+
+// chargeAccess splits a memory access's duration: one L1-access cycle as
+// compute (instruction issue), hardware-backoff stall in its own bucket,
+// and the rest as memory stall.
+func (c *Core) chargeAccess(dur, hwBackoff sim.Cycle) {
+	issue := sim.Cycle(1)
+	if dur < issue {
+		issue = dur
+	}
+	c.charge(stats.Compute, issue)
+	dur -= issue
+	if hwBackoff > dur {
+		hwBackoff = dur
+	}
+	c.charge(stats.HWBackoff, hwBackoff)
+	c.charge(stats.MemStall, dur-hwBackoff)
+}

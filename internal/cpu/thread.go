@@ -1,0 +1,254 @@
+package cpu
+
+import (
+	"denovosync/internal/proto"
+	"denovosync/internal/sim"
+	"denovosync/internal/stats"
+)
+
+// RegionMapper resolves an address to its software region (the
+// self-invalidation unit). The allocator implements it.
+type RegionMapper interface {
+	RegionOf(proto.Addr) proto.RegionID
+}
+
+// Thread is the API simulated workload code is written against. All
+// methods marked "blocking" suspend the calling goroutine for the
+// simulated duration of the operation. A Thread's methods must only be
+// called from its own workload goroutine.
+type Thread struct {
+	// ID is the thread index, equal to the core ID it runs on.
+	ID int
+	// RNG is the thread-private deterministic random source.
+	RNG *sim.RNG
+
+	core    *Core
+	regions RegionMapper
+}
+
+// NewThread binds a workload thread to core. regions may be nil if the
+// workload never uses regions.
+func NewThread(core *Core, regions RegionMapper, rng *sim.RNG) *Thread {
+	return &Thread{ID: int(core.id), RNG: rng, core: core, regions: regions}
+}
+
+// do hands op to the core and blocks until the simulated completion.
+func (t *Thread) do(op threadOp) uint64 {
+	t.core.ops <- op
+	return <-t.core.resp
+}
+
+// Now returns the current simulated cycle. (Safe: the engine is blocked
+// whenever workload code runs.)
+func (t *Thread) Now() sim.Cycle { return t.core.eng.Now() }
+
+func (t *Thread) regionOf(addr proto.Addr) proto.RegionID {
+	if t.regions == nil {
+		return 0
+	}
+	return t.regions.RegionOf(addr)
+}
+
+// memOp issues one memory access and blocks until its commit. Sync
+// accesses first drain outstanding stores (fence semantics of the
+// data-race-free model: acquire/release ordering at sync points).
+func (t *Thread) memOp(kind proto.AccessKind, addr proto.Addr, value uint64, rmw proto.RMWOp) uint64 {
+	return t.do(func(c *Core) {
+		start := c.eng.Now()
+		b0 := c.l1.BackoffStallCycles()
+		issue := func() {
+			c.l1.Access(&proto.Request{
+				Kind:   kind,
+				Addr:   addr,
+				Value:  value,
+				RMW:    rmw,
+				Region: t.regionOf(addr),
+				Done: func(v uint64) {
+					c.chargeAccess(c.eng.Now()-start, c.l1.BackoffStallCycles()-b0)
+					c.complete(v)
+				},
+			})
+		}
+		if kind.IsSync() {
+			c.l1.OnWritesDrained(issue)
+		} else {
+			issue()
+		}
+	})
+}
+
+// Load performs a blocking data load.
+func (t *Thread) Load(addr proto.Addr) uint64 {
+	return t.memOp(proto.DataLoad, addr, 0, nil)
+}
+
+// Store performs a non-blocking data store: it returns after the L1
+// access; the coherence transaction drains in the background (see Fence).
+func (t *Thread) Store(addr proto.Addr, value uint64) {
+	t.memOp(proto.DataStore, addr, value, nil)
+}
+
+// SyncLoad performs a synchronization (volatile/atomic) load: sequentially
+// consistent, ordered after all prior accesses.
+func (t *Thread) SyncLoad(addr proto.Addr) uint64 {
+	return t.memOp(proto.SyncLoad, addr, 0, nil)
+}
+
+// SyncStore performs a synchronization store, blocking until the write is
+// globally visible (write atomicity).
+func (t *Thread) SyncStore(addr proto.Addr, value uint64) {
+	t.memOp(proto.SyncStore, addr, value, nil)
+}
+
+// rmw runs an atomic read-modify-write, returning the pre-update value.
+func (t *Thread) rmw(addr proto.Addr, op proto.RMWOp) uint64 {
+	return t.memOp(proto.SyncRMW, addr, 0, op)
+}
+
+// CAS atomically compares-and-swaps, reporting success.
+func (t *Thread) CAS(addr proto.Addr, old, new uint64) bool {
+	got := t.rmw(addr, func(cur uint64) (uint64, bool) {
+		if cur == old {
+			return new, true
+		}
+		return 0, false
+	})
+	return got == old
+}
+
+// FetchAdd atomically adds delta, returning the previous value.
+func (t *Thread) FetchAdd(addr proto.Addr, delta uint64) uint64 {
+	return t.rmw(addr, func(cur uint64) (uint64, bool) { return cur + delta, true })
+}
+
+// TestAndSet atomically sets the word to 1, returning the previous value.
+func (t *Thread) TestAndSet(addr proto.Addr) uint64 {
+	return t.rmw(addr, func(uint64) (uint64, bool) { return 1, true })
+}
+
+// Exchange atomically swaps in value, returning the previous value.
+func (t *Thread) Exchange(addr proto.Addr, value uint64) uint64 {
+	return t.rmw(addr, func(uint64) (uint64, bool) { return value, true })
+}
+
+// Compute burns n cycles of computation (1 CPI instructions).
+func (t *Thread) Compute(n sim.Cycle) {
+	if n == 0 {
+		return
+	}
+	t.do(func(c *Core) {
+		c.eng.Schedule(n, func() {
+			c.charge(stats.Compute, n)
+			c.complete(0)
+		})
+	})
+}
+
+// SWBackoff stalls n cycles of software backoff (plotted separately).
+func (t *Thread) SWBackoff(n sim.Cycle) {
+	if n == 0 {
+		return
+	}
+	t.do(func(c *Core) {
+		c.eng.Schedule(n, func() {
+			c.charge(stats.SWBackoff, n)
+			c.complete(0)
+		})
+	})
+}
+
+// SelfInvalidate drops cached Valid words of the given regions (DeNovo's
+// region-based static self-invalidation; a no-op on MESI). Costs one
+// instruction cycle.
+func (t *Thread) SelfInvalidate(set proto.RegionSet) {
+	t.do(func(c *Core) {
+		c.l1.SelfInvalidate(set)
+		c.eng.Schedule(1, func() {
+			c.charge(stats.Compute, 1)
+			c.complete(0)
+		})
+	})
+}
+
+// AcquireSignature self-invalidates cached stale data matching the
+// write signature attached to lock (DeNovoND-style dynamic
+// self-invalidation; a no-op on MESI). Costs one instruction cycle.
+func (t *Thread) AcquireSignature(lock proto.Addr) {
+	t.do(func(c *Core) {
+		c.l1.SignatureAcquire(lock)
+		c.eng.Schedule(1, func() {
+			c.charge(stats.Compute, 1)
+			c.complete(0)
+		})
+	})
+}
+
+// ReleaseSignature publishes this core's writes-since-last-release
+// signature to lock (a no-op on MESI). Costs one instruction cycle.
+func (t *Thread) ReleaseSignature(lock proto.Addr) {
+	t.do(func(c *Core) {
+		c.l1.SignatureRelease(lock)
+		c.eng.Schedule(1, func() {
+			c.charge(stats.Compute, 1)
+			c.complete(0)
+		})
+	})
+}
+
+// Fence blocks until all outstanding non-blocking stores have committed.
+func (t *Thread) Fence() {
+	t.do(func(c *Core) {
+		start := c.eng.Now()
+		c.l1.OnWritesDrained(func() {
+			c.charge(stats.MemStall, c.eng.Now()-start)
+			c.complete(0)
+		})
+	})
+}
+
+// SetPhase switches the accounting phase (kernel / non-synch / barrier).
+func (t *Thread) SetPhase(p Phase) {
+	t.do(func(c *Core) {
+		c.phase = p
+		c.eng.Schedule(0, func() { c.complete(0) })
+	})
+}
+
+// Epoch samples the local disturbance counter for addr; pair with
+// WaitDisturb to implement efficient spin-waiting.
+func (t *Thread) Epoch(addr proto.Addr) uint64 { return t.core.l1.Epoch(addr) }
+
+// WaitDisturb blocks until the cached state of addr's word is disturbed by
+// remote protocol activity (epoch advances past the sampled epoch). The
+// wait is charged as compute: architecturally the core is spinning on
+// local cache hits (the paper notes spin hits dominate compute time).
+func (t *Thread) WaitDisturb(addr proto.Addr, epoch uint64) {
+	t.do(func(c *Core) {
+		start := c.eng.Now()
+		c.l1.WaitDisturb(addr, epoch, func() {
+			c.charge(stats.Compute, c.eng.Now()-start)
+			c.complete(0)
+		})
+	})
+}
+
+// SpinSyncLoadUntil repeatedly sync-loads addr until pred accepts the
+// value, sleeping between attempts until the local copy is disturbed.
+// This is the efficient spin primitive: on MESI it models spinning on a
+// cached copy until invalidation; on DeNovo it models spinning on a
+// Registered word until a remote access revokes the registration.
+func (t *Thread) SpinSyncLoadUntil(addr proto.Addr, pred func(uint64) bool) uint64 {
+	for {
+		e := t.Epoch(addr)
+		v := t.SyncLoad(addr)
+		if pred(v) {
+			return v
+		}
+		t.WaitDisturb(addr, e)
+	}
+}
+
+// Close ends the thread: the core observes the closed op channel and
+// records its finish time. Deferred by the machine around the workload
+// body; workload code never calls it.
+func (t *Thread) Close() { close(t.core.ops) }

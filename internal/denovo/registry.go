@@ -1,0 +1,217 @@
+package denovo
+
+import (
+	"denovosync/internal/proto"
+)
+
+// ownerL2 marks a word whose up-to-date copy lives in the L2 data bank.
+const ownerL2 = -1
+
+// regLine is the registry's per-line record: for every word, either the
+// L2 holds the data (ownerL2) or the ID of the core registered for it.
+// This replaces a MESI directory entry — there is no sharer list and no
+// busy/transient state: the registry is non-blocking (§4.1).
+type regLine struct {
+	resident bool
+	fetching bool
+	owner    [proto.WordsPerLine]int16
+	pending  []func() // requests that arrived during the cold fetch
+}
+
+func newRegLine() *regLine {
+	l := &regLine{}
+	for i := range l.owner {
+		l.owner[i] = ownerL2
+	}
+	return l
+}
+
+// Registry is DeNovo's LLC-side structure: the data banks of the shared
+// L2 double as the registry, storing either data or a pointer to the
+// registered core (§2.2).
+type Registry struct {
+	cfg   *Config
+	tiles int
+	lines map[proto.Addr]*regLine
+	l1s   []*L1
+}
+
+// NewRegistry creates the registry for a tiles-tile system.
+func NewRegistry(cfg *Config, tiles int) *Registry {
+	return &Registry{cfg: cfg, tiles: tiles, lines: make(map[proto.Addr]*regLine)}
+}
+
+// SetL1s wires the L1 controllers (after construction).
+func (r *Registry) SetL1s(l1s []*L1) { r.l1s = l1s }
+
+// NodeFor returns the tile node hosting line's L2 bank.
+func (r *Registry) NodeFor(line proto.Addr) proto.NodeID {
+	return proto.NodeID(int(line/proto.LineBytes) % r.tiles)
+}
+
+func (r *Registry) line(addr proto.Addr) *regLine {
+	l := r.lines[addr.Line()]
+	if l == nil {
+		l = newRegLine()
+		r.lines[addr.Line()] = l
+	}
+	return l
+}
+
+// withResident runs fn once the line is resident, fetching it from memory
+// on first touch. Requests arriving mid-fetch queue in arrival order, so
+// per-word serialization (the single point the protocol relies on for
+// write and read-registration ordering) is preserved.
+func (r *Registry) withResident(word proto.Addr, class proto.MsgClass, fn func(*regLine)) {
+	e := r.line(word)
+	if e.resident {
+		fn(e)
+		return
+	}
+	e.pending = append(e.pending, func() { fn(e) })
+	if e.fetching {
+		return
+	}
+	e.fetching = true
+	r.cfg.DRAM.Fetch(r.NodeFor(word), word.Line(), class, func() {
+		e.resident = true
+		e.fetching = false
+		ps := e.pending
+		e.pending = nil
+		for _, p := range ps {
+			p()
+		}
+	})
+}
+
+// recvDataRead services a data-load miss: if the registry owns the word it
+// responds with every word of the line it owns (DeNovo responses carry
+// only valid data, §7.1.1); otherwise it forwards to the registered core,
+// which answers directly (and stays registered — data reads do not steal).
+func (r *Registry) recvDataRead(word proto.Addr, from *L1) {
+	r.cfg.Eng.Schedule(r.cfg.L2AccessLat, func() {
+		r.withResident(word, proto.ClassLD, func(e *regLine) {
+			node := r.NodeFor(word)
+			owner := e.owner[word.WordIndex()]
+			if owner == ownerL2 || owner == int16(from.id) {
+				line := word.Line()
+				var mask [proto.WordsPerLine]bool
+				var vals [proto.WordsPerLine]uint64
+				words := 0
+				for i := range e.owner {
+					if e.owner[i] == ownerL2 {
+						mask[i] = true
+						vals[i] = r.cfg.Store.Read(line + proto.Addr(i*proto.WordBytes))
+						words++
+					}
+				}
+				// Guarantee the requested word is in the response even in
+				// the stale-owner corner (the committed image is always
+				// current).
+				if !mask[word.WordIndex()] {
+					mask[word.WordIndex()] = true
+					vals[word.WordIndex()] = r.cfg.Store.Read(word)
+					words++
+				}
+				r.cfg.Net.Send(node, from.node, proto.ClassLD, proto.DataFlits(words), func() {
+					from.recvDataFill(line, mask, vals)
+				})
+				return
+			}
+			prev := r.l1s[owner]
+			r.cfg.Net.Send(node, prev.node, proto.ClassLD, proto.CtrlFlits, func() {
+				prev.recvFwdDataRead(word, from)
+			})
+		})
+	})
+}
+
+// recvReg services a registration request (data write, sync write, sync
+// RMW, or sync read — the paper's single-reader rule makes sync reads
+// register too). The registry is non-blocking: it updates the registrant
+// immediately and forwards the request to the previous one, never queuing
+// a transaction (§4.1).
+func (r *Registry) recvReg(word proto.Addr, kind proto.AccessKind, from *L1) {
+	class := regClass(kind)
+	r.cfg.Eng.Schedule(r.cfg.L2AccessLat, func() {
+		r.withResident(word, class, func(e *regLine) {
+			node := r.NodeFor(word)
+			prev := e.owner[word.WordIndex()]
+			// The whole coherence unit changes hands (a single word at the
+			// paper's granularity).
+			base := r.cfg.unitOf(word)
+			for k := 0; k < r.cfg.unitWords(); k++ {
+				e.owner[(base + proto.Addr(k*proto.WordBytes)).WordIndex()] = int16(from.id)
+			}
+			if prev == ownerL2 || prev == int16(from.id) {
+				// Registry-owned (or a re-registration after an in-flight
+				// writeback): ack directly with the committed value.
+				flits := r.ackFlits(kind)
+				r.cfg.Net.Send(node, from.node, class, flits, func() {
+					from.recvRegAck(word, kind, r.cfg.Store.Read(word))
+				})
+				return
+			}
+			prevL1 := r.l1s[prev]
+			r.cfg.Net.Send(node, prevL1.node, class, proto.CtrlFlits, func() {
+				prevL1.recvFwdReg(word, kind, from)
+			})
+		})
+	})
+}
+
+// recvWB retires an eviction writeback: every word still registered to the
+// writer returns to registry ownership. Writebacks that raced a newer
+// registration are simply stale for those words (the newer registrant's
+// request was serialized first) and ignored. The ack gates the evictor's
+// re-registration of the same words: without it, a forwarded registration
+// aimed at the evictor's stale ownership can mutually park with the
+// evictor's own new registration (a deadlock the bundled model checker
+// finds; see internal/verify).
+func (r *Registry) recvWB(lineAddr proto.Addr, mask [proto.WordsPerLine]bool, from *L1) {
+	r.cfg.Eng.Schedule(r.cfg.L2AccessLat, func() {
+		// The writeback must serialize through the same queue as other
+		// requests: a WB arriving during the line's cold fetch would
+		// otherwise be processed before the registration it follows
+		// (dropping it leaves a dangling ownership pointer — a bug the
+		// end-of-run validator caught).
+		r.withResident(lineAddr, proto.ClassWB, func(e *regLine) {
+			for i, m := range mask {
+				if m && e.owner[i] == int16(from.id) {
+					e.owner[i] = ownerL2
+				}
+			}
+			r.cfg.Net.Send(r.NodeFor(lineAddr), from.node, proto.ClassWB, proto.CtrlFlits, func() {
+				from.recvWBAck(lineAddr, mask)
+			})
+		})
+	})
+}
+
+// OwnerOf exposes the registered core for tests (-1 = registry).
+func (r *Registry) OwnerOf(word proto.Addr) int {
+	e := r.lines[word.Line()]
+	if e == nil {
+		return ownerL2
+	}
+	return int(e.owner[word.WordIndex()])
+}
+
+// regClass maps a registration kind to its traffic class.
+func regClass(kind proto.AccessKind) proto.MsgClass {
+	if kind.IsSync() {
+		return proto.ClassSynch
+	}
+	return proto.ClassST
+}
+
+// ackFlits sizes a registration ack: sync reads and RMWs need the unit's
+// data; blind writes transfer ownership without data.
+func (r *Registry) ackFlits(kind proto.AccessKind) int {
+	switch kind {
+	case proto.SyncLoad, proto.SyncRMW:
+		return proto.DataFlits(r.cfg.unitWords())
+	default:
+		return proto.CtrlFlits
+	}
+}

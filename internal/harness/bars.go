@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"denovosync/internal/machine"
+	"denovosync/internal/proto"
+	"denovosync/internal/stats"
+)
+
+// Stacked-bar rendering: the same visual shape as the paper's figures,
+// in ASCII. Each bar is normalized to the workload's MESI total; one
+// character of bar is barUnit percent.
+
+const (
+	barUnit  = 2.5 // percent of MESI per character
+	barWidth = 68  // clip very tall bars (e.g. pathological DS0 runs)
+)
+
+// timeGlyphs maps execution-time components to bar characters.
+var timeGlyphs = [stats.NumTimeComponents]byte{'.', 'c', 'm', 's', 'h', 'B'}
+
+// trafficGlyphs maps traffic classes to bar characters.
+var trafficGlyphs = [proto.NumMsgClasses]byte{'L', 'S', 'w', 'I', 'y'}
+
+// RenderTimeBars draws the execution-time stacked bars.
+func (f *Figure) RenderTimeBars(w io.Writer) {
+	fmt.Fprintf(w, "%s — execution time, stacked bars (MESI = 100%%; 1 char = %.1f%%)\n", f.heading(), barUnit)
+	fmt.Fprintf(w, "legend: . non-synch   c compute   m memory stall   s sw backoff   h hw backoff   B barrier\n\n")
+	for _, wl := range f.Workloads() {
+		base := f.baseline(wl)
+		for _, r := range f.Rows {
+			if r.Workload != wl {
+				continue
+			}
+			norm := 1.0
+			if base != nil && base.Stats.ExecTime > 0 {
+				norm = float64(base.Stats.ExecTime)
+			}
+			var segs []float64
+			for c := stats.TimeComponent(0); c < stats.NumTimeComponents; c++ {
+				segs = append(segs, r.Stats.Time[c]/norm*100)
+			}
+			total := float64(r.Stats.ExecTime) / norm * 100
+			fmt.Fprintf(w, "%-14s %-12s |%s %5.1f%%\n", labelFor(r, wl, base), r.label(),
+				bar(segs, timeGlyphs[:]), total)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderTrafficBars draws the network-traffic stacked bars.
+func (f *Figure) RenderTrafficBars(w io.Writer) {
+	fmt.Fprintf(w, "%s — network traffic, stacked bars (MESI = 100%%; 1 char = %.1f%%)\n", f.heading(), barUnit)
+	fmt.Fprintf(w, "legend: L data load   S data store   w writeback   I invalidation   y synchronization\n\n")
+	for _, wl := range f.Workloads() {
+		base := f.baseline(wl)
+		for _, r := range f.Rows {
+			if r.Workload != wl {
+				continue
+			}
+			norm := 1.0
+			if base != nil && base.Stats.TotalTraffic > 0 {
+				norm = float64(base.Stats.TotalTraffic)
+			}
+			var segs []float64
+			for cl := proto.MsgClass(0); cl < proto.NumMsgClasses; cl++ {
+				segs = append(segs, float64(r.Stats.Traffic[cl])/norm*100)
+			}
+			total := float64(r.Stats.TotalTraffic) / norm * 100
+			fmt.Fprintf(w, "%-14s %-12s |%s %5.1f%%\n", labelFor(r, wl, base), r.label(),
+				bar(segs, trafficGlyphs[:]), total)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderBars draws both figures.
+func (f *Figure) RenderBars(w io.Writer) {
+	f.RenderTimeBars(w)
+	fmt.Fprintln(w)
+	f.RenderTrafficBars(w)
+}
+
+func labelFor(r Row, wl string, base *Row) string {
+	if r.Protocol == machine.MESI || base == nil {
+		return wl
+	}
+	return ""
+}
+
+// bar builds one stacked bar from per-segment percentages.
+func bar(segs []float64, glyphs []byte) string {
+	var b strings.Builder
+	carry := 0.0
+	for i, pct := range segs {
+		carry += pct / barUnit
+		n := int(carry + 0.5)
+		carry -= float64(n)
+		if b.Len()+n > barWidth {
+			n = barWidth - b.Len()
+		}
+		if n > 0 {
+			b.WriteString(strings.Repeat(string(glyphs[i]), n))
+		}
+	}
+	if b.Len() >= barWidth {
+		return b.String()[:barWidth-1] + ">"
+	}
+	return b.String()
+}

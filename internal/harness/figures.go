@@ -1,0 +1,400 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"denovosync/internal/alloc"
+	"denovosync/internal/apps"
+	"denovosync/internal/kernels"
+	"denovosync/internal/machine"
+	"denovosync/internal/sim"
+)
+
+// Options tunes a full reproduction run.
+type Options struct {
+	// Scale shrinks the workloads (iteration counts) by this divisor to
+	// trade fidelity for wall-clock time. 1 = the paper's sizes.
+	Scale int
+}
+
+func (o Options) scale() int {
+	if o.Scale < 1 {
+		return 1
+	}
+	return o.Scale
+}
+
+// kernelCfg builds the default kernel config at a scale.
+func (o Options) kernelCfg() kernels.Config {
+	c := kernels.Config{EqChecks: -1}
+	if s := o.scale(); s > 1 {
+		c.Iters = 100 / s
+		if c.Iters < 2 {
+			c.Iters = 2
+		}
+	}
+	return c
+}
+
+// Fig3 reproduces Figure 3 (TATAS lock kernels) at the given core count.
+func Fig3(cores int, o Options) (*Figure, error) {
+	return RunKernelGroup(fmt.Sprintf("Figure 3 (%dc)", cores),
+		"Test-and-Test-and-Set (TATAS) locks", kernels.LockTATAS, cores, o.kernelCfg(), DefaultProtocols())
+}
+
+// Fig4 reproduces Figure 4 (array lock kernels).
+func Fig4(cores int, o Options) (*Figure, error) {
+	return RunKernelGroup(fmt.Sprintf("Figure 4 (%dc)", cores),
+		"Array locks", kernels.LockArray, cores, o.kernelCfg(), DefaultProtocols())
+}
+
+// Fig5 reproduces Figure 5 (non-blocking algorithms).
+func Fig5(cores int, o Options) (*Figure, error) {
+	return RunKernelGroup(fmt.Sprintf("Figure 5 (%dc)", cores),
+		"Non-blocking algorithms", kernels.NonBlocking, cores, o.kernelCfg(), DefaultProtocols())
+}
+
+// Fig6 reproduces Figure 6 (barriers).
+func Fig6(cores int, o Options) (*Figure, error) {
+	return RunKernelGroup(fmt.Sprintf("Figure 6 (%dc)", cores),
+		"Barrier synchronization (UB = unbalanced)", kernels.Barriers, cores, o.kernelCfg(), DefaultProtocols())
+}
+
+// Fig7 reproduces Figure 7: the 13 applications on MESI and DeNovoSync
+// (ferret and x264 at 16 cores, the rest at 64; §5.3.2).
+func Fig7(o Options) (*Figure, error) {
+	f := &Figure{ID: "Figure 7", Title: "Applications (ferret/x264 at 16 cores, rest at 64)", Cores: 64}
+	type job struct {
+		a    apps.App
+		prot machine.Protocol
+	}
+	var jobs []job
+	for _, a := range apps.All() {
+		for _, prot := range []machine.Protocol{machine.MESI, machine.DeNovoSync} {
+			jobs = append(jobs, job{a, prot})
+		}
+	}
+	f.Rows = make([]Row, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		i, j := i, j
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			m := machine.New(ParamsFor(j.a.DefaultCores), j.prot, alloc.New())
+			rs, err := apps.Run(j.a, m, o.scale())
+			if err != nil {
+				errs[i] = fmt.Errorf("fig7/%s/%v: %w", j.a.ID, j.prot, err)
+				return
+			}
+			f.Rows[i] = Row{Workload: j.a.Name, Protocol: j.prot, Stats: rs}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// AblationSWBackoff reproduces the §7.1.1 software-backoff sensitivity
+// study: TATAS kernels with exponential software backoff in [128, 2048).
+func AblationSWBackoff(cores int, o Options) (*Figure, error) {
+	cfg := o.kernelCfg()
+	cfg.LockBackoff.Min, cfg.LockBackoff.Max = 128, 2048
+	return RunKernelGroup(fmt.Sprintf("Ablation: sw backoff (%dc)", cores),
+		"TATAS kernels with software exponential backoff [128,2048)", kernels.LockTATAS, cores, cfg, DefaultProtocols())
+}
+
+// AblationPadding reproduces the §7.1.1 lock-padding study: TATAS kernels
+// with unpadded lock words (false sharing between lock and data).
+func AblationPadding(cores int, o Options) (*Figure, error) {
+	cfg := o.kernelCfg()
+	cfg.NoPadding = true
+	return RunKernelGroup(fmt.Sprintf("Ablation: no lock padding (%dc)", cores),
+		"TATAS kernels without lock padding", kernels.LockTATAS, cores, cfg, DefaultProtocols())
+}
+
+// AblationEqChecks reproduces the §7.1.3 software-modification study:
+// non-blocking kernels with the Herlihy kernels' extra equality checks
+// removed.
+func AblationEqChecks(cores int, o Options) (*Figure, error) {
+	cfg := o.kernelCfg()
+	cfg.EqChecks = 0
+	return RunKernelGroup(fmt.Sprintf("Ablation: reduced equality checks (%dc)", cores),
+		"Non-blocking kernels, Herlihy equality checks removed", kernels.NonBlocking, cores, cfg, DefaultProtocols())
+}
+
+// AblationInvalidateAll measures what the static region annotations buy:
+// the §3 fallback for programs with no region information invalidates all
+// cached (non-registered) data at every acquire. Compares region-based
+// DeNovoSync against the invalidate-all fallback on the lock kernels.
+func AblationInvalidateAll(cores int, o Options) (*Figure, error) {
+	f := &Figure{
+		ID:    fmt.Sprintf("Ablation: invalidate-all fallback (%dc)", cores),
+		Title: "Region-based self-invalidation vs the no-information fallback",
+		Cores: cores,
+	}
+	cfg := o.kernelCfg()
+	cfg.Cores = cores
+	for _, id := range []string{"tatas-single-q", "tatas-heap", "array-stack"} {
+		k, ok := kernels.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("missing kernel %s", id)
+		}
+		for _, variant := range []struct {
+			prot  machine.Protocol
+			all   bool
+			label string
+		}{
+			{machine.MESI, false, ""},
+			{machine.DeNovoSync, false, "DS/regions"},
+			{machine.DeNovoSync, true, "DS/inv-all"},
+		} {
+			vcfg := cfg
+			vcfg.InvalidateAll = variant.all
+			m := machine.New(ParamsFor(cores), variant.prot, alloc.New())
+			rs, err := kernels.Run(k, m, vcfg)
+			if err != nil {
+				return nil, err
+			}
+			f.Rows = append(f.Rows, Row{Workload: id, Protocol: variant.prot, Label: variant.label, Stats: rs})
+		}
+	}
+	return f, nil
+}
+
+// AblationSignatures reproduces the remedy the paper points to for the
+// heap kernel's static self-invalidation penalty (§7.1.2): DeNovoND-style
+// dynamic write signatures instead of conservative region invalidation.
+// Compares MESI, DeNovoSync with regions, and DeNovoSync with signatures
+// on the data-access-heavy lock kernels.
+func AblationSignatures(cores int, o Options) (*Figure, error) {
+	f := &Figure{
+		ID:    fmt.Sprintf("Ablation: hw signatures (%dc)", cores),
+		Title: "Static region self-invalidation vs DeNovoND-style write signatures",
+		Cores: cores,
+	}
+	cfg := o.kernelCfg()
+	cfg.Cores = cores
+	for _, id := range []string{"tatas-heap", "array-heap"} {
+		k, ok := kernels.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("missing kernel %s", id)
+		}
+		// MESI baseline and region-based DeNovoSync.
+		for _, prot := range []machine.Protocol{machine.MESI, machine.DeNovoSync} {
+			m := machine.New(ParamsFor(cores), prot, alloc.New())
+			rs, err := kernels.Run(k, m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			label := ""
+			if prot == machine.DeNovoSync {
+				label = "DS/regions"
+			}
+			f.Rows = append(f.Rows, Row{Workload: id, Protocol: prot, Label: label, Stats: rs})
+		}
+		// Signature-based DeNovoSync.
+		p := ParamsFor(cores)
+		p.Signatures = true
+		scfg := cfg
+		scfg.UseSignatures = true
+		m := machine.New(p, machine.DeNovoSync, alloc.New())
+		rs, err := kernels.Run(k, m, scfg)
+		if err != nil {
+			return nil, err
+		}
+		f.Rows = append(f.Rows, Row{Workload: id, Protocol: machine.DeNovoSync, Label: "DS/sigs", Stats: rs})
+	}
+	// fluidanimate — the application §7.2 says would benefit from "more
+	// dynamic solutions" to its conservative static self-invalidations.
+	fa, _ := apps.ByID("fluidanimate")
+	for _, variant := range []struct {
+		prot  machine.Protocol
+		sigs  bool
+		label string
+	}{
+		{machine.MESI, false, ""},
+		{machine.DeNovoSync, false, "DS/regions"},
+		{machine.DeNovoSync, true, "DS/sigs"},
+	} {
+		p := ParamsFor(fa.DefaultCores)
+		p.Signatures = variant.sigs
+		m := machine.New(p, variant.prot, alloc.New())
+		rs, err := apps.RunSig(fa, m, o.scale(), variant.sigs)
+		if err != nil {
+			return nil, err
+		}
+		f.Rows = append(f.Rows, Row{Workload: fa.Name, Protocol: variant.prot, Label: variant.label, Stats: rs})
+	}
+	return f, nil
+}
+
+// AblationBackoffParams sweeps the DeNovoSync hardware-backoff parameters
+// (counter width × default increment) on one high-contention kernel — the
+// design-choice ablation DESIGN.md calls out.
+func AblationBackoffParams(cores int, o Options) (*Figure, error) {
+	f := &Figure{
+		ID:    fmt.Sprintf("Ablation: hw backoff params (%dc)", cores),
+		Title: "DeNovoSync backoff counter width x default increment, M-S queue",
+		Cores: cores,
+	}
+	k, _ := kernels.ByID("nb-m-s-queue")
+	cfg := o.kernelCfg()
+	cfg.Cores = cores
+
+	type variant struct {
+		name string
+		bits uint
+		inc  sim.Cycle
+	}
+	base := ParamsFor(cores)
+	variants := []variant{
+		{"paper", base.BackoffBits, base.DefaultIncrement},
+		{"narrow(6b)", 6, base.DefaultIncrement},
+		{"wide(14b)", 14, base.DefaultIncrement},
+		{"inc=1", base.BackoffBits, 1},
+		{"inc=256", base.BackoffBits, 256},
+	}
+	// MESI and DS0 references.
+	for _, prot := range []machine.Protocol{machine.MESI, machine.DeNovoSync0} {
+		m := machine.New(base, prot, alloc.New())
+		rs, err := kernels.Run(k, m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		f.Rows = append(f.Rows, Row{Workload: k.Name, Protocol: prot, Stats: rs})
+	}
+	for _, v := range variants {
+		p := base
+		p.BackoffBits = v.bits
+		p.DefaultIncrement = v.inc
+		m := machine.New(p, machine.DeNovoSync, alloc.New())
+		rs, err := kernels.Run(k, m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		f.Rows = append(f.Rows, Row{Workload: k.Name, Protocol: machine.DeNovoSync, Label: "DS/" + v.name, Stats: rs})
+	}
+	return f, nil
+}
+
+// AblationAltLocks runs the six lock kernels with the MCS list-based
+// queuing lock (the other queuing-lock flavor of the paper's [4]) —
+// checking that the array-lock conclusions (§6.1.2/§7.1.2: protocol
+// parity, DeNovo traffic savings) carry over to list-based queuing.
+func AblationAltLocks(cores int, o Options) (*Figure, error) {
+	cfg := o.kernelCfg()
+	cfg.ForceMCS = true
+	return RunKernelGroup(fmt.Sprintf("Ablation: MCS locks (%dc)", cores),
+		"Lock kernels with MCS list-based queuing locks", kernels.LockTATAS, cores, cfg, DefaultProtocols())
+}
+
+// AblationLinkContention compares the analytic network model against the
+// wormhole link-contention approximation on a hot-spot kernel (every core
+// hammering one L2 bank) — quantifying what the default model abstracts
+// away.
+func AblationLinkContention(cores int, o Options) (*Figure, error) {
+	f := &Figure{
+		ID:    fmt.Sprintf("Ablation: link contention (%dc)", cores),
+		Title: "Analytic mesh latency vs wormhole link-contention model",
+		Cores: cores,
+	}
+	cfg := o.kernelCfg()
+	cfg.Cores = cores
+	for _, id := range []string{"tatas-counter", "nb-fai-counter"} {
+		k, ok := kernels.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("missing kernel %s", id)
+		}
+		for _, variant := range []struct {
+			prot      machine.Protocol
+			contended bool
+			label     string
+		}{
+			{machine.MESI, false, "M/analytic"},
+			{machine.MESI, true, "M/contended"},
+			{machine.DeNovoSync, false, "DS/analytic"},
+			{machine.DeNovoSync, true, "DS/contended"},
+		} {
+			p := ParamsFor(cores)
+			p.LinkContention = variant.contended
+			m := machine.New(p, variant.prot, alloc.New())
+			rs, err := kernels.Run(k, m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			f.Rows = append(f.Rows, Row{Workload: id, Protocol: variant.prot, Label: variant.label, Stats: rs})
+		}
+	}
+	return f, nil
+}
+
+// AblationGranularity compares the paper's word-granularity DeNovo against
+// a line-granularity variant on the workloads where §2.2's false-sharing
+// claim bites: the unpadded-lock kernels and the LU application model
+// (whose block borders interleave adjacent threads' words within lines).
+func AblationGranularity(cores int, o Options) (*Figure, error) {
+	f := &Figure{
+		ID:    fmt.Sprintf("Ablation: coherence granularity (%dc)", cores),
+		Title: "Word-granularity DeNovo vs line-granularity variant",
+		Cores: cores,
+	}
+	cfg := o.kernelCfg()
+	cfg.Cores = cores
+	cfg.NoPadding = true // unpadded locks share lines with data
+	for _, id := range []string{"tatas-counter", "tatas-single-q"} {
+		k, ok := kernels.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("missing kernel %s", id)
+		}
+		for _, variant := range []struct {
+			prot  machine.Protocol
+			line  bool
+			label string
+		}{
+			{machine.MESI, false, ""},
+			{machine.DeNovoSync, false, "DS/word"},
+			{machine.DeNovoSync, true, "DS/line"},
+		} {
+			p := ParamsFor(cores)
+			p.LineGranularity = variant.line
+			m := machine.New(p, variant.prot, alloc.New())
+			rs, err := kernels.Run(k, m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			f.Rows = append(f.Rows, Row{Workload: id + " (unpadded)", Protocol: variant.prot, Label: variant.label, Stats: rs})
+		}
+	}
+	// LU: the false-sharing application.
+	lu, _ := apps.ByID("lu")
+	for _, variant := range []struct {
+		prot  machine.Protocol
+		line  bool
+		label string
+	}{
+		{machine.MESI, false, ""},
+		{machine.DeNovoSync, false, "DS/word"},
+		{machine.DeNovoSync, true, "DS/line"},
+	} {
+		p := ParamsFor(lu.DefaultCores)
+		p.LineGranularity = variant.line
+		m := machine.New(p, variant.prot, alloc.New())
+		rs, err := apps.Run(lu, m, o.scale())
+		if err != nil {
+			return nil, err
+		}
+		f.Rows = append(f.Rows, Row{Workload: lu.Name, Protocol: variant.prot, Label: variant.label, Stats: rs})
+	}
+	return f, nil
+}

@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"denovosync/internal/kernels"
+	"denovosync/internal/machine"
+)
+
+var quick = Options{Scale: 25} // 4 iterations per kernel
+
+func TestParamsFor(t *testing.T) {
+	if ParamsFor(16).Cores != 16 || ParamsFor(64).Cores != 64 {
+		t.Fatal("ParamsFor broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ParamsFor(32) did not panic")
+		}
+	}()
+	ParamsFor(32)
+}
+
+func TestRunKernelGroupShape(t *testing.T) {
+	f, err := RunKernelGroup("t", "test", kernels.Barriers, 16, quick.kernelCfg(), DefaultProtocols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 6*3 {
+		t.Fatalf("rows = %d, want 18", len(f.Rows))
+	}
+	if wls := f.Workloads(); len(wls) != 6 {
+		t.Fatalf("workloads = %v", wls)
+	}
+	for _, wl := range f.Workloads() {
+		if f.baseline(wl) == nil {
+			t.Fatalf("no MESI baseline for %q", wl)
+		}
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	f, err := Fig6(16, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	f.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"central (UB)", "n-ary", "100.0", "barrier"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+	var csv strings.Builder
+	f.CSV(&csv)
+	head := strings.SplitN(csv.String(), "\n", 2)[0]
+	for _, col := range []string{"figure", "exec_cycles", "traffic_SYNCH", "time_hw_backoff"} {
+		if !strings.Contains(head, col) {
+			t.Fatalf("CSV header missing %q: %s", col, head)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	f, err := Fig4(16, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, tr := f.GeoMeanVsMESI(machine.DeNovoSync)
+	if e < 0.3 || e > 3 {
+		t.Fatalf("implausible exec geomean %f", e)
+	}
+	if tr <= 0 || tr > 1.2 {
+		t.Fatalf("implausible traffic geomean %f", tr)
+	}
+	// MESI vs itself is exactly 1.
+	if e, tr := f.GeoMeanVsMESI(machine.MESI); e != 1 || tr != 1 {
+		t.Fatalf("MESI self-ratio = %f, %f", e, tr)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation suite skipped in -short mode")
+	}
+	for name, fn := range map[string]func(int, Options) (*Figure, error){
+		"swbackoff": AblationSWBackoff,
+		"padding":   AblationPadding,
+		"eqchecks":  AblationEqChecks,
+		"hwparams":  AblationBackoffParams,
+	} {
+		f, err := fn(16, quick)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(f.Rows) == 0 {
+			t.Fatalf("%s: empty figure", name)
+		}
+	}
+}
+
+func TestFig7SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig7 skipped in -short mode")
+	}
+	f, err := Fig7(Options{Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 13*2 {
+		t.Fatalf("rows = %d, want 26", len(f.Rows))
+	}
+	if len(f.Workloads()) != 13 {
+		t.Fatalf("workloads = %d", len(f.Workloads()))
+	}
+}
+
+func TestRenderBars(t *testing.T) {
+	f, err := Fig4(16, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	f.RenderBars(&sb)
+	out := sb.String()
+	for _, want := range []string{"stacked bars", "legend:", "100.0%", "|"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("bars missing %q", want)
+		}
+	}
+	// Every MESI bar totals 100.0%.
+	if strings.Count(out, "100.0%") < 6 {
+		t.Fatalf("expected a 100%% MESI bar per workload:\n%s", out)
+	}
+}
+
+func TestAblationInvalidateAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	f, err := AblationInvalidateAll(16, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(f.Rows))
+	}
+	// The invalidate-all fallback must never beat region annotations on
+	// traffic for the data-heavy heap kernel (it refetches more).
+	var region, all uint64
+	for _, r := range f.Rows {
+		if r.Workload == "tatas-heap" {
+			switch r.Label {
+			case "DS/regions":
+				region = r.Stats.TotalTraffic
+			case "DS/inv-all":
+				all = r.Stats.TotalTraffic
+			}
+		}
+	}
+	if region == 0 || all == 0 {
+		t.Fatal("missing variant rows")
+	}
+	if all < region {
+		t.Fatalf("invalidate-all produced less traffic (%d) than regions (%d)", all, region)
+	}
+}
+
+func TestClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claims need a real figure; skipped in -short mode")
+	}
+	f, err := Fig4(16, Options{Scale: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	pass, dev := CheckClaims(f, &sb)
+	if pass+dev != len(Fig4Claims(16)) {
+		t.Fatalf("claim count mismatch: %d+%d", pass, dev)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "fig4-16c.parity") {
+		t.Fatalf("claims output missing IDs:\n%s", out)
+	}
+	// Ablation figures have no claims.
+	if cs := ClaimsFor(&Figure{ID: "Ablation: x"}); cs != nil {
+		t.Fatal("ablation figure matched claims")
+	}
+}

@@ -1,0 +1,462 @@
+package kernels
+
+import (
+	"fmt"
+
+	"denovosync/internal/alloc"
+	"denovosync/internal/barrier"
+	"denovosync/internal/cpu"
+	"denovosync/internal/lockfree"
+	"denovosync/internal/locks"
+	"denovosync/internal/machine"
+	"denovosync/internal/mem"
+	"denovosync/internal/proto"
+	"denovosync/internal/sim"
+	"denovosync/internal/stats"
+)
+
+// Group classifies kernels the way Figures 3–6 do.
+type Group int
+
+const (
+	LockTATAS   Group = iota // Figure 3
+	LockArray                // Figure 4
+	NonBlocking              // Figure 5
+	Barriers                 // Figure 6
+)
+
+func (g Group) String() string {
+	switch g {
+	case LockTATAS:
+		return "tatas"
+	case LockArray:
+		return "array"
+	case NonBlocking:
+		return "nonblocking"
+	case Barriers:
+		return "barrier"
+	}
+	return fmt.Sprintf("Group(%d)", int(g))
+}
+
+// Config tunes a kernel run; the zero value plus Cores reproduces the
+// paper's setup, and the remaining fields drive the §7.1 ablations.
+type Config struct {
+	Cores int
+	Iters int // 0 = kernel default (100; 1000 for FAI counter)
+
+	// NonSynch dummy-computation range; zero = paper defaults
+	// ([1400,1800) at 16 cores, [6200,6600) at 64).
+	NonSynchMin, NonSynchMax sim.Cycle
+
+	// LockBackoff adds software exponential backoff to TATAS acquires
+	// (§7.1.1 sensitivity study). Zero = no software backoff.
+	LockBackoff locks.BackoffRange
+
+	// NoPadding places lock words unpadded (the §7.1.1 padding ablation).
+	NoPadding bool
+
+	// EqChecks overrides the Herlihy kernels' extra equality checks; -1
+	// keeps the as-adapted default (2). 0 is the §7.1.3 reduced version.
+	EqChecks int
+
+	// NBBackoff overrides the non-blocking kernels' software backoff
+	// window; nil = the paper's [128, 2048).
+	NBBackoff *lockfree.Backoff
+
+	// UseSignatures switches lock-based kernels from region-based static
+	// self-invalidation to DeNovoND-style dynamic write signatures (the
+	// machine must be built with Params.Signatures = true).
+	UseSignatures bool
+
+	// InvalidateAll makes every lock acquire self-invalidate ALL regions —
+	// the §3 "no further information" fallback ("invalidating all (shared,
+	// writable) data that is not registered"). Measures what the static
+	// region annotations buy.
+	InvalidateAll bool
+
+	// ForceMCS replaces every kernel lock with the MCS list-based queuing
+	// lock (the other [4] flavor), regardless of the kernel's group — the
+	// alternative-locks extension study.
+	ForceMCS bool
+}
+
+func (c Config) iters(def int) int {
+	if c.Iters > 0 {
+		return c.Iters
+	}
+	return def
+}
+
+func (c Config) nonSynch() (sim.Cycle, sim.Cycle) {
+	if c.NonSynchMax > c.NonSynchMin {
+		return c.NonSynchMin, c.NonSynchMax
+	}
+	if c.Cores >= 64 {
+		return 6200, 6600
+	}
+	return 1400, 1800
+}
+
+func (c Config) unbalanced() (sim.Cycle, sim.Cycle) {
+	if c.Cores >= 64 {
+		return 1600, 11200
+	}
+	return 400, 2800
+}
+
+func (c Config) eqChecks() int {
+	if c.EqChecks >= 0 {
+		return c.EqChecks
+	}
+	return 2
+}
+
+func (c Config) nbBackoff() lockfree.Backoff {
+	if c.NBBackoff != nil {
+		return *c.NBBackoff
+	}
+	return lockfree.DefaultBackoff()
+}
+
+// iterFunc is one kernel iteration executed by thread t.
+type iterFunc func(t *cpu.Thread, i int)
+
+// checkFunc validates functional correctness after the run.
+type checkFunc func(st *mem.Store) error
+
+// Kernel is one of the paper's 24 synchronization kernels.
+type Kernel struct {
+	ID           string // unique slug, e.g. "tatas-single-q"
+	Name         string // figure label, e.g. "single Q"
+	Group        Group
+	DefaultIters int
+
+	// selfDriven kernels (barriers) embed their own dummy computation.
+	selfDriven bool
+
+	build func(c Config, s *alloc.Space, st *mem.Store) (iterFunc, checkFunc)
+}
+
+// newLock builds the group's lock flavor over the given protected regions.
+func newLock(g Group, c Config, s *alloc.Space, protect proto.RegionSet, name string) locks.Lock {
+	if c.InvalidateAll {
+		protect = proto.AllRegions
+	}
+	region := s.Region("lock." + name)
+	if c.ForceMCS {
+		l := locks.NewMCS(s, region, protect, maxInt(c.Cores, 2))
+		l.Signatures = c.UseSignatures
+		return l
+	}
+	if g == LockArray {
+		l := locks.NewArray(s, region, protect, maxInt(c.Cores, 2))
+		l.Signatures = c.UseSignatures
+		return l
+	}
+	l := locks.NewTATAS(s, region, protect, !c.NoPadding)
+	l.SetBackoff(c.LockBackoff)
+	l.Signatures = c.UseSignatures
+	return l
+}
+
+// presetLocks initializes array locks in the memory image.
+func presetLocks(st *mem.Store, ls ...locks.Lock) {
+	for _, l := range ls {
+		if a, ok := l.(*locks.Array); ok {
+			st.Write(a.SlotAddr(0), 1)
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// lockKernels builds the six lock-based kernels for a lock flavor
+// (Figure 3 with TATAS, Figure 4 with array locks).
+func lockKernels(g Group) []Kernel {
+	mk := func(name string, build func(c Config, s *alloc.Space, st *mem.Store) (iterFunc, checkFunc)) Kernel {
+		return Kernel{
+			ID:           fmt.Sprintf("%s-%s", g, slug(name)),
+			Name:         name,
+			Group:        g,
+			DefaultIters: 100,
+			build:        build,
+		}
+	}
+	return []Kernel{
+		mk("single Q", func(c Config, s *alloc.Space, st *mem.Store) (iterFunc, checkFunc) {
+			region := s.Region("singleq.data")
+			lock := newLock(g, c, s, proto.NewRegionSet(region), "singleq")
+			presetLocks(st, lock)
+			q := newLockQueue(s, st, lock, region, 4*c.Cores, c.Cores)
+			return func(t *cpu.Thread, i int) {
+				q.enqueue(t, uint64(t.ID*100000+i))
+				q.dequeue(t)
+			}, nil
+		}),
+		mk("double Q", func(c Config, s *alloc.Space, st *mem.Store) (iterFunc, checkFunc) {
+			region := s.Region("doubleq.data")
+			hl := newLock(g, c, s, proto.NewRegionSet(region), "doubleq.head")
+			tl := newLock(g, c, s, proto.NewRegionSet(region), "doubleq.tail")
+			presetLocks(st, hl, tl)
+			q := newTwoLockQueue(s, st, hl, tl, region)
+			return func(t *cpu.Thread, i int) {
+				q.enqueue(t, uint64(t.ID*100000+i))
+				q.dequeue(t)
+			}, nil
+		}),
+		mk("stack", func(c Config, s *alloc.Space, st *mem.Store) (iterFunc, checkFunc) {
+			region := s.Region("lstack.data")
+			lock := newLock(g, c, s, proto.NewRegionSet(region), "lstack")
+			presetLocks(st, lock)
+			k := newLockStack(s, st, lock, region, 4*c.Cores, c.Cores)
+			return func(t *cpu.Thread, i int) {
+				k.push(t, uint64(t.ID*100000+i))
+				k.pop(t)
+			}, nil
+		}),
+		mk("heap", func(c Config, s *alloc.Space, st *mem.Store) (iterFunc, checkFunc) {
+			region := s.Region("lheap.data")
+			lock := newLock(g, c, s, proto.NewRegionSet(region), "lheap")
+			presetLocks(st, lock)
+			h := newLockHeap(s, st, lock, region, 64, 12)
+			return func(t *cpu.Thread, i int) {
+				h.insert(t, uint64((t.ID*31+i*17)%1000))
+				h.extractMin(t)
+			}, nil
+		}),
+		mk("counter", func(c Config, s *alloc.Space, st *mem.Store) (iterFunc, checkFunc) {
+			region := s.Region("lcounter.data")
+			lock := newLock(g, c, s, proto.NewRegionSet(region), "lcounter")
+			presetLocks(st, lock)
+			ctr := newLockCounter(s, lock, region)
+			iters := c.iters(100)
+			return func(t *cpu.Thread, i int) {
+					ctr.increment(t)
+				}, func(st *mem.Store) error {
+					want := uint64(c.Cores * iters)
+					if got := st.Read(ctr.addr); got != want {
+						return fmt.Errorf("counter = %d, want %d", got, want)
+					}
+					return nil
+				}
+		}),
+		mk("large CS", func(c Config, s *alloc.Space, st *mem.Store) (iterFunc, checkFunc) {
+			region := s.Region("largecs.data")
+			lock := newLock(g, c, s, proto.NewRegionSet(region), "largecs")
+			presetLocks(st, lock)
+			l := newLargeCS(s, lock, region, 32, 6)
+			return func(t *cpu.Thread, i int) { l.run(t, i) }, nil
+		}),
+	}
+}
+
+// nonBlockingKernels builds the six Figure 5 kernels.
+func nonBlockingKernels() []Kernel {
+	mk := func(name string, iters int, build func(c Config, s *alloc.Space, st *mem.Store) (iterFunc, checkFunc)) Kernel {
+		return Kernel{
+			ID:           "nb-" + slug(name),
+			Name:         name,
+			Group:        NonBlocking,
+			DefaultIters: iters,
+			build:        build,
+		}
+	}
+	return []Kernel{
+		mk("M-S queue", 100, func(c Config, s *alloc.Space, st *mem.Store) (iterFunc, checkFunc) {
+			q := lockfree.NewMSQueue(s, st)
+			q.Backoff = c.nbBackoff()
+			return func(t *cpu.Thread, i int) {
+				q.Enqueue(t, uint64(t.ID*100000+i))
+				q.Dequeue(t)
+			}, nil
+		}),
+		mk("PLJ queue", 100, func(c Config, s *alloc.Space, st *mem.Store) (iterFunc, checkFunc) {
+			q := lockfree.NewPLJQueue(s, st)
+			q.Backoff = c.nbBackoff()
+			return func(t *cpu.Thread, i int) {
+				q.Enqueue(t, uint64(t.ID*100000+i))
+				q.Dequeue(t)
+			}, nil
+		}),
+		mk("Treiber stack", 100, func(c Config, s *alloc.Space, st *mem.Store) (iterFunc, checkFunc) {
+			k := lockfree.NewTreiberStack(s, st)
+			k.Backoff = c.nbBackoff()
+			return func(t *cpu.Thread, i int) {
+				k.Push(t, uint64(t.ID*100000+i))
+				k.Pop(t)
+			}, nil
+		}),
+		mk("Herlihy stack", 100, func(c Config, s *alloc.Space, st *mem.Store) (iterFunc, checkFunc) {
+			k := lockfree.NewHerlihyStack(s, st, 4*c.Cores)
+			k.ExtraChecks = c.eqChecks()
+			k.Backoff = c.nbBackoff()
+			return func(t *cpu.Thread, i int) {
+				k.Push(t, uint64(t.ID*100000+i))
+				k.Pop(t)
+			}, nil
+		}),
+		mk("Herlihy heap", 100, func(c Config, s *alloc.Space, st *mem.Store) (iterFunc, checkFunc) {
+			k := lockfree.NewHerlihyHeap(s, st, 48)
+			k.ExtraChecks = c.eqChecks()
+			k.Backoff = c.nbBackoff()
+			return func(t *cpu.Thread, i int) {
+				k.Insert(t, uint64((t.ID*29+i*13)%997))
+				k.DeleteMin(t)
+			}, nil
+		}),
+		mk("FAI counter", 1000, func(c Config, s *alloc.Space, st *mem.Store) (iterFunc, checkFunc) {
+			k := lockfree.NewFAICounter(s, st)
+			iters := c.iters(1000)
+			return func(t *cpu.Thread, i int) {
+					k.Increment(t)
+				}, func(st *mem.Store) error {
+					want := uint64(c.Cores * iters)
+					if got := st.Read(k.Addr()); got != want {
+						return fmt.Errorf("FAI counter = %d, want %d", got, want)
+					}
+					return nil
+				}
+		}),
+	}
+}
+
+// barrierKernels builds the six Figure 6 kernels: binary tree, n-ary tree
+// (fan-in 4 / fan-out 2), and centralized sense-reversing, each in a
+// balanced and an unbalanced (UB) variant. Each iteration executes two
+// barrier instances around dummy computation (§5.3.1).
+func barrierKernels() []Kernel {
+	mk := func(name string, unbal bool, newBar func(s *alloc.Space, n int) barrier.Barrier) Kernel {
+		return Kernel{
+			ID:           "bar-" + slug(name),
+			Name:         name,
+			Group:        Barriers,
+			DefaultIters: 100,
+			selfDriven:   true,
+			build: func(c Config, s *alloc.Space, st *mem.Store) (iterFunc, checkFunc) {
+				b := newBar(s, c.Cores)
+				lo, hi := c.nonSynch()
+				if unbal {
+					lo, hi = c.unbalanced()
+				}
+				return func(t *cpu.Thread, i int) {
+					t.SetPhase(cpu.PhaseNonSynch)
+					t.Compute(t.RNG.Cycles(lo, hi))
+					t.SetPhase(cpu.PhaseKernel)
+					b.Wait(t)
+					t.SetPhase(cpu.PhaseNonSynch)
+					t.Compute(t.RNG.Cycles(lo, hi))
+					t.SetPhase(cpu.PhaseKernel)
+					b.Wait(t)
+				}, nil
+			},
+		}
+	}
+	tree := func(s *alloc.Space, n int) barrier.Barrier {
+		return barrier.NewTree(s, s.Region("bar"), 0, n, 2, 2)
+	}
+	nary := func(s *alloc.Space, n int) barrier.Barrier {
+		return barrier.NewTree(s, s.Region("bar"), 0, n, 4, 2)
+	}
+	central := func(s *alloc.Space, n int) barrier.Barrier {
+		return barrier.NewCentral(s, s.Region("bar"), 0, n)
+	}
+	return []Kernel{
+		mk("tree", false, tree),
+		mk("n-ary", false, nary),
+		mk("central", false, central),
+		mk("tree (UB)", true, tree),
+		mk("n-ary (UB)", true, nary),
+		mk("central (UB)", true, central),
+	}
+}
+
+// All returns the paper's 24 kernels in figure order.
+func All() []Kernel {
+	var ks []Kernel
+	ks = append(ks, lockKernels(LockTATAS)...)
+	ks = append(ks, lockKernels(LockArray)...)
+	ks = append(ks, nonBlockingKernels()...)
+	ks = append(ks, barrierKernels()...)
+	return ks
+}
+
+// ByGroup returns the kernels of one figure.
+func ByGroup(g Group) []Kernel {
+	var out []Kernel
+	for _, k := range All() {
+		if k.Group == g {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// ByID finds a kernel by its slug.
+func ByID(id string) (Kernel, bool) {
+	for _, k := range All() {
+		if k.ID == id {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
+// slug converts a figure label into an identifier.
+func slug(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			out = append(out, r)
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r-'A'+'a')
+		case r == ' ' || r == '-':
+			out = append(out, '-')
+		}
+	}
+	return string(out)
+}
+
+// Run executes kernel k on machine m per the paper's protocol: per
+// iteration a non-synch dummy computation then the kernel body, and a
+// closing binary-tree barrier (whose stall time shows up as the barrier
+// component for non-barrier kernels).
+func Run(k Kernel, m *machine.Machine, c Config) (*stats.RunStats, error) {
+	if c.Cores == 0 {
+		c.Cores = m.Params.Cores
+	}
+	if c.Cores != m.Params.Cores {
+		return nil, fmt.Errorf("kernels: config cores %d != machine cores %d", c.Cores, m.Params.Cores)
+	}
+	iter, check := k.build(c, m.Space, m.Store)
+	endBar := barrier.NewTree(m.Space, m.Space.Region("kernels.endbar"), 0, c.Cores, 2, 2)
+	iters := c.iters(k.DefaultIters)
+	lo, hi := c.nonSynch()
+	rs, err := m.Run(k.Name, func(t *cpu.Thread) {
+		for i := 0; i < iters; i++ {
+			if !k.selfDriven {
+				t.SetPhase(cpu.PhaseNonSynch)
+				t.Compute(t.RNG.Cycles(lo, hi))
+				t.SetPhase(cpu.PhaseKernel)
+			}
+			iter(t, i)
+		}
+		t.SetPhase(cpu.PhaseBarrier)
+		endBar.Wait(t)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if check != nil {
+		if err := check(m.Store); err != nil {
+			return nil, fmt.Errorf("kernels: %s functional check: %w", k.ID, err)
+		}
+	}
+	return rs, nil
+}

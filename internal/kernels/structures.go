@@ -1,0 +1,307 @@
+// Package kernels implements the 24 synchronization kernels of §5.3.1 and
+// the driver that runs them the way the paper does: 100 iterations (1000
+// for the FAI counter) with random-length dummy computation between
+// iterations, and a closing tree barrier whose stall time is reported
+// separately.
+package kernels
+
+import (
+	"denovosync/internal/alloc"
+	"denovosync/internal/cpu"
+	"denovosync/internal/locks"
+	"denovosync/internal/mem"
+	"denovosync/internal/proto"
+)
+
+// The lock-based concurrent data structures adapted from Michael & Scott
+// [29]: a single-lock ring queue, the two-lock linked queue, a stack, a
+// binary heap (whose rebalancing traversal is the data-access pattern
+// §7.1.2 discusses), a counter, and the synthetic "large CS" kernel.
+
+// lockQueue is a circular buffer protected by one lock.
+type lockQueue struct {
+	lock       locks.Lock
+	head, tail proto.Addr // indices
+	buf        proto.Addr
+	capacity   int
+}
+
+func newLockQueue(s *alloc.Space, st *mem.Store, lock locks.Lock, region proto.RegionID, capacity, prefill int) *lockQueue {
+	q := &lockQueue{
+		lock:     lock,
+		head:     s.AllocAligned(1, region),
+		tail:     s.AllocAligned(1, region),
+		buf:      s.AllocAligned(capacity, region),
+		capacity: capacity,
+	}
+	for i := 0; i < prefill; i++ {
+		st.Write(q.buf+proto.Addr(i*proto.WordBytes), uint64(i+1))
+	}
+	st.Write(q.tail, uint64(prefill))
+	return q
+}
+
+func (q *lockQueue) enqueue(t *cpu.Thread, v uint64) bool {
+	tk := q.lock.Acquire(t)
+	defer q.lock.Release(t, tk)
+	h, tl := t.Load(q.head), t.Load(q.tail)
+	if tl-h >= uint64(q.capacity) {
+		return false
+	}
+	t.Store(q.buf+proto.Addr(int(tl)%q.capacity*proto.WordBytes), v)
+	t.Store(q.tail, tl+1)
+	return true
+}
+
+func (q *lockQueue) dequeue(t *cpu.Thread) (uint64, bool) {
+	tk := q.lock.Acquire(t)
+	defer q.lock.Release(t, tk)
+	h, tl := t.Load(q.head), t.Load(q.tail)
+	if h == tl {
+		return 0, false
+	}
+	v := t.Load(q.buf + proto.Addr(int(h)%q.capacity*proto.WordBytes))
+	t.Store(q.head, h+1)
+	return v, true
+}
+
+// twoLockQueue is the Michael-Scott two-lock linked queue: enqueuers
+// serialize on the tail lock, dequeuers on the head lock. The node next
+// links are synchronization accesses (the empty↔non-empty handoff races
+// between the two locks).
+type twoLockQueue struct {
+	headLock, tailLock locks.Lock
+	head, tail         proto.Addr
+	space              *alloc.Space
+	region             proto.RegionID
+}
+
+const (
+	tlqValue = 0
+	tlqNext  = proto.WordBytes
+)
+
+func newTwoLockQueue(s *alloc.Space, st *mem.Store, headLock, tailLock locks.Lock, region proto.RegionID) *twoLockQueue {
+	q := &twoLockQueue{
+		headLock: headLock, tailLock: tailLock,
+		head:  s.AllocAligned(1, region),
+		tail:  s.AllocAligned(1, region),
+		space: s, region: region,
+	}
+	dummy := s.AllocAligned(2, region)
+	st.Write(q.head, uint64(dummy))
+	st.Write(q.tail, uint64(dummy))
+	return q
+}
+
+func (q *twoLockQueue) enqueue(t *cpu.Thread, v uint64) bool {
+	node := q.space.AllocAligned(2, q.region)
+	t.Store(node+tlqValue, v)
+	t.SyncStore(node+tlqNext, 0)
+	tk := q.tailLock.Acquire(t)
+	last := t.Load(q.tail)
+	t.SyncStore(proto.Addr(last)+tlqNext, uint64(node))
+	t.Store(q.tail, uint64(node))
+	q.tailLock.Release(t, tk)
+	return true
+}
+
+func (q *twoLockQueue) dequeue(t *cpu.Thread) (uint64, bool) {
+	tk := q.headLock.Acquire(t)
+	defer q.headLock.Release(t, tk)
+	dummy := t.Load(q.head)
+	next := t.SyncLoad(proto.Addr(dummy) + tlqNext)
+	if next == 0 {
+		return 0, false
+	}
+	v := t.Load(proto.Addr(next) + tlqValue)
+	t.Store(q.head, next)
+	return v, true
+}
+
+// lockStack is an array stack protected by one lock.
+type lockStack struct {
+	lock     locks.Lock
+	top      proto.Addr // element count
+	buf      proto.Addr
+	capacity int
+}
+
+func newLockStack(s *alloc.Space, st *mem.Store, lock locks.Lock, region proto.RegionID, capacity, prefill int) *lockStack {
+	k := &lockStack{
+		lock:     lock,
+		top:      s.AllocAligned(1, region),
+		buf:      s.AllocAligned(capacity, region),
+		capacity: capacity,
+	}
+	for i := 0; i < prefill; i++ {
+		st.Write(k.buf+proto.Addr(i*proto.WordBytes), uint64(i+1))
+	}
+	st.Write(k.top, uint64(prefill))
+	return k
+}
+
+func (k *lockStack) push(t *cpu.Thread, v uint64) bool {
+	tk := k.lock.Acquire(t)
+	defer k.lock.Release(t, tk)
+	top := t.Load(k.top)
+	if int(top) >= k.capacity {
+		return false
+	}
+	t.Store(k.buf+proto.Addr(int(top)*proto.WordBytes), v)
+	t.Store(k.top, top+1)
+	return true
+}
+
+func (k *lockStack) pop(t *cpu.Thread) (uint64, bool) {
+	tk := k.lock.Acquire(t)
+	defer k.lock.Release(t, tk)
+	top := t.Load(k.top)
+	if top == 0 {
+		return 0, false
+	}
+	v := t.Load(k.buf + proto.Addr(int(top-1)*proto.WordBytes))
+	t.Store(k.top, top-1)
+	return v, true
+}
+
+// lockHeap is a lock-protected binary min-heap. Its insert/extract sift
+// operations traverse data-dependent paths through the array — the
+// unpredictable access pattern that makes DeNovo's conservative static
+// self-invalidation expensive (§7.1.2).
+type lockHeap struct {
+	lock     locks.Lock
+	count    proto.Addr
+	buf      proto.Addr
+	capacity int
+}
+
+func newLockHeap(s *alloc.Space, st *mem.Store, lock locks.Lock, region proto.RegionID, capacity, prefill int) *lockHeap {
+	h := &lockHeap{
+		lock:     lock,
+		count:    s.AllocAligned(1, region),
+		buf:      s.AllocAligned(capacity, region),
+		capacity: capacity,
+	}
+	// Prefill with an ascending sequence: already a valid min-heap.
+	for i := 0; i < prefill; i++ {
+		st.Write(h.buf+proto.Addr(i*proto.WordBytes), uint64(i*3+1))
+	}
+	st.Write(h.count, uint64(prefill))
+	return h
+}
+
+func (h *lockHeap) at(i int) proto.Addr { return h.buf + proto.Addr(i*proto.WordBytes) }
+
+func (h *lockHeap) insert(t *cpu.Thread, v uint64) bool {
+	tk := h.lock.Acquire(t)
+	defer h.lock.Release(t, tk)
+	n := int(t.Load(h.count))
+	if n >= h.capacity {
+		return false
+	}
+	t.Store(h.at(n), v)
+	i := n
+	for i > 0 {
+		p := (i - 1) / 2
+		pv, cv := t.Load(h.at(p)), t.Load(h.at(i))
+		if pv <= cv {
+			break
+		}
+		t.Store(h.at(p), cv)
+		t.Store(h.at(i), pv)
+		i = p
+	}
+	t.Store(h.count, uint64(n+1))
+	return true
+}
+
+func (h *lockHeap) extractMin(t *cpu.Thread) (uint64, bool) {
+	tk := h.lock.Acquire(t)
+	defer h.lock.Release(t, tk)
+	n := int(t.Load(h.count))
+	if n == 0 {
+		return 0, false
+	}
+	min := t.Load(h.at(0))
+	last := t.Load(h.at(n - 1))
+	t.Store(h.at(0), last)
+	n--
+	t.Store(h.count, uint64(n))
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		sv := t.Load(h.at(i))
+		if l < n {
+			if lv := t.Load(h.at(l)); lv < sv {
+				smallest, sv = l, lv
+			}
+		}
+		if r < n {
+			if rv := t.Load(h.at(r)); rv < sv {
+				smallest, sv = r, rv
+			}
+		}
+		if smallest == i {
+			break
+		}
+		iv := t.Load(h.at(i))
+		t.Store(h.at(i), sv)
+		t.Store(h.at(smallest), iv)
+		i = smallest
+	}
+	return min, true
+}
+
+// lockCounter is a data counter protected by a lock.
+type lockCounter struct {
+	lock locks.Lock
+	addr proto.Addr
+}
+
+func newLockCounter(s *alloc.Space, lock locks.Lock, region proto.RegionID) *lockCounter {
+	return &lockCounter{lock: lock, addr: s.AllocAligned(1, region)}
+}
+
+func (c *lockCounter) increment(t *cpu.Thread) {
+	tk := c.lock.Acquire(t)
+	v := t.Load(c.addr)
+	t.Store(c.addr, v+1)
+	c.lock.Release(t, tk)
+}
+
+// largeCS is the synthetic fixed-length large-critical-section kernel:
+// each entry reads and writes `accesses` words of a shared array and burns
+// some compute inside the lock.
+type largeCS struct {
+	lock     locks.Lock
+	buf      proto.Addr
+	words    int
+	accesses int
+}
+
+func newLargeCS(s *alloc.Space, lock locks.Lock, region proto.RegionID, words, accesses int) *largeCS {
+	return &largeCS{
+		lock:     lock,
+		buf:      s.AllocAligned(words, region),
+		words:    words,
+		accesses: accesses,
+	}
+}
+
+func (l *largeCS) run(t *cpu.Thread, iter int) {
+	tk := l.lock.Acquire(t)
+	// A long critical section is long in *duration*: mostly computation
+	// over a handful of shared words (the paper's point is the many-waiter
+	// scenario, §6.1.1, not a data-heavy section).
+	for k := 0; k < l.accesses; k++ {
+		idx := (iter*7 + k*3) % l.words
+		a := l.buf + proto.Addr(idx*proto.WordBytes)
+		v := t.Load(a)
+		t.Compute(100)
+		t.Store(a, v+1)
+	}
+	t.Fence()
+	l.lock.Release(t, tk)
+}

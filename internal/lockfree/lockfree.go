@@ -1,0 +1,274 @@
+// Package lockfree implements the non-blocking data structures evaluated
+// in §5.3.1/§7.1.3, adapted from Michael & Scott [29]: the Michael-Scott
+// queue [28], the Prakash-Lee-Johnson counted-pointer queue, the Treiber
+// stack, Herlihy's small-object-copy stack and heap [14], and a
+// fetch-and-increment counter.
+//
+// Every kernel applies software exponential backoff in [128, 2048) cycles
+// after a failed attempt, exactly as the paper configures them.
+//
+// Simulated pointers are word addresses stored as values; 0 is nil. The
+// allocator never reuses addresses, which plays the role of the type-safe
+// memory management these algorithms assume; the PLJ queue additionally
+// demonstrates counted (serial-numbered) pointers packed into one word.
+package lockfree
+
+import (
+	"denovosync/internal/alloc"
+	"denovosync/internal/cpu"
+	"denovosync/internal/mem"
+	"denovosync/internal/proto"
+	"denovosync/internal/sim"
+)
+
+// Backoff is the software exponential backoff window of §5.3.1.
+type Backoff struct {
+	Min, Max sim.Cycle
+}
+
+// DefaultBackoff is the paper's [128, 2048) window.
+func DefaultBackoff() Backoff { return Backoff{Min: 128, Max: 2048} }
+
+// Wait stalls the thread for the attempt'th backoff delay (0-based).
+func (b Backoff) Wait(t *cpu.Thread, attempt int) {
+	if b.Max <= b.Min {
+		return
+	}
+	hi := b.Min << uint(attempt+1)
+	if hi > b.Max || hi < b.Min {
+		hi = b.Max
+	}
+	if hi <= b.Min {
+		t.SWBackoff(b.Min)
+		return
+	}
+	t.SWBackoff(t.RNG.Cycles(b.Min, hi))
+}
+
+// node field offsets (words).
+const (
+	offValue = 0
+	offNext  = proto.WordBytes
+	nodeSize = 2
+)
+
+// allocNode carves a fresh line-padded node and initializes it with plain
+// stores (unpublished memory: the publishing CAS orders them).
+func allocNode(t *cpu.Thread, s *alloc.Space, region proto.RegionID, value uint64) proto.Addr {
+	n := s.AllocAligned(nodeSize, region)
+	t.Store(n+offValue, value)
+	t.Store(n+offNext, 0)
+	return n
+}
+
+// MSQueue is the Michael-Scott non-blocking queue (Figure 1 of the paper).
+type MSQueue struct {
+	head, tail proto.Addr
+	space      *alloc.Space
+	region     proto.RegionID
+	Backoff    Backoff
+}
+
+// NewMSQueue allocates the queue and its dummy node, pre-initialized in
+// the memory image (st).
+func NewMSQueue(s *alloc.Space, st *mem.Store) *MSQueue {
+	q := &MSQueue{space: s, region: s.Region("msqueue"), Backoff: DefaultBackoff()}
+	sync := s.Region("msqueue.sync")
+	q.head = s.AllocPadded(sync)
+	q.tail = s.AllocPadded(sync)
+	dummy := s.AllocAligned(nodeSize, q.region)
+	st.Write(q.head, uint64(dummy))
+	st.Write(q.tail, uint64(dummy))
+	return q
+}
+
+// Enqueue appends v (Figure 1a).
+func (q *MSQueue) Enqueue(t *cpu.Thread, v uint64) {
+	pw := allocNode(t, q.space, q.region, v)
+	var pt uint64
+	for att := 0; ; att++ {
+		pt = t.SyncLoad(q.tail)                    // (1)
+		pn := t.SyncLoad(proto.Addr(pt) + offNext) // (2)
+		if pt == t.SyncLoad(q.tail) {              // (3) equality check
+			if pn == 0 { // (4)
+				if t.CAS(proto.Addr(pt)+offNext, 0, uint64(pw)) { // (5)
+					break
+				}
+			} else {
+				t.CAS(q.tail, pt, pn) // (6) help swing tail
+			}
+		}
+		q.Backoff.Wait(t, att)
+	}
+	t.CAS(q.tail, pt, uint64(pw)) // (7)
+}
+
+// Dequeue removes the oldest element; ok is false on empty (Figure 1b).
+func (q *MSQueue) Dequeue(t *cpu.Thread) (v uint64, ok bool) {
+	for att := 0; ; att++ {
+		ph := t.SyncLoad(q.head)
+		pt := t.SyncLoad(q.tail)
+		pn := t.SyncLoad(proto.Addr(ph) + offNext)
+		if ph == t.SyncLoad(q.head) { // equality check
+			if ph == pt {
+				if pn == 0 {
+					return 0, false
+				}
+				t.CAS(q.tail, pt, pn)
+			} else {
+				rtn := t.Load(proto.Addr(pn) + offValue)
+				if t.CAS(q.head, ph, pn) {
+					return rtn, true
+				}
+			}
+		}
+		q.Backoff.Wait(t, att)
+	}
+}
+
+// PLJQueue is the Prakash-Lee-Johnson non-blocking queue with counted
+// pointers: each pointer word packs (address, serial) so a stale snapshot
+// can never be confused with a recycled one.
+type PLJQueue struct {
+	head, tail proto.Addr
+	space      *alloc.Space
+	region     proto.RegionID
+	Backoff    Backoff
+}
+
+const serialShift = 32
+
+func pack(addr proto.Addr, serial uint64) uint64 {
+	return uint64(addr) | serial<<serialShift
+}
+func unpackAddr(v uint64) proto.Addr { return proto.Addr(v & (1<<serialShift - 1)) }
+func unpackSerial(v uint64) uint64   { return v >> serialShift }
+
+// NewPLJQueue allocates the queue and its dummy node.
+func NewPLJQueue(s *alloc.Space, st *mem.Store) *PLJQueue {
+	q := &PLJQueue{space: s, region: s.Region("pljqueue"), Backoff: DefaultBackoff()}
+	sync := s.Region("pljqueue.sync")
+	q.head = s.AllocPadded(sync)
+	q.tail = s.AllocPadded(sync)
+	dummy := s.AllocAligned(nodeSize, q.region)
+	st.Write(q.head, pack(dummy, 0))
+	st.Write(q.tail, pack(dummy, 0))
+	return q
+}
+
+// Enqueue appends v. PLJ determines the true last node from a validated
+// snapshot, re-reading the shared pointers more aggressively than the
+// Michael-Scott queue before committing.
+func (q *PLJQueue) Enqueue(t *cpu.Thread, v uint64) {
+	w := allocNode(t, q.space, q.region, v)
+	for att := 0; ; att++ {
+		tp := t.SyncLoad(q.tail)
+		if t.SyncLoad(q.tail) != tp { // snapshot validation
+			q.Backoff.Wait(t, att)
+			continue
+		}
+		np := t.SyncLoad(unpackAddr(tp) + offNext)
+		if tp == t.SyncLoad(q.tail) { // snapshot still consistent
+			if unpackAddr(np) == 0 {
+				if t.CAS(unpackAddr(tp)+offNext, np, pack(w, unpackSerial(np)+1)) {
+					t.CAS(q.tail, tp, pack(w, unpackSerial(tp)+1))
+					return
+				}
+			} else {
+				t.CAS(q.tail, tp, pack(unpackAddr(np), unpackSerial(tp)+1))
+			}
+		}
+		q.Backoff.Wait(t, att)
+	}
+}
+
+// Dequeue removes the oldest element; ok is false on empty.
+func (q *PLJQueue) Dequeue(t *cpu.Thread) (v uint64, ok bool) {
+	for att := 0; ; att++ {
+		hp := t.SyncLoad(q.head)
+		tp := t.SyncLoad(q.tail)
+		if t.SyncLoad(q.head) != hp { // snapshot validation
+			q.Backoff.Wait(t, att)
+			continue
+		}
+		np := t.SyncLoad(unpackAddr(hp) + offNext)
+		if hp == t.SyncLoad(q.head) {
+			if unpackAddr(hp) == unpackAddr(tp) {
+				if unpackAddr(np) == 0 {
+					return 0, false
+				}
+				t.CAS(q.tail, tp, pack(unpackAddr(np), unpackSerial(tp)+1))
+			} else {
+				rtn := t.Load(unpackAddr(np) + offValue)
+				if t.CAS(q.head, hp, pack(unpackAddr(np), unpackSerial(hp)+1)) {
+					return rtn, true
+				}
+			}
+		}
+		q.Backoff.Wait(t, att)
+	}
+}
+
+// TreiberStack is Treiber's classic non-blocking stack.
+type TreiberStack struct {
+	top     proto.Addr
+	space   *alloc.Space
+	region  proto.RegionID
+	Backoff Backoff
+}
+
+// NewTreiberStack allocates an empty stack.
+func NewTreiberStack(s *alloc.Space, _ *mem.Store) *TreiberStack {
+	return &TreiberStack{
+		top:     s.AllocPadded(s.Region("treiber.sync")),
+		space:   s,
+		region:  s.Region("treiber"),
+		Backoff: DefaultBackoff(),
+	}
+}
+
+// Push adds v.
+func (st *TreiberStack) Push(t *cpu.Thread, v uint64) {
+	w := allocNode(t, st.space, st.region, v)
+	for att := 0; ; att++ {
+		old := t.SyncLoad(st.top)
+		t.Store(w+offNext, old)
+		if t.CAS(st.top, old, uint64(w)) {
+			return
+		}
+		st.Backoff.Wait(t, att)
+	}
+}
+
+// Pop removes the newest element; ok is false on empty.
+func (st *TreiberStack) Pop(t *cpu.Thread) (v uint64, ok bool) {
+	for att := 0; ; att++ {
+		old := t.SyncLoad(st.top)
+		if old == 0 {
+			return 0, false
+		}
+		next := t.Load(proto.Addr(old) + offNext)
+		if t.CAS(st.top, old, next) {
+			return t.Load(proto.Addr(old) + offValue), true
+		}
+		st.Backoff.Wait(t, att)
+	}
+}
+
+// FAICounter is the fetch-and-increment counter kernel.
+type FAICounter struct {
+	addr proto.Addr
+}
+
+// NewFAICounter allocates the counter word.
+func NewFAICounter(s *alloc.Space, _ *mem.Store) *FAICounter {
+	return &FAICounter{addr: s.AllocPadded(s.Region("fai.sync"))}
+}
+
+// Increment atomically increments and returns the previous value.
+func (c *FAICounter) Increment(t *cpu.Thread) uint64 {
+	return t.FetchAdd(c.addr, 1)
+}
+
+// Addr exposes the counter word (tests and invariant checks).
+func (c *FAICounter) Addr() proto.Addr { return c.addr }

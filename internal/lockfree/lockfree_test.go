@@ -1,0 +1,235 @@
+package lockfree_test
+
+import (
+	"sort"
+	"testing"
+
+	"denovosync/internal/alloc"
+	"denovosync/internal/cpu"
+	"denovosync/internal/lockfree"
+	"denovosync/internal/machine"
+	"denovosync/internal/sim"
+)
+
+var protocols = []machine.Protocol{machine.MESI, machine.DeNovoSync0, machine.DeNovoSync}
+
+// queueLike abstracts the two queues for shared checks.
+type queueLike interface {
+	Enqueue(t *cpu.Thread, v uint64)
+	Dequeue(t *cpu.Thread) (uint64, bool)
+}
+
+// checkQueue: every thread enqueues distinct values and dequeues; across
+// the run every enqueued value is dequeued exactly once (no loss, no
+// duplication), on every protocol.
+func checkQueue(t *testing.T, name string, mk func(*alloc.Space, *machine.Machine) queueLike) {
+	const perThread = 6
+	for _, prot := range protocols {
+		space := alloc.New()
+		m := machine.New(machine.Params16(), prot, space)
+		q := mk(space, m)
+		var got [][]uint64 = make([][]uint64, 16)
+		_, err := m.Run(name, func(th *cpu.Thread) {
+			for i := 0; i < perThread; i++ {
+				q.Enqueue(th, uint64(th.ID*1000+i))
+				th.Compute(simCycles(th, 50, 300))
+				if v, ok := q.Dequeue(th); ok {
+					got[th.ID] = append(got[th.ID], v)
+				}
+				th.Compute(simCycles(th, 50, 300))
+			}
+			// Drain whatever remains, one attempt per thread per round.
+			for {
+				v, ok := q.Dequeue(th)
+				if !ok {
+					break
+				}
+				got[th.ID] = append(got[th.ID], v)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v/%s: %v", prot, name, err)
+		}
+		var all []uint64
+		for _, g := range got {
+			all = append(all, g...)
+		}
+		if len(all) != 16*perThread {
+			t.Fatalf("%v/%s: dequeued %d values, want %d", prot, name, len(all), 16*perThread)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		for i := 1; i < len(all); i++ {
+			if all[i] == all[i-1] {
+				t.Fatalf("%v/%s: duplicate value %d", prot, name, all[i])
+			}
+		}
+	}
+}
+
+func simCycles(th *cpu.Thread, lo, hi int) sim.Cycle { return sim.Cycle(th.RNG.Range(lo, hi)) }
+
+func TestMSQueue(t *testing.T) {
+	checkQueue(t, "msqueue", func(s *alloc.Space, m *machine.Machine) queueLike {
+		return lockfree.NewMSQueue(s, m.Store)
+	})
+}
+
+func TestPLJQueue(t *testing.T) {
+	checkQueue(t, "pljqueue", func(s *alloc.Space, m *machine.Machine) queueLike {
+		return lockfree.NewPLJQueue(s, m.Store)
+	})
+}
+
+// TestMSQueueFIFOSingleThread: single-threaded order is FIFO.
+func TestMSQueueFIFOSingleThread(t *testing.T) {
+	space := alloc.New()
+	m := machine.New(machine.Params16(), machine.DeNovoSync, space)
+	q := lockfree.NewMSQueue(space, m.Store)
+	var got []uint64
+	_, err := m.Run("fifo", func(th *cpu.Thread) {
+		if th.ID != 0 {
+			return
+		}
+		for i := uint64(1); i <= 5; i++ {
+			q.Enqueue(th, i)
+		}
+		for {
+			v, ok := q.Dequeue(th)
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != uint64(i+1) {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("dequeued %d, want 5", len(got))
+	}
+}
+
+// stackLike abstracts the stacks.
+type stackLike interface {
+	Push(t *cpu.Thread, v uint64)
+	Pop(t *cpu.Thread) (uint64, bool)
+}
+
+func checkStack(t *testing.T, name string, mk func(*alloc.Space, *machine.Machine) stackLike) {
+	const perThread = 5
+	for _, prot := range protocols {
+		space := alloc.New()
+		m := machine.New(machine.Params16(), prot, space)
+		st := mk(space, m)
+		popped := make([][]uint64, 16)
+		_, err := m.Run(name, func(th *cpu.Thread) {
+			for i := 0; i < perThread; i++ {
+				st.Push(th, uint64(th.ID*1000+i))
+				th.Compute(simCycles(th, 50, 400))
+				if v, ok := st.Pop(th); ok {
+					popped[th.ID] = append(popped[th.ID], v)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v/%s: %v", prot, name, err)
+		}
+		seen := map[uint64]bool{}
+		n := 0
+		for _, g := range popped {
+			for _, v := range g {
+				if seen[v] {
+					t.Fatalf("%v/%s: duplicate pop %d", prot, name, v)
+				}
+				seen[v] = true
+				n++
+			}
+		}
+		if n != 16*perThread {
+			t.Fatalf("%v/%s: popped %d, want %d", prot, name, n, 16*perThread)
+		}
+	}
+}
+
+func TestTreiberStack(t *testing.T) {
+	checkStack(t, "treiber", func(s *alloc.Space, m *machine.Machine) stackLike {
+		return lockfree.NewTreiberStack(s, m.Store)
+	})
+}
+
+func TestHerlihyStack(t *testing.T) {
+	checkStack(t, "herlihy", func(s *alloc.Space, m *machine.Machine) stackLike {
+		return lockfree.NewHerlihyStack(s, m.Store, 96) // 16 threads x 5 + slack
+	})
+}
+
+func TestHerlihyStackReducedChecks(t *testing.T) {
+	checkStack(t, "herlihy0", func(s *alloc.Space, m *machine.Machine) stackLike {
+		h := lockfree.NewHerlihyStack(s, m.Store, 96)
+		h.ExtraChecks = 0
+		return h
+	})
+}
+
+// TestHerlihyHeapOrdering: concurrent inserts then single-threaded
+// delete-min drains in sorted order.
+func TestHerlihyHeapOrdering(t *testing.T) {
+	for _, prot := range protocols {
+		space := alloc.New()
+		m := machine.New(machine.Params16(), prot, space)
+		h := lockfree.NewHerlihyHeap(space, m.Store, 64)
+		var drained []uint64
+		count := space.AllocPadded(space.Region("done"))
+		_, err := m.Run("heap", func(th *cpu.Thread) {
+			h.Insert(th, uint64(100-th.ID*3))
+			h.Insert(th, uint64(th.ID*7+1))
+			th.FetchAdd(count, 1)
+			if th.ID == 0 {
+				th.SpinSyncLoadUntil(count, func(v uint64) bool { return v == 16 })
+				for {
+					v, ok := h.DeleteMin(th)
+					if !ok {
+						break
+					}
+					drained = append(drained, v)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", prot, err)
+		}
+		if len(drained) != 32 {
+			t.Fatalf("%v: drained %d, want 32", prot, len(drained))
+		}
+		for i := 1; i < len(drained); i++ {
+			if drained[i] < drained[i-1] {
+				t.Fatalf("%v: heap order violated: %v", prot, drained)
+			}
+		}
+	}
+}
+
+// TestFAICounter: the counter is exact under contention.
+func TestFAICounter(t *testing.T) {
+	for _, prot := range protocols {
+		space := alloc.New()
+		m := machine.New(machine.Params16(), prot, space)
+		c := lockfree.NewFAICounter(space, m.Store)
+		_, err := m.Run("fai", func(th *cpu.Thread) {
+			for i := 0; i < 25; i++ {
+				c.Increment(th)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", prot, err)
+		}
+		if got := m.Store.Read(c.Addr()); got != 400 {
+			t.Fatalf("%v: counter = %d, want 400", prot, got)
+		}
+	}
+}

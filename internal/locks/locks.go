@@ -1,0 +1,167 @@
+// Package locks implements the lock algorithms evaluated in the paper:
+// Test-and-Test-and-Set (TATAS) locks and Anderson-style array queuing
+// locks [4], both over the simulator's synchronization accesses.
+//
+// Locks carry the region set their critical sections protect: DeNovo's
+// data consistency requires a self-invalidation of those regions at every
+// acquire (§3); MESI ignores it. Lock words are padded to their own cache
+// line by default (the paper notes most software pads lock variables).
+package locks
+
+import (
+	"denovosync/internal/alloc"
+	"denovosync/internal/cpu"
+	"denovosync/internal/proto"
+	"denovosync/internal/sim"
+)
+
+// Lock is the common lock interface used by the kernels.
+type Lock interface {
+	// Acquire blocks until the calling thread holds the lock and returns a
+	// ticket that must be passed to Release.
+	Acquire(t *cpu.Thread) int
+	// Release releases the lock acquired with ticket.
+	Release(t *cpu.Thread, ticket int)
+}
+
+// BackoffRange configures optional software exponential backoff between
+// failed acquire attempts, as in the §7.1.1 sensitivity study: delays are
+// drawn uniformly from [Min, Max) and the window doubles per failure up to
+// Max. A zero value disables software backoff.
+type BackoffRange struct {
+	Min, Max sim.Cycle
+}
+
+func (b BackoffRange) enabled() bool { return b.Max > b.Min }
+
+// delay returns the next backoff delay for attempt number att (0-based).
+func (b BackoffRange) delay(t *cpu.Thread, att int) sim.Cycle {
+	hi := b.Min << uint(att+1)
+	if hi > b.Max || hi < b.Min {
+		hi = b.Max
+	}
+	if hi <= b.Min {
+		return b.Min
+	}
+	return t.RNG.Cycles(b.Min, hi)
+}
+
+// TATAS is a Test-and-Test-and-Set spin lock on a single word.
+type TATAS struct {
+	addr    proto.Addr
+	protect proto.RegionSet
+	backoff BackoffRange
+
+	// Signatures switches the acquire-side invalidation from static
+	// regions to the lock's dynamic write signature (DeNovoND-style); the
+	// machine must have been built with signatures enabled.
+	Signatures bool
+}
+
+// NewTATAS allocates a TATAS lock. protect names the regions its critical
+// sections guard (self-invalidated at acquire on DeNovo). padded places
+// the lock word on its own line.
+func NewTATAS(s *alloc.Space, region proto.RegionID, protect proto.RegionSet, padded bool) *TATAS {
+	var a proto.Addr
+	if padded {
+		a = s.AllocPadded(region)
+	} else {
+		a = s.Alloc(1, region)
+	}
+	return &TATAS{addr: a, protect: protect}
+}
+
+// SetBackoff enables software exponential backoff on failed acquires.
+func (l *TATAS) SetBackoff(b BackoffRange) { l.backoff = b }
+
+// Addr exposes the lock word (tests).
+func (l *TATAS) Addr() proto.Addr { return l.addr }
+
+// Acquire spins with test-and-test-and-set: a read filter (the
+// pre-linearization check of §6.1.1) followed by the Test-and-Set
+// linearization point.
+func (l *TATAS) Acquire(t *cpu.Thread) int {
+	for att := 0; ; att++ {
+		// Test: spin until the lock looks free.
+		t.SpinSyncLoadUntil(l.addr, func(v uint64) bool { return v == 0 })
+		// Test-and-Set: the linearization point.
+		if t.TestAndSet(l.addr) == 0 {
+			if l.Signatures {
+				t.AcquireSignature(l.addr)
+			} else {
+				t.SelfInvalidate(l.protect)
+			}
+			return 0
+		}
+		if l.backoff.enabled() {
+			t.SWBackoff(l.backoff.delay(t, att))
+		}
+	}
+}
+
+// Release writes the lock word free; this sync store is the release
+// linearization point (and resets DeNovoSync's increment counter).
+func (l *TATAS) Release(t *cpu.Thread, _ int) {
+	if l.Signatures {
+		t.ReleaseSignature(l.addr)
+	}
+	t.SyncStore(l.addr, 0)
+}
+
+// Array is an Anderson array queuing lock [4]: contending cores spin on
+// distinct, line-padded array slots, so each slot has a single reader and
+// a single writer (§6.1.2).
+type Array struct {
+	slots   []proto.Addr
+	tail    proto.Addr
+	n       int
+	protect proto.RegionSet
+
+	// Signatures switches acquire-side invalidation to the lock's dynamic
+	// write signature (attached to the tail word as the lock identity).
+	Signatures bool
+}
+
+// NewArray allocates an n-slot array lock (n ≥ the maximum number of
+// simultaneous contenders, typically the core count).
+func NewArray(s *alloc.Space, region proto.RegionID, protect proto.RegionSet, n int) *Array {
+	l := &Array{n: n, protect: protect, tail: s.AllocPadded(region)}
+	for i := 0; i < n; i++ {
+		l.slots = append(l.slots, s.AllocPadded(region))
+	}
+	return l
+}
+
+// Init marks slot 0 available; call once before use (from any thread).
+func (l *Array) Init(t *cpu.Thread) {
+	t.SyncStore(l.slots[0], 1)
+}
+
+// Acquire takes a slot with a fetch-and-increment, then spins on the
+// private slot. The successful acquire read is immediately followed by a
+// write resetting the slot for reuse — the extra write miss MESI pays and
+// DeNovo gets for free (§6.1.2).
+func (l *Array) Acquire(t *cpu.Thread) int {
+	pos := int(t.FetchAdd(l.tail, 1)) % l.n
+	t.SpinSyncLoadUntil(l.slots[pos], func(v uint64) bool { return v == 1 })
+	t.SyncStore(l.slots[pos], 0) // reset own slot for the next round
+	if l.Signatures {
+		t.AcquireSignature(l.tail)
+	} else {
+		t.SelfInvalidate(l.protect)
+	}
+	return pos
+}
+
+// Release hands the lock to the next slot.
+func (l *Array) Release(t *cpu.Thread, ticket int) {
+	if l.Signatures {
+		t.ReleaseSignature(l.tail)
+	}
+	next := (ticket + 1) % l.n
+	t.SyncStore(l.slots[next], 1)
+}
+
+// SlotAddr exposes slot i's flag word so tests and harnesses can
+// pre-initialize slot 0 in the memory image before a run.
+func (l *Array) SlotAddr(i int) proto.Addr { return l.slots[i] }

@@ -1,0 +1,172 @@
+package locks_test
+
+import (
+	"testing"
+
+	"denovosync/internal/alloc"
+	"denovosync/internal/cpu"
+	"denovosync/internal/locks"
+	"denovosync/internal/machine"
+	"denovosync/internal/proto"
+	"denovosync/internal/sim"
+)
+
+var protocols = []machine.Protocol{machine.MESI, machine.DeNovoSync0, machine.DeNovoSync}
+
+// mutualExclusion runs nIters lock-protected increments of an unpadded,
+// non-atomic pair of counter words per thread and checks both mutual
+// exclusion (an in-CS overlap detector) and the final count.
+func mutualExclusion(t *testing.T, mkLock func(*alloc.Space, *machine.Machine) locks.Lock) {
+	const iters = 12
+	for _, prot := range protocols {
+		space := alloc.New()
+		dataRegion := space.Region("csdata")
+		a := space.AllocAligned(1, dataRegion)
+		b := space.AllocAligned(1, dataRegion)
+		m := machine.New(machine.Params16(), prot, space)
+		lk := mkLock(space, m)
+		inCS := 0
+		maxInCS := 0
+		_, err := m.Run("mutex", func(th *cpu.Thread) {
+			for i := 0; i < iters; i++ {
+				tk := lk.Acquire(th)
+				inCS++
+				if inCS > maxInCS {
+					maxInCS = inCS
+				}
+				// Classic read-modify-write of two words that must agree.
+				va := th.Load(a)
+				th.Compute(20)
+				th.Store(a, va+1)
+				vb := th.Load(b)
+				th.Store(b, vb+1)
+				th.Fence()
+				inCS--
+				lk.Release(th, tk)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", prot, err)
+		}
+		if maxInCS != 1 {
+			t.Errorf("%v: mutual exclusion violated: %d threads in CS", prot, maxInCS)
+		}
+		want := uint64(16 * iters)
+		if got := m.Store.Read(a); got != want {
+			t.Errorf("%v: counter a = %d, want %d", prot, got, want)
+		}
+		if got := m.Store.Read(b); got != want {
+			t.Errorf("%v: counter b = %d, want %d", prot, got, want)
+		}
+	}
+}
+
+func TestTATASMutualExclusion(t *testing.T) {
+	mutualExclusion(t, func(s *alloc.Space, m *machine.Machine) locks.Lock {
+		protect := proto.NewRegionSet(s.Region("csdata"))
+		return locks.NewTATAS(s, s.Region("lock"), protect, true)
+	})
+}
+
+func TestTATASWithSWBackoff(t *testing.T) {
+	mutualExclusion(t, func(s *alloc.Space, m *machine.Machine) locks.Lock {
+		protect := proto.NewRegionSet(s.Region("csdata"))
+		l := locks.NewTATAS(s, s.Region("lock"), protect, true)
+		l.SetBackoff(locks.BackoffRange{Min: 128, Max: 2048})
+		return l
+	})
+}
+
+func TestTATASUnpadded(t *testing.T) {
+	mutualExclusion(t, func(s *alloc.Space, m *machine.Machine) locks.Lock {
+		protect := proto.NewRegionSet(s.Region("csdata"))
+		return locks.NewTATAS(s, s.Region("lock"), protect, false)
+	})
+}
+
+func TestArrayMutualExclusion(t *testing.T) {
+	mutualExclusion(t, func(s *alloc.Space, m *machine.Machine) locks.Lock {
+		protect := proto.NewRegionSet(s.Region("csdata"))
+		l := locks.NewArray(s, s.Region("lock"), protect, 16)
+		m.Store.Write(l.SlotAddr(0), 1) // slot 0 starts available
+		return l
+	})
+}
+
+// TestArrayLockFIFO: the array lock grants in ticket order.
+func TestArrayLockFIFO(t *testing.T) {
+	space := alloc.New()
+	l := locks.NewArray(space, space.Region("lock"), 0, 16)
+	m := machine.New(machine.Params16(), machine.DeNovoSync, space)
+	m.Store.Write(l.SlotAddr(0), 1)
+	var order []int
+	_, err := m.Run("fifo", func(th *cpu.Thread) {
+		// Stagger arrivals so ticket order is thread order.
+		th.Compute(sim.Cycle(th.ID) * 2000)
+		tk := l.Acquire(th)
+		order = append(order, th.ID)
+		th.Compute(50)
+		l.Release(th, tk)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("grants out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestMCSMutualExclusion(t *testing.T) {
+	mutualExclusion(t, func(s *alloc.Space, m *machine.Machine) locks.Lock {
+		protect := proto.NewRegionSet(s.Region("csdata"))
+		return locks.NewMCS(s, s.Region("lock"), protect, 16)
+	})
+}
+
+// TestMCSFIFO: MCS grants strictly in queue (arrival) order.
+func TestMCSFIFO(t *testing.T) {
+	space := alloc.New()
+	l := locks.NewMCS(space, space.Region("lock"), 0, 16)
+	m := machine.New(machine.Params16(), machine.DeNovoSync, space)
+	var order []int
+	_, err := m.Run("mcs-fifo", func(th *cpu.Thread) {
+		th.Compute(sim.Cycle(th.ID) * 2500)
+		tk := l.Acquire(th)
+		order = append(order, th.ID)
+		th.Compute(50)
+		l.Release(th, tk)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("MCS grants out of order: %v", order)
+		}
+	}
+	if len(order) != 16 {
+		t.Fatalf("grants = %d", len(order))
+	}
+}
+
+// TestMCSUncontended: the fast path (empty queue) takes a single
+// exchange and release CAS.
+func TestMCSUncontended(t *testing.T) {
+	space := alloc.New()
+	l := locks.NewMCS(space, space.Region("lock"), 0, 16)
+	m := machine.New(machine.Params16(), machine.MESI, space)
+	_, err := m.Run("mcs-solo", func(th *cpu.Thread) {
+		if th.ID != 0 {
+			return
+		}
+		for i := 0; i < 20; i++ {
+			tk := l.Acquire(th)
+			l.Release(th, tk)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package locks
+
+import (
+	"denovosync/internal/alloc"
+	"denovosync/internal/cpu"
+	"denovosync/internal/proto"
+)
+
+// MCS is the Mellor-Crummey–Scott list-based queuing lock — the "list
+// based queuing lock" flavor of [4] in the paper. Each contender spins on
+// its own queue node (single reader, single writer per flag, like the
+// array lock's slots), and the queue forms dynamically through an
+// exchange on the tail pointer.
+//
+// Queue nodes are preallocated per thread (threads hold at most one
+// pending acquire per lock), each on its own cache line.
+type MCS struct {
+	tail    proto.Addr
+	nodes   []mcsNode // indexed by thread ID
+	protect proto.RegionSet
+
+	// Signatures switches the acquire-side invalidation to the lock's
+	// dynamic write signature (keyed by the tail word).
+	Signatures bool
+}
+
+type mcsNode struct {
+	locked proto.Addr
+	next   proto.Addr
+}
+
+// NewMCS allocates an MCS lock for up to n threads.
+func NewMCS(s *alloc.Space, region proto.RegionID, protect proto.RegionSet, n int) *MCS {
+	l := &MCS{tail: s.AllocPadded(region), protect: protect}
+	for i := 0; i < n; i++ {
+		l.nodes = append(l.nodes, mcsNode{
+			locked: s.AllocPadded(region),
+			next:   s.AllocPadded(region),
+		})
+	}
+	return l
+}
+
+// Acquire enqueues the caller's node and spins on its private locked
+// flag until the predecessor hands the lock over.
+func (l *MCS) Acquire(t *cpu.Thread) int {
+	me := &l.nodes[t.ID]
+	t.SyncStore(me.next, 0)
+	t.SyncStore(me.locked, 1)
+	pred := t.Exchange(l.tail, uint64(me.locked))
+	if pred != 0 {
+		// Link behind the predecessor (pred is its locked-flag address;
+		// the next pointer lives one node-lookup away — resolved via the
+		// node table since nodes are per-thread static).
+		t.SyncStore(l.nextOf(proto.Addr(pred)), uint64(me.locked))
+		t.SpinSyncLoadUntil(me.locked, func(v uint64) bool { return v == 0 })
+	}
+	if l.Signatures {
+		t.AcquireSignature(l.tail)
+	} else {
+		t.SelfInvalidate(l.protect)
+	}
+	return t.ID
+}
+
+// Release hands the lock to the successor, or clears the tail if none.
+func (l *MCS) Release(t *cpu.Thread, ticket int) {
+	me := &l.nodes[ticket]
+	if l.Signatures {
+		t.ReleaseSignature(l.tail)
+	}
+	if t.SyncLoad(me.next) == 0 {
+		// No visible successor: try to swing the tail back to empty.
+		if t.CAS(l.tail, uint64(me.locked), 0) {
+			return
+		}
+		// A successor is mid-enqueue: wait for the link.
+		t.SpinSyncLoadUntil(me.next, func(v uint64) bool { return v != 0 })
+	}
+	succ := proto.Addr(t.SyncLoad(me.next))
+	t.SyncStore(succ, 0) // succ is the successor's locked flag
+}
+
+// nextOf maps a node's locked-flag address to its next-pointer address.
+func (l *MCS) nextOf(locked proto.Addr) proto.Addr {
+	for i := range l.nodes {
+		if l.nodes[i].locked == locked {
+			return l.nodes[i].next
+		}
+	}
+	panic("locks: unknown MCS node")
+}
+
+var _ Lock = (*MCS)(nil)

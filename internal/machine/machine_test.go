@@ -1,0 +1,271 @@
+package machine
+
+import (
+	"testing"
+
+	"denovosync/internal/alloc"
+	"denovosync/internal/cpu"
+	"denovosync/internal/proto"
+	"denovosync/internal/sim"
+)
+
+var allProtocols = []Protocol{MESI, DeNovoSync0, DeNovoSync}
+
+func small16() Params {
+	p := Params16()
+	return p
+}
+
+// TestComputeOnly: a pure-compute workload finishes at exactly the compute
+// length on every protocol.
+func TestComputeOnly(t *testing.T) {
+	for _, prot := range allProtocols {
+		m := New(small16(), prot, alloc.New())
+		rs, err := m.Run("compute", func(th *cpu.Thread) {
+			th.Compute(1000)
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", prot, err)
+		}
+		if rs.ExecTime != 1000 {
+			t.Errorf("%v: exec = %d, want 1000", prot, rs.ExecTime)
+		}
+		if rs.TotalTraffic != 0 {
+			t.Errorf("%v: compute-only run produced traffic %d", prot, rs.TotalTraffic)
+		}
+	}
+}
+
+// TestPrivateData: each thread reads and writes its own line; values must
+// round-trip, misses must be cold-only.
+func TestPrivateData(t *testing.T) {
+	for _, prot := range allProtocols {
+		space := alloc.New()
+		region := space.Region("priv")
+		bases := make([]proto.Addr, 16)
+		for i := range bases {
+			bases[i] = space.AllocAligned(proto.WordsPerLine, region)
+		}
+		m := New(small16(), prot, space)
+		rs, err := m.Run("private", func(th *cpu.Thread) {
+			a := bases[th.ID]
+			for w := 0; w < proto.WordsPerLine; w++ {
+				th.Store(a+proto.Addr(w*proto.WordBytes), uint64(th.ID*100+w))
+			}
+			th.Fence()
+			for w := 0; w < proto.WordsPerLine; w++ {
+				if v := th.Load(a + proto.Addr(w*proto.WordBytes)); v != uint64(th.ID*100+w) {
+					panic("value mismatch")
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", prot, err)
+		}
+		if rs.L1Misses == 0 {
+			t.Errorf("%v: expected cold misses", prot)
+		}
+	}
+}
+
+// TestSharedCounter: all threads FetchAdd a shared counter; final value
+// must equal the number of increments on every protocol.
+func TestSharedCounter(t *testing.T) {
+	const perThread = 20
+	for _, prot := range allProtocols {
+		space := alloc.New()
+		ctr := space.AllocPadded(space.Region("sync"))
+		m := New(small16(), prot, space)
+		_, err := m.Run("counter", func(th *cpu.Thread) {
+			for i := 0; i < perThread; i++ {
+				th.FetchAdd(ctr, 1)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", prot, err)
+		}
+		if got := m.Store.Read(ctr); got != 16*perThread {
+			t.Errorf("%v: counter = %d, want %d", prot, got, 16*perThread)
+		}
+	}
+}
+
+// TestMessagePassing: the classic DRF handoff — producer writes data then
+// sets a sync flag; consumer spins on the flag, self-invalidates the data
+// region, and must read the new data. Exercises write propagation and the
+// acquire-side self-invalidation on DeNovo.
+func TestMessagePassing(t *testing.T) {
+	for _, prot := range allProtocols {
+		space := alloc.New()
+		dataRegion := space.Region("data")
+		data := space.AllocAligned(4, dataRegion)
+		flag := space.AllocPadded(space.Region("sync"))
+		m := New(small16(), prot, space)
+		var got uint64
+		_, err := m.Run("mp", func(th *cpu.Thread) {
+			switch th.ID {
+			case 0:
+				// Consumer first reads data (caching a stale copy), then
+				// waits for the flag.
+				_ = th.Load(data)
+				th.SpinSyncLoadUntil(flag, func(v uint64) bool { return v == 1 })
+				th.SelfInvalidate(proto.NewRegionSet(dataRegion))
+				got = th.Load(data)
+			case 1:
+				th.Compute(200)
+				th.Store(data, 42)
+				th.SyncStore(flag, 1)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", prot, err)
+		}
+		if got != 42 {
+			t.Errorf("%v: consumer read %d, want 42", prot, got)
+		}
+	}
+}
+
+// TestStaleValidReadWithoutSelfInvalidation documents DeNovo semantics: a
+// cached Valid word is NOT invalidated by a remote write, so without the
+// self-invalidation the consumer may legally read the stale value. (On
+// MESI the invalidation makes the new value visible.)
+func TestStaleValidReadWithoutSelfInvalidation(t *testing.T) {
+	space := alloc.New()
+	data := space.AllocAligned(1, space.Region("data"))
+	flag := space.AllocPadded(space.Region("sync"))
+	m := New(small16(), DeNovoSync0, space)
+	var got uint64
+	_, err := m.Run("stale", func(th *cpu.Thread) {
+		switch th.ID {
+		case 0:
+			_ = th.Load(data) // cache a Valid copy of 0
+			th.SpinSyncLoadUntil(flag, func(v uint64) bool { return v == 1 })
+			got = th.Load(data) // no self-invalidation: stale hit allowed
+		case 1:
+			th.Compute(200)
+			th.Store(data, 42)
+			th.SyncStore(flag, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("expected stale read of 0 (reader-initiated invalidation), got %d", got)
+	}
+}
+
+// TestDeterminism: identical runs produce identical statistics.
+func TestDeterminism(t *testing.T) {
+	run := func() (sim.Cycle, uint64) {
+		space := alloc.New()
+		ctr := space.AllocPadded(space.Region("sync"))
+		m := New(small16(), DeNovoSync, space)
+		rs, err := m.Run("det", func(th *cpu.Thread) {
+			for i := 0; i < 10; i++ {
+				th.FetchAdd(ctr, 1)
+				th.Compute(sim.Cycle(th.RNG.Range(10, 50)))
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs.ExecTime, rs.TotalTraffic
+	}
+	e1, t1 := run()
+	e2, t2 := run()
+	if e1 != e2 || t1 != t2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", e1, t1, e2, t2)
+	}
+}
+
+// TestMESIInvariants: after a quiesced run, the directory never shows an
+// owner together with sharers.
+func TestMESIInvariants(t *testing.T) {
+	space := alloc.New()
+	region := space.Region("shared")
+	words := make([]proto.Addr, 8)
+	for i := range words {
+		words[i] = space.AllocPadded(region)
+	}
+	m := New(small16(), MESI, space)
+	_, err := m.Run("inv", func(th *cpu.Thread) {
+		for i := 0; i < 20; i++ {
+			w := words[(th.ID+i)%len(words)]
+			if i%3 == 0 {
+				th.FetchAdd(w, 1)
+			} else {
+				_ = th.SyncLoad(w)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range words {
+		state, owner, sharers, busy := m.MESIDir.StateOf(w.Line())
+		if busy {
+			t.Errorf("line %v busy after quiesce", w)
+		}
+		if state == 2 && sharers > 0 && owner >= 0 {
+			// state dm with sharers is only legal transiently
+			t.Errorf("line %v: owner %d with %d sharers", w, owner, sharers)
+		}
+	}
+}
+
+// TestDeNovoSingleRegistrant: after a quiesced run every word has at most
+// one registrant, and that L1 really holds the word Registered or the
+// registry owns it.
+func TestDeNovoSingleRegistrant(t *testing.T) {
+	space := alloc.New()
+	w := space.AllocPadded(space.Region("sync"))
+	m := New(small16(), DeNovoSync0, space)
+	_, err := m.Run("singlereg", func(th *cpu.Thread) {
+		for i := 0; i < 10; i++ {
+			th.FetchAdd(w, 1)
+			_ = th.SyncLoad(w)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := m.Registry.OwnerOf(w)
+	if owner < -1 || owner >= 16 {
+		t.Fatalf("bogus owner %d", owner)
+	}
+}
+
+// TestRunTwicePanics: machines are single-use.
+func TestRunTwicePanics(t *testing.T) {
+	m := New(small16(), MESI, alloc.New())
+	if _, err := m.Run("a", func(th *cpu.Thread) {}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Run did not panic")
+		}
+	}()
+	_, _ = m.Run("b", func(th *cpu.Thread) {})
+}
+
+// TestHeterogeneousThreads: RunThreads gives each thread its own body.
+func TestHeterogeneousThreads(t *testing.T) {
+	space := alloc.New()
+	sum := space.AllocPadded(space.Region("sync"))
+	m := New(small16(), DeNovoSync, space)
+	_, err := m.RunThreads("hetero", func(i int) Workload {
+		if i == 0 {
+			return func(th *cpu.Thread) { th.FetchAdd(sum, 100) }
+		}
+		return func(th *cpu.Thread) { th.FetchAdd(sum, 1) }
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Store.Read(sum); got != 115 {
+		t.Fatalf("sum = %d, want 115", got)
+	}
+}

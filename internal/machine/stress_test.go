@@ -1,0 +1,263 @@
+package machine
+
+import (
+	"testing"
+
+	"denovosync/internal/alloc"
+	"denovosync/internal/cpu"
+	"denovosync/internal/proto"
+	"denovosync/internal/sim"
+)
+
+// tinyL1 shrinks the L1 to force evictions and writebacks — paths a
+// 32 KB cache never exercises on kernel-sized footprints.
+func tinyL1() Params {
+	p := Params16()
+	p.L1Size = 512 // 8 lines
+	p.L1Ways = 2
+	return p
+}
+
+// TestEvictionWritebackCorrectness: a working set 16x the L1 thrashes
+// every set; all values must survive eviction round trips on every
+// protocol, including registered-word writebacks on DeNovo.
+func TestEvictionWritebackCorrectness(t *testing.T) {
+	const words = 512 // 2 KB per thread >> 512 B L1
+	for _, prot := range allProtocols {
+		space := alloc.New()
+		region := space.Region("big")
+		bases := make([]proto.Addr, 16)
+		for i := range bases {
+			bases[i] = space.AllocAligned(words, region)
+		}
+		m := New(tinyL1(), prot, space)
+		bad := false
+		_, err := m.Run("thrash", func(th *cpu.Thread) {
+			base := bases[th.ID]
+			for w := 0; w < words; w++ {
+				th.Store(base+proto.Addr(w*proto.WordBytes), uint64(th.ID*1000+w))
+			}
+			th.Fence()
+			for pass := 0; pass < 2; pass++ {
+				for w := 0; w < words; w++ {
+					if v := th.Load(base + proto.Addr(w*proto.WordBytes)); v != uint64(th.ID*1000+w) {
+						bad = true
+					}
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", prot, err)
+		}
+		if bad {
+			t.Fatalf("%v: value lost across eviction", prot)
+		}
+		var wbs uint64
+		for _, l1 := range m.L1s {
+			wbs += l1.Stats().WB
+			if l1.Stats().Evicted == 0 {
+				t.Fatalf("%v: no evictions despite thrashing", prot)
+			}
+		}
+		if wbs == 0 {
+			t.Fatalf("%v: no writebacks despite dirty evictions", prot)
+		}
+	}
+}
+
+// TestEvictionUnderContention mixes a shared sync hot word with an
+// L1-thrashing private sweep, so sync words get evicted mid-protocol
+// (stale forwards, write-back races).
+func TestEvictionUnderContention(t *testing.T) {
+	for _, prot := range allProtocols {
+		space := alloc.New()
+		hot := space.AllocPadded(space.Region("sync"))
+		region := space.Region("big")
+		bases := make([]proto.Addr, 16)
+		for i := range bases {
+			bases[i] = space.AllocAligned(256, region)
+		}
+		m := New(tinyL1(), prot, space)
+		_, err := m.Run("evict-contend", func(th *cpu.Thread) {
+			base := bases[th.ID]
+			for i := 0; i < 10; i++ {
+				th.FetchAdd(hot, 1)
+				for w := 0; w < 64; w++ {
+					th.Store(base+proto.Addr(((i*64+w)%256)*proto.WordBytes), uint64(w))
+				}
+				th.Fence()
+				_ = th.SyncLoad(hot)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", prot, err)
+		}
+		if got := m.Store.Read(hot); got != 160 {
+			t.Fatalf("%v: hot counter = %d, want 160", prot, got)
+		}
+	}
+}
+
+// TestIRIWLitmus: independent reads of independent writes — with fully
+// sequentially consistent sync accesses, the two readers must not
+// disagree on the order of the two writes.
+func TestIRIWLitmus(t *testing.T) {
+	for _, prot := range allProtocols {
+		for trial := 0; trial < 4; trial++ {
+			space := alloc.New()
+			x := space.AllocPadded(space.Region("sync"))
+			y := space.AllocPadded(space.Region("sync"))
+			m := New(small16(), prot, space)
+			var r1x, r1y, r2y, r2x uint64
+			d := sim.Cycle(trial * 13)
+			_, err := m.Run("iriw", func(th *cpu.Thread) {
+				switch th.ID {
+				case 0:
+					th.Compute(10 + d)
+					th.SyncStore(x, 1)
+				case 1:
+					th.Compute(15 + d)
+					th.SyncStore(y, 1)
+				case 2:
+					r1x = th.SyncLoad(x)
+					r1y = th.SyncLoad(y)
+				case 3:
+					r2y = th.SyncLoad(y)
+					r2x = th.SyncLoad(x)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Forbidden under SC: reader 2 sees x before y, reader 3 sees
+			// y before x.
+			if r1x == 1 && r1y == 0 && r2y == 1 && r2x == 0 {
+				t.Fatalf("%v trial %d: IRIW violation", prot, trial)
+			}
+		}
+	}
+}
+
+// TestMessagePassingAllPairs runs producer/consumer across every pair of
+// distinct tiles, covering all mesh distances and bank placements.
+func TestMessagePassingAllPairs(t *testing.T) {
+	for _, prot := range allProtocols {
+		for _, pair := range [][2]int{{0, 15}, {3, 12}, {5, 6}, {15, 0}, {7, 8}} {
+			space := alloc.New()
+			flag := space.AllocPadded(space.Region("sync"))
+			data := space.AllocAligned(1, space.Region("data"))
+			m := New(small16(), prot, space)
+			var got uint64
+			prod, cons := pair[0], pair[1]
+			_, err := m.Run("mp-pairs", func(th *cpu.Thread) {
+				switch th.ID {
+				case prod:
+					th.Store(data, 7)
+					th.SyncStore(flag, 1)
+				case cons:
+					th.SpinSyncLoadUntil(flag, func(v uint64) bool { return v == 1 })
+					th.SelfInvalidate(proto.NewRegionSet(space.Region("data")))
+					got = th.Load(data)
+				}
+			})
+			if err != nil {
+				t.Fatalf("%v %v: %v", prot, pair, err)
+			}
+			if got != 7 {
+				t.Fatalf("%v %v: read %d", prot, pair, got)
+			}
+		}
+	}
+}
+
+// TestManyWritersOneWord: heavy write-write racing through the
+// distributed registration queue; the final value must reflect all
+// FetchAdds even with evict-level cache pressure.
+func TestManyWritersOneWord(t *testing.T) {
+	for _, prot := range allProtocols {
+		space := alloc.New()
+		w := space.AllocPadded(space.Region("sync"))
+		m := New(tinyL1(), prot, space)
+		_, err := m.Run("ww", func(th *cpu.Thread) {
+			for i := 0; i < 50; i++ {
+				th.FetchAdd(w, 1)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", prot, err)
+		}
+		if got := m.Store.Read(w); got != 800 {
+			t.Fatalf("%v: %d, want 800", prot, got)
+		}
+	}
+}
+
+// TestSyncWordEvictionStorm targets the writeback/re-registration race the
+// model checker found (see internal/verify): sync words evicted by cache
+// pressure while remote registrations are in flight. Without the
+// registry's writeback ack gating re-registration, this configuration can
+// mutually park two registrations and deadlock.
+func TestSyncWordEvictionStorm(t *testing.T) {
+	for _, prot := range []Protocol{DeNovoSync0, DeNovoSync} {
+		space := alloc.New()
+		// Many sync words mapping to few sets, plus data thrash, so
+		// registered sync words are evicted constantly.
+		var hot []proto.Addr
+		for i := 0; i < 24; i++ {
+			hot = append(hot, space.AllocPadded(space.Region("sync")))
+		}
+		big := space.AllocAligned(256, space.Region("big"))
+		m := New(tinyL1(), prot, space)
+		_, err := m.Run("evict-sync-storm", func(th *cpu.Thread) {
+			for i := 0; i < 30; i++ {
+				w := hot[(th.ID*7+i*3)%len(hot)]
+				th.FetchAdd(w, 1)
+				// Thrash the cache so the sync word gets evicted.
+				for k := 0; k < 16; k++ {
+					th.Store(big+proto.Addr(((i*16+k)%256)*proto.WordBytes), uint64(k))
+				}
+				th.Fence()
+				_ = th.SyncLoad(hot[(th.ID*11+i*5)%len(hot)])
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", prot, err)
+		}
+		var total uint64
+		for _, w := range hot {
+			total += m.Store.Read(w)
+		}
+		if total != 16*30 {
+			t.Fatalf("%v: increments lost: %d, want 480", prot, total)
+		}
+	}
+}
+
+// TestLinkContentionMachines: the wormhole model runs end-to-end and
+// slows hot-spot traffic without perturbing functional results.
+func TestLinkContentionMachines(t *testing.T) {
+	run := func(contended bool) (sim.Cycle, uint64) {
+		space := alloc.New()
+		w := space.AllocPadded(space.Region("sync"))
+		p := Params16()
+		p.LinkContention = contended
+		m := New(p, MESI, space)
+		rs, err := m.Run("hotspot", func(th *cpu.Thread) {
+			for i := 0; i < 20; i++ {
+				th.FetchAdd(w, 1)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs.ExecTime, m.Store.Read(w)
+	}
+	fast, v1 := run(false)
+	slow, v2 := run(true)
+	if v1 != 320 || v2 != 320 {
+		t.Fatalf("functional results wrong: %d %d", v1, v2)
+	}
+	if slow <= fast {
+		t.Fatalf("contended run not slower: %d vs %d", slow, fast)
+	}
+}

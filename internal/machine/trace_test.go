@@ -1,0 +1,33 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"denovosync/internal/alloc"
+	"denovosync/internal/cpu"
+	"denovosync/internal/proto"
+)
+
+// TestMachineTrace: EnableTrace observes real protocol messages.
+func TestMachineTrace(t *testing.T) {
+	space := alloc.New()
+	w := space.AllocPadded(space.Region("sync"))
+	m := New(small16(), DeNovoSync, space)
+	var sb strings.Builder
+	tr := m.EnableTrace(&sb, proto.NumMsgClasses, 100)
+	_, err := m.Run("traced", func(th *cpu.Thread) {
+		if th.ID < 2 {
+			th.FetchAdd(w, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count() == 0 {
+		t.Fatal("no messages traced")
+	}
+	if !strings.Contains(sb.String(), "SYNCH") {
+		t.Fatalf("expected SYNCH messages in trace:\n%s", sb.String())
+	}
+}

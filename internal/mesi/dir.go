@@ -1,0 +1,226 @@
+package mesi
+
+import (
+	"sort"
+
+	"denovosync/internal/proto"
+)
+
+// Directory state per line.
+const (
+	di byte = iota // no cached copies
+	ds             // shared, sharer list valid
+	dm             // owned (E or M at the owner)
+)
+
+type dirPending struct {
+	req   *L1
+	wantM bool
+}
+
+type dirEntry struct {
+	resident bool // line present in the L2 (cold misses fetch from DRAM)
+	state    byte
+	owner    *L1
+	sharers  map[*L1]bool
+	busy     bool
+	needAcks int // completion messages outstanding for the current txn
+	queue    []dirPending
+}
+
+// Directory is the shared L2: home for every line, full-map sharer
+// tracking, blocking per-line transactions. Banks are line-interleaved
+// across tiles; bank placement only affects message distances.
+type Directory struct {
+	cfg     *Config
+	tiles   int
+	entries map[proto.Addr]*dirEntry
+}
+
+// NewDirectory creates the directory for a tiles-tile system.
+func NewDirectory(cfg *Config, tiles int) *Directory {
+	return &Directory{cfg: cfg, tiles: tiles, entries: make(map[proto.Addr]*dirEntry)}
+}
+
+// NodeFor returns the tile node hosting line's L2 bank.
+func (d *Directory) NodeFor(line proto.Addr) proto.NodeID {
+	return proto.NodeID(int(line/proto.LineBytes) % d.tiles)
+}
+
+func (d *Directory) entry(line proto.Addr) *dirEntry {
+	e := d.entries[line]
+	if e == nil {
+		e = &dirEntry{sharers: make(map[*L1]bool)}
+		d.entries[line] = e
+	}
+	return e
+}
+
+func (d *Directory) recvGetS(line proto.Addr, req *L1) { d.enqueue(line, dirPending{req, false}) }
+func (d *Directory) recvGetM(line proto.Addr, req *L1) { d.enqueue(line, dirPending{req, true}) }
+
+func (d *Directory) enqueue(line proto.Addr, p dirPending) {
+	e := d.entry(line)
+	e.queue = append(e.queue, p)
+	d.maybeStart(line, e)
+}
+
+func (d *Directory) maybeStart(line proto.Addr, e *dirEntry) {
+	if e.busy || len(e.queue) == 0 {
+		return
+	}
+	p := e.queue[0]
+	e.queue = e.queue[1:]
+	e.busy = true
+	class := proto.ClassLD
+	if p.wantM {
+		class = proto.ClassST
+	}
+	// Directory/L2 access latency, then a cold fetch if needed.
+	d.cfg.Eng.Schedule(d.cfg.L2AccessLat, func() {
+		if !e.resident {
+			d.cfg.DRAM.Fetch(d.NodeFor(line), line, class, func() {
+				e.resident = true
+				d.service(line, e, p)
+			})
+			return
+		}
+		d.service(line, e, p)
+	})
+}
+
+func (d *Directory) service(line proto.Addr, e *dirEntry, p dirPending) {
+	node := d.NodeFor(line)
+	req := p.req
+	if !p.wantM {
+		switch e.state {
+		case di:
+			// Exclusive grant (the E state of MESI). Reads serviced from
+			// the directory involve no ownership transfer and no pending
+			// invalidations, so they complete without blocking the line.
+			e.state = dm
+			e.owner = req
+			e.busy = false
+			d.cfg.Net.Send(node, req.node, proto.ClassLD, proto.LineDataFlits, func() {
+				req.recvData(line, 0, true, false)
+			})
+			d.maybeStart(line, e)
+			return
+		case ds:
+			e.sharers[req] = true
+			e.busy = false
+			d.cfg.Net.Send(node, req.node, proto.ClassLD, proto.LineDataFlits, func() {
+				req.recvData(line, 0, false, false)
+			})
+			d.maybeStart(line, e)
+			return
+		case dm:
+			owner := e.owner
+			e.state = ds
+			e.sharers = map[*L1]bool{owner: true, req: true}
+			e.owner = nil
+			e.needAcks = 2 // owner's writeback/ack + requestor's Unblock
+			d.cfg.Net.Send(node, owner.node, proto.ClassLD, proto.CtrlFlits, func() {
+				owner.recvFwdGetS(line, req)
+			})
+		}
+		return
+	}
+	switch e.state {
+	case di:
+		e.state = dm
+		e.owner = req
+		e.needAcks = 1
+		d.cfg.Net.Send(node, req.node, proto.ClassST, proto.LineDataFlits, func() {
+			req.recvData(line, 0, false, true)
+		})
+	case ds:
+		invs := 0
+		wasSharer := e.sharers[req]
+		// Deterministic invalidation order (sorted by core ID): map
+		// iteration order must never leak into simulated timing.
+		var ss []*L1
+		for s := range e.sharers {
+			if s != req {
+				ss = append(ss, s)
+			}
+		}
+		sort.Slice(ss, func(i, j int) bool { return ss[i].id < ss[j].id })
+		for _, s := range ss {
+			invs++
+			s := s
+			d.cfg.Net.Send(node, s.node, proto.ClassInv, proto.CtrlFlits, func() {
+				s.recvInv(line, req)
+			})
+		}
+		e.state = dm
+		e.owner = req
+		e.sharers = make(map[*L1]bool)
+		e.needAcks = 1
+		// If the requestor already holds the line in S, only the ack count
+		// travels (no data); otherwise a full data response.
+		flits := proto.LineDataFlits
+		if wasSharer {
+			flits = proto.CtrlFlits
+		}
+		n := invs
+		d.cfg.Net.Send(node, req.node, proto.ClassST, flits, func() {
+			req.recvData(line, n, false, true)
+		})
+	case dm:
+		owner := e.owner
+		e.owner = req
+		e.needAcks = 1
+		d.cfg.Net.Send(node, owner.node, proto.ClassST, proto.CtrlFlits, func() {
+			owner.recvFwdGetM(line, req)
+		})
+	}
+}
+
+// recvUnblock ends the requestor's part of the current transaction.
+func (d *Directory) recvUnblock(line proto.Addr) { d.complete(line) }
+
+// recvOwnerAck ends the previous owner's part of a forwarded GetS.
+func (d *Directory) recvOwnerAck(line proto.Addr) { d.complete(line) }
+
+func (d *Directory) complete(line proto.Addr) {
+	e := d.entry(line)
+	if !e.busy {
+		panic("mesi: completion for idle directory entry")
+	}
+	e.needAcks--
+	if e.needAcks > 0 {
+		return
+	}
+	e.busy = false
+	d.maybeStart(line, e)
+}
+
+// recvPut handles an eviction writeback. Stale writebacks (the owner lost
+// the line to a forwarded request that raced the Put) are acknowledged
+// without touching state.
+func (d *Directory) recvPut(line proto.Addr, from *L1, dirty bool) {
+	e := d.entry(line)
+	if !e.busy && e.state == dm && e.owner == from {
+		e.state = di
+		e.owner = nil
+	}
+	_ = dirty // data value lives in the committed store
+	// PutAck (the L1 keeps no writeback buffer: committed values are
+	// always recoverable, so the ack needs no handler).
+	d.cfg.Net.Send(d.NodeFor(line), from.node, proto.ClassWB, proto.CtrlFlits, func() {})
+}
+
+// StateOf exposes directory state for invariant checks in tests:
+// returns (state, ownerID or -1, sharer count, busy).
+func (d *Directory) StateOf(line proto.Addr) (byte, proto.CoreID, int, bool) {
+	e := d.entries[line]
+	if e == nil {
+		return di, -1, 0, false
+	}
+	owner := proto.CoreID(-1)
+	if e.owner != nil {
+		owner = e.owner.id
+	}
+	return e.state, owner, len(e.sharers), e.busy
+}

@@ -1,0 +1,393 @@
+// Package mesi implements the baseline protocol of the paper: a full-map
+// directory MESI with writer-initiated invalidations, a *blocking*
+// directory (as in the GEMS implementation the paper compares against,
+// §4.1), and non-blocking data stores at the core (§5.2, for a fair
+// comparison with DeNovo).
+//
+// Structure: each tile has a private L1; the directory lives in the shared
+// L2 banks, line-interleaved across tiles. Transactions:
+//
+//	GetS  — read miss. Directory I→E (exclusive grant), S→add sharer,
+//	        M/E→forward to owner, owner downgrades to S and writes back.
+//	GetM  — write miss/upgrade. Directory invalidates sharers (acks are
+//	        collected at the requestor) or forwards to the owner.
+//	PutM/PutE — dirty/clean-exclusive eviction writeback.
+//
+// The directory blocks a line while a transaction is in flight (requests
+// queue behind it) and reopens on the requestor's Unblock — exactly the
+// serialization DeNovo's non-blocking registry avoids.
+package mesi
+
+import (
+	"denovosync/internal/cache"
+	"denovosync/internal/mem"
+	"denovosync/internal/noc"
+	"denovosync/internal/proto"
+	"denovosync/internal/sim"
+)
+
+// L1 line states (cache.Line.LineState).
+const (
+	li byte = iota // Invalid (also: line absent)
+	ls             // Shared
+	le             // Exclusive clean
+	lm             // Modified
+)
+
+// Config wires a MESI system together.
+type Config struct {
+	Eng   *sim.Engine
+	Net   *noc.Network
+	Store *mem.Store
+	DRAM  *mem.DRAM
+
+	L1Size, L1Ways int
+
+	// Latencies (cycles): L1 access, L2/directory access, remote-L1 tag
+	// access for forwarded requests. Fitted to Table 1 (1 / 27 / 9).
+	L1AccessLat, L2AccessLat, RemoteL1Lat sim.Cycle
+}
+
+// txn is an outstanding L1 miss (one per line).
+type txn struct {
+	line     proto.Addr
+	wantM    bool
+	dataRecv bool
+	excl     bool // exclusive grant (GetS → E)
+	unblock  bool // the directory blocked for this txn and awaits Unblock
+	acksNeed int  // -1 until the Data/AckCount message announces the count
+	acksGot  int
+	waiters  []func()
+}
+
+// L1 is one core's private MESI cache controller.
+type L1 struct {
+	cfg  *Config
+	id   proto.CoreID
+	node proto.NodeID
+	dir  *Directory
+
+	cache *cache.Cache
+	txns  map[proto.Addr]*txn
+
+	pendingStores int
+	drainWaiters  []func()
+
+	epochs   map[proto.Addr]uint64 // per line
+	disturbs map[proto.Addr][]func()
+
+	stats proto.L1Stats
+}
+
+// NewL1 constructs the L1 for core id on node node.
+func NewL1(cfg *Config, id proto.CoreID, node proto.NodeID) *L1 {
+	return &L1{
+		cfg:      cfg,
+		id:       id,
+		node:     node,
+		cache:    cache.New(cfg.L1Size, cfg.L1Ways),
+		txns:     make(map[proto.Addr]*txn),
+		epochs:   make(map[proto.Addr]uint64),
+		disturbs: make(map[proto.Addr][]func()),
+	}
+}
+
+// SetDirectory wires the shared directory (after construction).
+func (c *L1) SetDirectory(d *Directory) { c.dir = d }
+
+// Stats returns the hit/miss counters.
+func (c *L1) Stats() *proto.L1Stats { return &c.stats }
+
+// BackoffStallCycles is always zero for MESI (no hardware backoff).
+func (c *L1) BackoffStallCycles() sim.Cycle { return 0 }
+
+// SelfInvalidate is a no-op: MESI relies on writer-initiated invalidations.
+func (c *L1) SelfInvalidate(proto.RegionSet) {}
+
+// SignatureRelease is a no-op on MESI (no self-invalidation to direct).
+func (c *L1) SignatureRelease(proto.Addr) {}
+
+// SignatureAcquire is a no-op on MESI.
+func (c *L1) SignatureAcquire(proto.Addr) {}
+
+// Epoch returns the disturbance counter for addr's line.
+func (c *L1) Epoch(addr proto.Addr) uint64 { return c.epochs[addr.Line()] }
+
+// WaitDisturb calls fn when the line's epoch moves past epoch.
+func (c *L1) WaitDisturb(addr proto.Addr, epoch uint64, fn func()) {
+	line := addr.Line()
+	if c.epochs[line] != epoch {
+		c.cfg.Eng.Schedule(0, fn)
+		return
+	}
+	c.disturbs[line] = append(c.disturbs[line], fn)
+}
+
+func (c *L1) disturb(line proto.Addr) {
+	c.epochs[line]++
+	ws := c.disturbs[line]
+	if len(ws) == 0 {
+		return
+	}
+	delete(c.disturbs, line)
+	for _, fn := range ws {
+		c.cfg.Eng.Schedule(0, fn)
+	}
+}
+
+// OnWritesDrained calls fn once all non-blocking stores have committed.
+func (c *L1) OnWritesDrained(fn func()) {
+	if c.pendingStores == 0 {
+		c.cfg.Eng.Schedule(0, fn)
+		return
+	}
+	c.drainWaiters = append(c.drainWaiters, fn)
+}
+
+func (c *L1) storeCommitted() {
+	c.pendingStores--
+	if c.pendingStores == 0 {
+		ws := c.drainWaiters
+		c.drainWaiters = nil
+		for _, fn := range ws {
+			c.cfg.Eng.Schedule(0, fn)
+		}
+	}
+}
+
+// Access starts a memory access (see proto.L1Controller).
+func (c *L1) Access(req *proto.Request) {
+	if req.Kind == proto.DataStore || req.Kind == proto.SyncStore {
+		// Non-blocking store (§5.2: the GEMS MESI was modified to support
+		// non-blocking writes for a fair comparison with DeNovo): the core
+		// retires it after the L1 access cycle; the coherence transaction
+		// — including the invalidation fan-out — completes in the
+		// background. The invalidation latency still lands on the critical
+		// path of the *next* acquirer, per §6.1.1.
+		c.pendingStores++
+		done := req.Done
+		c.cfg.Eng.Schedule(c.cfg.L1AccessLat, func() { done(0) })
+		c.access(req, func(uint64) { c.storeCommitted() }, true)
+		return
+	}
+	c.access(req, req.Done, true)
+}
+
+// access runs one attempt; commit fires exactly once at protocol commit.
+// first distinguishes the initial issue (charged an L1 access cycle and
+// counted in hit/miss stats) from post-miss retries.
+func (c *L1) access(req *proto.Request, commit func(uint64), first bool) {
+	line := c.cache.Lookup(req.Addr)
+	state := li
+	if line != nil {
+		state = line.LineState
+	}
+	wi := req.Addr.WordIndex()
+
+	finish := func(v uint64) {
+		if first {
+			c.cfg.Eng.Schedule(c.cfg.L1AccessLat, func() { commit(v) })
+		} else {
+			commit(v)
+		}
+	}
+
+	switch req.Kind {
+	case proto.DataLoad, proto.SyncLoad:
+		if state != li {
+			if first {
+				c.stats.Hit(req.Kind)
+			}
+			c.cache.Touch(line)
+			finish(line.Values[wi])
+			return
+		}
+	case proto.DataStore, proto.SyncStore, proto.SyncRMW:
+		if state == lm || state == le {
+			if first {
+				c.stats.Hit(req.Kind)
+			}
+			line.LineState = lm // silent E→M upgrade
+			c.cache.Touch(line)
+			old := c.cfg.Store.Read(req.Addr)
+			switch req.Kind {
+			case proto.SyncRMW:
+				if nv, doStore := req.RMW(old); doStore {
+					line.Values[wi] = nv
+					c.cfg.Store.Write(req.Addr, nv)
+				}
+				finish(old)
+			default:
+				line.Values[wi] = req.Value
+				c.cfg.Store.Write(req.Addr, req.Value)
+				finish(0)
+			}
+			return
+		}
+	}
+
+	// Miss.
+	if first {
+		c.stats.Miss(req.Kind)
+	}
+	wantM := req.Kind.IsWrite()
+	retry := func() { c.access(req, commit, false) }
+	if t, ok := c.txns[req.Addr.Line()]; ok {
+		t.waiters = append(t.waiters, retry)
+		return
+	}
+	t := &txn{line: req.Addr.Line(), wantM: wantM, acksNeed: -1}
+	t.waiters = append(t.waiters, retry)
+	c.txns[t.line] = t
+	class := proto.ClassLD
+	if wantM {
+		class = proto.ClassST
+	}
+	c.cfg.Eng.Schedule(c.cfg.L1AccessLat, func() {
+		dirNode := c.dir.NodeFor(t.line)
+		c.cfg.Net.Send(c.node, dirNode, class, proto.CtrlFlits, func() {
+			if wantM {
+				c.dir.recvGetM(t.line, c)
+			} else {
+				c.dir.recvGetS(t.line, c)
+			}
+		})
+	})
+}
+
+// recvData handles the data (or ack-count) grant of an outstanding miss.
+func (c *L1) recvData(line proto.Addr, acks int, excl, unblock bool) {
+	t := c.txns[line]
+	if t == nil {
+		panic("mesi: data for absent transaction")
+	}
+	t.dataRecv = true
+	t.excl = excl
+	t.unblock = unblock
+	t.acksNeed = acks
+	c.maybeComplete(t)
+}
+
+// recvInvAck counts an invalidation ack collected at the requestor.
+func (c *L1) recvInvAck(line proto.Addr) {
+	t := c.txns[line]
+	if t == nil {
+		panic("mesi: inv-ack for absent transaction")
+	}
+	t.acksGot++
+	c.maybeComplete(t)
+}
+
+func (c *L1) maybeComplete(t *txn) {
+	if !t.dataRecv || t.acksNeed < 0 || t.acksGot < t.acksNeed {
+		return
+	}
+	delete(c.txns, t.line)
+
+	// Install, reusing the resident line on an S→M upgrade, otherwise
+	// evicting a victim. Snapshot committed values at fill time.
+	v := c.cache.Lookup(t.line)
+	if v == nil {
+		v = c.cache.Victim(t.line)
+		if v.Present {
+			c.evict(v)
+		}
+		c.cache.Install(v, t.line)
+	} else {
+		c.cache.Touch(v)
+	}
+	switch {
+	case t.wantM:
+		v.LineState = lm
+	case t.excl:
+		v.LineState = le
+	default:
+		v.LineState = ls
+	}
+	vals := c.cfg.Store.ReadLine(t.line)
+	v.Values = vals
+
+	// Reopen the directory (ownership-transfer transactions only), then
+	// rerun the stalled accesses.
+	if t.unblock {
+		class := proto.ClassLD
+		if t.wantM {
+			class = proto.ClassST
+		}
+		c.cfg.Net.Send(c.node, c.dir.NodeFor(t.line), class, proto.CtrlFlits, func() {
+			c.dir.recvUnblock(t.line)
+		})
+	}
+	for _, w := range t.waiters {
+		w()
+	}
+}
+
+// evict removes a victim line, writing back M (data) or E (clean notice).
+func (c *L1) evict(v *cache.Line) {
+	line := v.Addr
+	state := v.LineState
+	c.cache.Evict(v)
+	c.stats.Evicted++
+	c.disturb(line)
+	if state == lm || state == le {
+		flits := proto.CtrlFlits
+		if state == lm {
+			flits = proto.LineDataFlits
+			c.stats.WB++
+		}
+		c.cfg.Net.Send(c.node, c.dir.NodeFor(line), proto.ClassWB, flits, func() {
+			c.dir.recvPut(line, c, state == lm)
+		})
+	}
+}
+
+// recvInv handles a directory invalidation on behalf of requestor req:
+// drop the line (if present) and ack directly to the requestor.
+func (c *L1) recvInv(line proto.Addr, req *L1) {
+	if l := c.cache.Lookup(line); l != nil {
+		c.cache.Evict(l)
+		c.disturb(line)
+	}
+	c.cfg.Net.Send(c.node, req.node, proto.ClassInv, proto.CtrlFlits, func() {
+		req.recvInvAck(line)
+	})
+}
+
+// recvFwdGetS services a read forwarded by the directory: downgrade to S,
+// send data to the requestor and the writeback/ack to the directory. If the
+// line is gone (eviction raced the forward) respond from the committed
+// image; the directory's later PutM from us will be recognized as stale.
+func (c *L1) recvFwdGetS(line proto.Addr, req *L1) {
+	c.cfg.Eng.Schedule(c.cfg.RemoteL1Lat, func() {
+		wbFlits := proto.CtrlFlits
+		if l := c.cache.Lookup(line); l != nil && (l.LineState == lm || l.LineState == le) {
+			if l.LineState == lm {
+				wbFlits = proto.LineDataFlits
+			}
+			l.LineState = ls
+		}
+		c.cfg.Net.Send(c.node, req.node, proto.ClassLD, proto.LineDataFlits, func() {
+			req.recvData(line, 0, false, true)
+		})
+		c.cfg.Net.Send(c.node, c.dir.NodeFor(line), proto.ClassWB, wbFlits, func() {
+			c.dir.recvOwnerAck(line)
+		})
+	})
+}
+
+// recvFwdGetM services a write forwarded by the directory: invalidate and
+// send data to the requestor.
+func (c *L1) recvFwdGetM(line proto.Addr, req *L1) {
+	c.cfg.Eng.Schedule(c.cfg.RemoteL1Lat, func() {
+		if l := c.cache.Lookup(line); l != nil {
+			c.cache.Evict(l)
+			c.disturb(line)
+		}
+		c.cfg.Net.Send(c.node, req.node, proto.ClassST, proto.LineDataFlits, func() {
+			req.recvData(line, 0, false, true)
+		})
+	})
+}
+
+var _ proto.L1Controller = (*L1)(nil)

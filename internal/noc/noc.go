@@ -1,0 +1,152 @@
+// Package noc models the on-chip interconnection network: a 2D mesh with
+// XY routing, 16-bit flits, and per-message-class traffic accounting.
+//
+// Message latency is modeled analytically (per-hop router+link delay fitted
+// to the latency ranges in Table 1 of the paper) rather than flit-by-flit,
+// which keeps the simulator fast while preserving the distance sensitivity
+// and the traffic metric the paper reports: network traffic is counted as
+// flit link-crossings, i.e. flits × hops.
+package noc
+
+import (
+	"fmt"
+
+	"denovosync/internal/proto"
+	"denovosync/internal/sim"
+)
+
+// Coord is a router position on the mesh.
+type Coord struct{ X, Y int }
+
+// Mesh describes a W×H tiled mesh. Tiles are numbered row-major; memory
+// controllers occupy the four corner routers (sharing them with the corner
+// tiles, as is common for on-chip memory controller placement).
+type Mesh struct {
+	W, H int
+}
+
+// Tiles returns the number of tiles (cores / L2 banks).
+func (m Mesh) Tiles() int { return m.W * m.H }
+
+// NumMemCtrl is the number of on-chip memory controllers (Table 1).
+const NumMemCtrl = 4
+
+// TileNode returns the NodeID of tile t.
+func (m Mesh) TileNode(t int) proto.NodeID { return proto.NodeID(t) }
+
+// MemNode returns the NodeID of memory controller k (0..3).
+func (m Mesh) MemNode(k int) proto.NodeID { return proto.NodeID(m.Tiles() + k) }
+
+// IsMemNode reports whether n is a memory-controller node.
+func (m Mesh) IsMemNode(n proto.NodeID) bool { return int(n) >= m.Tiles() }
+
+// CoordOf returns the router coordinate of node n.
+func (m Mesh) CoordOf(n proto.NodeID) Coord {
+	t := int(n)
+	if t < m.Tiles() {
+		return Coord{X: t % m.W, Y: t / m.W}
+	}
+	switch t - m.Tiles() {
+	case 0:
+		return Coord{0, 0}
+	case 1:
+		return Coord{m.W - 1, 0}
+	case 2:
+		return Coord{0, m.H - 1}
+	case 3:
+		return Coord{m.W - 1, m.H - 1}
+	}
+	panic(fmt.Sprintf("noc: invalid node %d", n))
+}
+
+// Hops returns the Manhattan distance between two nodes' routers.
+func (m Mesh) Hops(a, b proto.NodeID) int {
+	ca, cb := m.CoordOf(a), m.CoordOf(b)
+	return abs(ca.X-cb.X) + abs(ca.Y-cb.Y)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Network delivers messages across a Mesh and tallies traffic.
+type Network struct {
+	Mesh
+	eng *sim.Engine
+
+	// perHopNum/perHopDen is the per-hop latency in cycles, as a rational
+	// so the 16-core fit of 10/3 cycles per hop is exact.
+	perHopNum, perHopDen sim.Cycle
+
+	flitCrossings [proto.NumMsgClasses]uint64
+	messages      [proto.NumMsgClasses]uint64
+
+	// trace, when non-nil, observes every message at send time.
+	trace func(at sim.Cycle, src, dst proto.NodeID, class proto.MsgClass, flits int)
+
+	// cont, when non-nil, switches latency to the link-contention model.
+	cont *contention
+}
+
+// New creates a network on eng. perHopNum/perHopDen is the per-hop latency.
+func New(eng *sim.Engine, mesh Mesh, perHopNum, perHopDen sim.Cycle) *Network {
+	if perHopDen == 0 {
+		panic("noc: zero per-hop denominator")
+	}
+	return &Network{Mesh: mesh, eng: eng, perHopNum: perHopNum, perHopDen: perHopDen}
+}
+
+// Latency returns the modeled network traversal time for hops hops.
+func (n *Network) Latency(hops int) sim.Cycle {
+	return (sim.Cycle(hops)*n.perHopNum + n.perHopDen - 1) / n.perHopDen
+}
+
+// Send transmits a message of flits flits from src to dst and schedules
+// deliver at arrival. Same-router transfers (hops = 0) are free and
+// instantaneous: they never touch a mesh link, matching the paper's traffic
+// metric. Send returns the modeled latency.
+func (n *Network) Send(src, dst proto.NodeID, class proto.MsgClass, flits int, deliver func()) sim.Cycle {
+	if n.trace != nil {
+		n.trace(n.eng.Now(), src, dst, class, flits)
+	}
+	hops := n.Hops(src, dst)
+	n.flitCrossings[class] += uint64(flits * hops)
+	n.messages[class]++
+	var lat sim.Cycle
+	if n.cont != nil {
+		lat = n.contendedLatency(src, dst, flits)
+	} else {
+		lat = n.Latency(hops)
+	}
+	n.eng.Schedule(lat, deliver)
+	return lat
+}
+
+// SetTrace installs a message observer (nil disables tracing).
+func (n *Network) SetTrace(fn func(at sim.Cycle, src, dst proto.NodeID, class proto.MsgClass, flits int)) {
+	n.trace = fn
+}
+
+// Traffic returns flit link-crossings accumulated per message class.
+func (n *Network) Traffic() [proto.NumMsgClasses]uint64 { return n.flitCrossings }
+
+// Messages returns message counts per class.
+func (n *Network) Messages() [proto.NumMsgClasses]uint64 { return n.messages }
+
+// TotalTraffic returns total flit link-crossings across all classes.
+func (n *Network) TotalTraffic() uint64 {
+	var t uint64
+	for _, v := range n.flitCrossings {
+		t += v
+	}
+	return t
+}
+
+// ResetStats clears the traffic counters (e.g. after warmup).
+func (n *Network) ResetStats() {
+	n.flitCrossings = [proto.NumMsgClasses]uint64{}
+	n.messages = [proto.NumMsgClasses]uint64{}
+}

@@ -1,0 +1,83 @@
+package proto
+
+import "denovosync/internal/sim"
+
+// L1Controller is the interface a core uses to talk to its private cache,
+// implemented by both the MESI and the DeNovo controllers. All methods are
+// called from engine events (single-threaded).
+type L1Controller interface {
+	// Access starts a memory access. req.Done is invoked (in a later engine
+	// event) when the access commits. Non-blocking data stores call Done at
+	// local commit while the coherence transaction continues in the
+	// background; everything else calls Done when globally complete.
+	Access(req *Request)
+
+	// SelfInvalidate drops every cached Valid word whose region is in set
+	// (DeNovo); a no-op for MESI, whose writer-initiated invalidations make
+	// it unnecessary.
+	SelfInvalidate(set RegionSet)
+
+	// Epoch returns the disturbance counter for addr's word: it increments
+	// whenever remote protocol activity or a self-invalidation changes the
+	// locally cached state (invalidation, registration revocation,
+	// downgrade, eviction). Local fills do not count. Cores use it with
+	// WaitDisturb to model spin-waiting without simulating every spin hit.
+	Epoch(addr Addr) uint64
+
+	// WaitDisturb calls fn once Epoch(addr) differs from epoch; immediately
+	// (via a scheduled event) if it already does.
+	WaitDisturb(addr Addr, epoch uint64, fn func())
+
+	// OnWritesDrained calls fn once all outstanding non-blocking stores
+	// have completed their coherence transactions (fence/sync ordering).
+	OnWritesDrained(fn func())
+
+	// BackoffStallCycles returns the cumulative cycles this L1 has stalled
+	// sync reads in hardware backoff (DeNovoSync only; 0 otherwise).
+	BackoffStallCycles() sim.Cycle
+
+	// SignatureRelease publishes the core's write-set signature to lock's
+	// entry in the signature table and clears it — the release half of
+	// DeNovoND-style dynamic self-invalidation. A no-op on MESI.
+	SignatureRelease(lock Addr)
+
+	// SignatureAcquire self-invalidates cached Valid words matching
+	// lock's accumulated write signature — the acquire half. A no-op on
+	// MESI.
+	SignatureAcquire(lock Addr)
+
+	// Stats returns the controller's hit/miss counters.
+	Stats() *L1Stats
+}
+
+// L1Stats counts per-L1 cache events, split by access kind.
+type L1Stats struct {
+	Hits    [5]uint64 // indexed by AccessKind
+	Misses  [5]uint64
+	Evicted uint64
+	WB      uint64 // writebacks issued
+}
+
+// Hit records a hit for kind k.
+func (s *L1Stats) Hit(k AccessKind) { s.Hits[k]++ }
+
+// Miss records a miss for kind k.
+func (s *L1Stats) Miss(k AccessKind) { s.Misses[k]++ }
+
+// TotalHits sums hits across kinds.
+func (s *L1Stats) TotalHits() uint64 {
+	var t uint64
+	for _, v := range s.Hits {
+		t += v
+	}
+	return t
+}
+
+// TotalMisses sums misses across kinds.
+func (s *L1Stats) TotalMisses() uint64 {
+	var t uint64
+	for _, v := range s.Misses {
+		t += v
+	}
+	return t
+}

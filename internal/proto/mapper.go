@@ -1,0 +1,9 @@
+package proto
+
+// RegionMapper resolves an address to its software region. In DPJ-style
+// disciplined software the region of every address is statically known;
+// the simulator's allocator plays that role, and both the cores (tagging
+// requests) and the DeNovo L1 (tagging fills) consult it.
+type RegionMapper interface {
+	RegionOf(Addr) RegionID
+}

@@ -1,0 +1,128 @@
+package proto
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrGeometry(t *testing.T) {
+	a := Addr(0x1234)
+	if a.Line() != 0x1200 {
+		t.Fatalf("Line = %v", a.Line())
+	}
+	if a.Word() != 0x1234 {
+		t.Fatalf("Word = %v", a.Word())
+	}
+	if Addr(0x1236).Word() != 0x1234 {
+		t.Fatal("sub-word align broken")
+	}
+	if a.WordIndex() != 13 {
+		t.Fatalf("WordIndex = %d", a.WordIndex())
+	}
+}
+
+// Properties of address arithmetic.
+func TestAddrProperties(t *testing.T) {
+	f := func(raw uint32) bool {
+		a := Addr(raw)
+		// Line() and Word() are idempotent projections.
+		if a.Line().Line() != a.Line() || a.Word().Word() != a.Word() {
+			return false
+		}
+		// A word belongs to its line.
+		if a.Word().Line() != a.Line() {
+			return false
+		}
+		// WordIndex reconstructs the word address.
+		if a.Line()+Addr(a.WordIndex()*WordBytes) != a.Word() {
+			return false
+		}
+		return a.WordIndex() >= 0 && a.WordIndex() < WordsPerLine
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionSet(t *testing.T) {
+	s := NewRegionSet(1, 5, 63)
+	for _, r := range []RegionID{1, 5, 63} {
+		if !s.Has(r) {
+			t.Fatalf("missing region %d", r)
+		}
+	}
+	if s.Has(2) || s.Has(0) {
+		t.Fatal("spurious region")
+	}
+	if s.Has(-1) || s.Has(64) {
+		t.Fatal("out-of-range Has returned true")
+	}
+	if !s.Union(NewRegionSet(2)).Has(2) {
+		t.Fatal("union broken")
+	}
+	if !RegionSet(0).Empty() || s.Empty() {
+		t.Fatal("Empty broken")
+	}
+	if !AllRegions.Has(0) || !AllRegions.Has(63) {
+		t.Fatal("AllRegions incomplete")
+	}
+}
+
+func TestRegionSetAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Add did not panic")
+		}
+	}()
+	NewRegionSet(64)
+}
+
+// Property: membership after arbitrary adds matches a reference map.
+func TestRegionSetProperty(t *testing.T) {
+	f := func(ids []uint8) bool {
+		var s RegionSet
+		ref := map[RegionID]bool{}
+		for _, id := range ids {
+			r := RegionID(id % MaxRegions)
+			s = s.Add(r)
+			ref[r] = true
+		}
+		for r := RegionID(0); r < MaxRegions; r++ {
+			if s.Has(r) != ref[r] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessKindPredicates(t *testing.T) {
+	cases := []struct {
+		k     AccessKind
+		sync  bool
+		write bool
+	}{
+		{DataLoad, false, false},
+		{DataStore, false, true},
+		{SyncLoad, true, false},
+		{SyncStore, true, true},
+		{SyncRMW, true, true},
+	}
+	for _, c := range cases {
+		if c.k.IsSync() != c.sync || c.k.IsWrite() != c.write {
+			t.Fatalf("%v predicates wrong", c.k)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if ClassSynch.String() != "SYNCH" || SyncRMW.String() != "SyncRMW" {
+		t.Fatal("stringers broken")
+	}
+	if MsgClass(99).String() == "" || AccessKind(99).String() == "" {
+		t.Fatal("unknown-value stringers empty")
+	}
+}

@@ -1,0 +1,45 @@
+package proto
+
+// RegionSet is a bitset of software regions, used by region-based static
+// self-invalidation (§3): at an acquire the program names the regions whose
+// cached Valid words must be dropped. The simulator supports up to 64
+// regions, plenty for the paper's workloads.
+type RegionSet uint64
+
+// MaxRegions is the largest number of distinct regions supported.
+const MaxRegions = 64
+
+// NewRegionSet builds a set from region IDs.
+func NewRegionSet(rs ...RegionID) RegionSet {
+	var s RegionSet
+	for _, r := range rs {
+		s = s.Add(r)
+	}
+	return s
+}
+
+// Add returns s with r included. Region IDs outside [0,64) panic.
+func (s RegionSet) Add(r RegionID) RegionSet {
+	if r < 0 || r >= MaxRegions {
+		panic("proto: region ID out of range")
+	}
+	return s | 1<<uint(r)
+}
+
+// Has reports whether r is in s.
+func (s RegionSet) Has(r RegionID) bool {
+	if r < 0 || r >= MaxRegions {
+		return false
+	}
+	return s&(1<<uint(r)) != 0
+}
+
+// Union returns the union of s and t.
+func (s RegionSet) Union(t RegionSet) RegionSet { return s | t }
+
+// Empty reports whether the set has no regions.
+func (s RegionSet) Empty() bool { return s == 0 }
+
+// AllRegions is the set containing every region — self-invalidating it
+// models the "no further information" fallback of §3.
+const AllRegions RegionSet = ^RegionSet(0)

@@ -1,0 +1,51 @@
+package proto
+
+// Signature is a 256-bit Bloom-filter summary of a set of word addresses —
+// the hardware write signature of DeNovoND [35], which the paper names as
+// the dynamic alternative to region-based static self-invalidation (§3):
+// a releasing core attaches the signature of its writes to the lock, and
+// the next acquirer self-invalidates only matching words instead of whole
+// regions. False positives cause extra (safe) invalidations; false
+// negatives are impossible.
+type Signature struct {
+	bits [4]uint64
+}
+
+// sigHashes returns two bit positions in [0, 256) for a word address.
+func sigHashes(a Addr) (uint, uint) {
+	x := uint64(a.Word()) / WordBytes
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	h1 := uint(x & 255)
+	h2 := uint((x >> 8) & 255)
+	return h1, h2
+}
+
+// Add inserts a word address.
+func (s *Signature) Add(a Addr) {
+	h1, h2 := sigHashes(a)
+	s.bits[h1>>6] |= 1 << (h1 & 63)
+	s.bits[h2>>6] |= 1 << (h2 & 63)
+}
+
+// MightContain reports whether a may have been inserted (no false
+// negatives).
+func (s *Signature) MightContain(a Addr) bool {
+	h1, h2 := sigHashes(a)
+	return s.bits[h1>>6]&(1<<(h1&63)) != 0 && s.bits[h2>>6]&(1<<(h2&63)) != 0
+}
+
+// UnionWith merges t into s.
+func (s *Signature) UnionWith(t Signature) {
+	for i := range s.bits {
+		s.bits[i] |= t.bits[i]
+	}
+}
+
+// Clear empties the signature.
+func (s *Signature) Clear() { s.bits = [4]uint64{} }
+
+// Empty reports whether no address was ever inserted.
+func (s *Signature) Empty() bool {
+	return s.bits == [4]uint64{}
+}

@@ -1,0 +1,58 @@
+package sim
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xorshift64*). The simulator never uses math/rand so that runs are
+// reproducible regardless of Go version or global seeding.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed (0 is remapped to a fixed
+// nonzero constant, since xorshift cannot leave the zero state).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a pseudo-random int in [lo, hi). It panics if hi <= lo.
+func (r *RNG) Range(lo, hi int) int {
+	if hi <= lo {
+		panic("sim: Range with empty interval")
+	}
+	return lo + r.Intn(hi-lo)
+}
+
+// Cycles returns a pseudo-random Cycle count in [lo, hi).
+func (r *RNG) Cycles(lo, hi Cycle) Cycle {
+	if hi <= lo {
+		panic("sim: Cycles with empty interval")
+	}
+	return lo + Cycle(r.Uint64()%uint64(hi-lo))
+}
+
+// Fork derives an independent child generator; the parent advances once.
+// Use one child per simulated thread so per-thread randomness does not
+// depend on global event interleaving.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
+}

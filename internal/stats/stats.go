@@ -1,0 +1,143 @@
+// Package stats defines the execution-time and traffic accounting used to
+// reproduce the stacked-bar breakdowns in Figures 3–7 of the paper.
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"denovosync/internal/proto"
+	"denovosync/internal/sim"
+)
+
+// TimeComponent buckets core cycles the way the paper's execution-time bars
+// do (§7.1): non-synch dummy computation, kernel compute (including spin
+// hits), memory stall, software backoff, hardware backoff, barrier stall.
+type TimeComponent int
+
+const (
+	NonSynch TimeComponent = iota
+	Compute
+	MemStall
+	SWBackoff
+	HWBackoff
+	BarrierStall
+	NumTimeComponents
+)
+
+func (c TimeComponent) String() string {
+	switch c {
+	case NonSynch:
+		return "non-synch"
+	case Compute:
+		return "compute"
+	case MemStall:
+		return "memory stall"
+	case SWBackoff:
+		return "sw backoff"
+	case HWBackoff:
+		return "hw backoff"
+	case BarrierStall:
+		return "barrier"
+	}
+	return fmt.Sprintf("TimeComponent(%d)", int(c))
+}
+
+// CoreTime is one core's cycle breakdown.
+type CoreTime struct {
+	Cycles [NumTimeComponents]sim.Cycle
+	Finish sim.Cycle
+}
+
+// Add charges n cycles to component c.
+func (t *CoreTime) Add(c TimeComponent, n sim.Cycle) { t.Cycles[c] += n }
+
+// Busy returns the sum of all components.
+func (t *CoreTime) Busy() sim.Cycle {
+	var b sim.Cycle
+	for _, v := range t.Cycles {
+		b += v
+	}
+	return b
+}
+
+// RunStats is the complete result of one simulated run.
+type RunStats struct {
+	Protocol string
+	Workload string
+	Cores    int
+
+	// ExecTime is the makespan: the cycle at which the last core finished.
+	ExecTime sim.Cycle
+
+	// Time is the per-component breakdown averaged over cores (cycles).
+	Time [NumTimeComponents]float64
+
+	// PerCore retains each core's raw breakdown for detailed analysis.
+	PerCore []CoreTime
+
+	// Traffic is flit link-crossings per message class; TotalTraffic sums.
+	Traffic      [proto.NumMsgClasses]uint64
+	TotalTraffic uint64
+
+	// L1 aggregate counters across all cores.
+	L1Hits, L1Misses uint64
+
+	// Events is the engine's dispatched event count (diagnostics).
+	Events uint64
+}
+
+// Aggregate fills the averaged Time breakdown and totals from PerCore and
+// the traffic array.
+func (r *RunStats) Aggregate() {
+	if len(r.PerCore) == 0 {
+		return
+	}
+	var sums [NumTimeComponents]sim.Cycle
+	for _, ct := range r.PerCore {
+		for c, v := range ct.Cycles {
+			sums[c] += v
+		}
+		if ct.Finish > r.ExecTime {
+			r.ExecTime = ct.Finish
+		}
+	}
+	n := float64(len(r.PerCore))
+	for c := range sums {
+		r.Time[c] = float64(sums[c]) / n
+	}
+	r.TotalTraffic = 0
+	for _, v := range r.Traffic {
+		r.TotalTraffic += v
+	}
+}
+
+// TimeTotal returns the averaged busy cycles (sum of Time components).
+func (r *RunStats) TimeTotal() float64 {
+	var t float64
+	for _, v := range r.Time {
+		t += v
+	}
+	return t
+}
+
+// String renders a compact human-readable summary.
+func (r *RunStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s (%d cores): exec=%d cycles, traffic=%d flit-hops\n",
+		r.Workload, r.Protocol, r.Cores, r.ExecTime, r.TotalTraffic)
+	fmt.Fprintf(&b, "  time: ")
+	for c := TimeComponent(0); c < NumTimeComponents; c++ {
+		if r.Time[c] > 0 {
+			fmt.Fprintf(&b, "%s=%.0f ", c, r.Time[c])
+		}
+	}
+	fmt.Fprintf(&b, "\n  traffic: ")
+	for cl := proto.MsgClass(0); cl < proto.NumMsgClasses; cl++ {
+		if r.Traffic[cl] > 0 {
+			fmt.Fprintf(&b, "%s=%d ", cl, r.Traffic[cl])
+		}
+	}
+	fmt.Fprintf(&b, "\n  L1: %d hits / %d misses, %d events", r.L1Hits, r.L1Misses, r.Events)
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"denovosync/internal/proto"
+	"denovosync/internal/sim"
+)
+
+func TestCoreTimeAccumulation(t *testing.T) {
+	var ct CoreTime
+	ct.Add(Compute, 10)
+	ct.Add(Compute, 5)
+	ct.Add(MemStall, 20)
+	if ct.Cycles[Compute] != 15 || ct.Busy() != 35 {
+		t.Fatalf("accumulation broken: %+v", ct)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	rs := &RunStats{
+		Protocol: "MESI",
+		Workload: "w",
+		Cores:    2,
+		PerCore: []CoreTime{
+			{Cycles: [NumTimeComponents]sim.Cycle{10, 20, 30, 0, 0, 0}, Finish: 100},
+			{Cycles: [NumTimeComponents]sim.Cycle{20, 40, 10, 0, 0, 0}, Finish: 150},
+		},
+		Traffic: [proto.NumMsgClasses]uint64{100, 50, 0, 25, 0},
+	}
+	rs.Aggregate()
+	if rs.ExecTime != 150 {
+		t.Fatalf("ExecTime = %d (want max finish)", rs.ExecTime)
+	}
+	if rs.Time[NonSynch] != 15 || rs.Time[Compute] != 30 || rs.Time[MemStall] != 20 {
+		t.Fatalf("averaged breakdown wrong: %v", rs.Time)
+	}
+	if rs.TotalTraffic != 175 {
+		t.Fatalf("TotalTraffic = %d", rs.TotalTraffic)
+	}
+	if rs.TimeTotal() != 65 {
+		t.Fatalf("TimeTotal = %f", rs.TimeTotal())
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	rs := &RunStats{}
+	rs.Aggregate() // must not panic
+	if rs.ExecTime != 0 {
+		t.Fatal("empty aggregate produced time")
+	}
+}
+
+func TestStringContainsEssentials(t *testing.T) {
+	rs := &RunStats{
+		Protocol: "DeNovoSync", Workload: "msq", Cores: 16,
+		PerCore: []CoreTime{{Cycles: [NumTimeComponents]sim.Cycle{0, 5, 7, 0, 3, 0}, Finish: 99}},
+		Traffic: [proto.NumMsgClasses]uint64{1, 2, 3, 0, 4},
+	}
+	rs.Aggregate()
+	s := rs.String()
+	for _, want := range []string{"msq", "DeNovoSync", "hw backoff", "SYNCH", "99"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestComponentNames(t *testing.T) {
+	names := map[TimeComponent]string{
+		NonSynch: "non-synch", Compute: "compute", MemStall: "memory stall",
+		SWBackoff: "sw backoff", HWBackoff: "hw backoff", BarrierStall: "barrier",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"denovosync/internal/proto"
+)
+
+func TestTracerFormatsAndFilters(t *testing.T) {
+	var sb strings.Builder
+	tr := New(&sb, proto.ClassSynch, 0)
+	tr.Message(100, 1, 2, proto.ClassSynch, 4)
+	tr.Message(101, 1, 2, proto.ClassLD, 36) // filtered out
+	tr.Message(102, 3, 0, proto.ClassSynch, 6)
+	if tr.Count() != 2 {
+		t.Fatalf("count = %d, want 2", tr.Count())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "SYNCH") || strings.Contains(out, "LD") {
+		t.Fatalf("filter broken:\n%s", out)
+	}
+	if !strings.Contains(out, "n01 -> n02") {
+		t.Fatalf("route missing:\n%s", out)
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	var sb strings.Builder
+	tr := New(&sb, proto.NumMsgClasses, 2)
+	for i := 0; i < 5; i++ {
+		tr.Message(1, 0, 1, proto.ClassLD, 4)
+	}
+	if tr.Count() != 2 {
+		t.Fatalf("limit ignored: %d", tr.Count())
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Message(1, 0, 1, proto.ClassLD, 4) // must not panic
+	if tr.Count() != 0 {
+		t.Fatal("nil tracer counted")
+	}
+}
+
+func TestDisabledTracer(t *testing.T) {
+	tr := &Tracer{}
+	tr.Message(1, 0, 1, proto.ClassLD, 4)
+	if tr.Count() != 0 {
+		t.Fatal("zero-value tracer emitted")
+	}
+}

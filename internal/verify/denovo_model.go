@@ -1,0 +1,365 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The abstract DeNovoSync model: one synchronization word, N cores, each
+// issuing up to maxOps sync reads/writes (both choices explored at every
+// decision point). Mirrors §4.1 of the paper and internal/denovo:
+//
+//   - L1 word state I/V/R; sync reads and writes both register.
+//   - Registry: a single owner pointer (core or the LLC), updated
+//     immediately on every registration request, forwarding to the
+//     previous registrant — never blocking.
+//   - A forwarded registration arriving at an L1 with its own
+//     registration pending parks in the MSHR and is serviced on ack.
+//   - A forwarded sync read downgrades R→V; any write invalidates.
+//   - Data reads request the word without registering; the registry
+//     forwards to the owner, who responds and stays Registered.
+//   - A core may spontaneously evict a Registered word, writing it back;
+//     a writeback that races a newer registration is stale at the
+//     registry and must be ignored there.
+//
+// Delivery order: FIFO per (source, destination) channel, as the mesh
+// provides; channels are otherwise unordered. This matters: exploring the
+// model under fully unordered delivery finds real counterexamples
+// (mutual registration-forward parking cycles, and a stale writeback
+// clearing a re-registration) that all require a core's writeback to
+// overtake its own later registration request on the same channel —
+// exactly what point-to-point ordering forbids. Without evictions the
+// protocol verifies safe even under unordered delivery.
+
+type dnCore struct {
+	state     byte // 'I','V','R'
+	pending   byte // 0 = none, 'r'/'w' = registration, 'd' = data read
+	wbPending bool // eviction writeback awaiting registry ack
+	parked    []dnMsg
+	opsLeft   int
+}
+
+type dnMsg struct {
+	kind string // "reg", "fwd", "ack", "read", "rfwd", "rresp", "wb"
+	src  int    // sender: core ID or -1 for the registry
+	core int    // requester
+	to   int    // destination core for fwd/ack (-1 = registry)
+	op   byte   // 'r' or 'w' (registrations only)
+}
+
+type dnState struct {
+	cores []dnCore
+	owner int // -1 = registry/LLC
+	msgs  []dnMsg
+}
+
+func (s *dnState) clone() *dnState {
+	n := &dnState{owner: s.owner}
+	n.cores = make([]dnCore, len(s.cores))
+	copy(n.cores, s.cores)
+	for i := range s.cores {
+		n.cores[i].parked = append([]dnMsg(nil), s.cores[i].parked...)
+	}
+	n.msgs = append([]dnMsg(nil), s.msgs...)
+	return n
+}
+
+func (m dnMsg) String() string {
+	return fmt.Sprintf("%s(s%d,c%d->%d,%c)", m.kind, m.src, m.core, m.to, m.op)
+}
+
+func (s *dnState) encode() string {
+	var b strings.Builder
+	for _, c := range s.cores {
+		wb := byte('-')
+		if c.wbPending {
+			wb = 'W'
+		}
+		fmt.Fprintf(&b, "%c%c%c%d[", c.state, pendingChar(c.pending), wb, c.opsLeft)
+		for _, p := range c.parked {
+			b.WriteString(p.String())
+		}
+		b.WriteString("]")
+	}
+	fmt.Fprintf(&b, "|o%d|", s.owner)
+	// Canonicalize: per-channel order is significant, channel interleaving
+	// is not (FIFO mesh semantics, as in the MESI model).
+	chans := map[[2]int][]string{}
+	var keys [][2]int
+	for _, m := range s.msgs {
+		k := [2]int{m.src, m.to}
+		if len(chans[k]) == 0 {
+			keys = append(keys, k)
+		}
+		chans[k] = append(chans[k], m.String())
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		b.WriteString(strings.Join(chans[k], ">"))
+		b.WriteString(",")
+	}
+	return b.String()
+}
+
+func pendingChar(p byte) byte {
+	if p == 0 {
+		return '-'
+	}
+	return p
+}
+
+type dnModel struct {
+	cores, maxOps int
+	extended      bool // evictions + data reads (beyond the MESI model's ops)
+	table         map[string]*dnState
+}
+
+// NewDeNovoModel explores the full DeNovoSync model: sync reads/writes,
+// data reads, spontaneous evictions with acked writebacks.
+func NewDeNovoModel(cores, maxOps int) *Result {
+	m := &dnModel{cores: cores, maxOps: maxOps, extended: true, table: map[string]*dnState{}}
+	return explore(m, "DeNovoSync", cores, maxOps, 4_000_000)
+}
+
+// NewDeNovoModelBase explores the registration protocol over the same
+// operation set as the MESI model (reads and writes, no evictions) — the
+// like-for-like comparison behind the complexity claim.
+func NewDeNovoModelBase(cores, maxOps int) *Result {
+	m := &dnModel{cores: cores, maxOps: maxOps, table: map[string]*dnState{}}
+	return explore(m, "DeNovoSync-base", cores, maxOps, 4_000_000)
+}
+
+// The explorer works on encoded strings; a side table maps each
+// canonical encoding back to its structured state (sound because the
+// encoding is canonical).
+func (d *dnModel) initial() string {
+	s := &dnState{owner: -1}
+	for i := 0; i < d.cores; i++ {
+		s.cores = append(s.cores, dnCore{state: 'I', opsLeft: d.maxOps})
+	}
+	return d.intern(s)
+}
+
+func (d *dnModel) intern(s *dnState) string {
+	e := s.encode()
+	if _, ok := d.table[e]; !ok {
+		d.table[e] = s
+	}
+	return e
+}
+
+func (d *dnModel) successors(enc string) []string {
+	s := d.table[enc]
+	if s == nil {
+		panic("verify: unknown state " + enc)
+	}
+	var out []string
+
+	// 1. Core op issue: any core with no pending registration and ops
+	// left may issue a sync read, a sync write, or a data read.
+	for i := range s.cores {
+		c := &s.cores[i]
+		if c.pending != 0 || c.opsLeft == 0 || c.wbPending {
+			continue
+		}
+		for _, op := range []byte{'r', 'w'} {
+			n := s.clone()
+			nc := &n.cores[i]
+			if nc.state == 'R' {
+				nc.opsLeft-- // hit: reads and writes stay Registered
+			} else {
+				nc.pending = op
+				n.msgs = append(n.msgs, dnMsg{kind: "reg", src: i, core: i, to: -1, op: op})
+			}
+			out = append(out, d.intern(n))
+		}
+		// Data read: hits on V or R; otherwise a non-registering request.
+		if d.extended {
+			n := s.clone()
+			nc := &n.cores[i]
+			if nc.state == 'V' || nc.state == 'R' {
+				nc.opsLeft--
+			} else {
+				nc.pending = 'd'
+				n.msgs = append(n.msgs, dnMsg{kind: "read", src: i, core: i, to: -1})
+			}
+			out = append(out, d.intern(n))
+		}
+	}
+
+	// 1b. Spontaneous eviction of a Registered word (capacity pressure):
+	// drop to Invalid, write back, and wait for the registry's ack before
+	// registering the word again.
+	for i := range s.cores {
+		if !d.extended || s.cores[i].state != 'R' || s.cores[i].pending != 0 || s.cores[i].wbPending {
+			continue
+		}
+		n := s.clone()
+		n.cores[i].state = 'I'
+		n.cores[i].wbPending = true
+		n.msgs = append(n.msgs, dnMsg{kind: "wb", src: i, core: i, to: -1})
+		out = append(out, d.intern(n))
+	}
+
+	// 2. Message deliveries: FIFO per (source, destination) channel,
+	// arbitrary interleaving across channels.
+	for mi := range s.msgs {
+		blocked := false
+		for mj := 0; mj < mi; mj++ {
+			if s.msgs[mj].src == s.msgs[mi].src && s.msgs[mj].to == s.msgs[mi].to {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		n := s.clone()
+		msg := n.msgs[mi]
+		n.msgs = append(n.msgs[:mi], n.msgs[mi+1:]...)
+		switch msg.kind {
+		case "reg":
+			prev := n.owner
+			n.owner = msg.core
+			if prev == -1 || prev == msg.core {
+				n.msgs = append(n.msgs, dnMsg{kind: "ack", src: -1, core: msg.core, to: msg.core, op: msg.op})
+			} else {
+				n.msgs = append(n.msgs, dnMsg{kind: "fwd", src: -1, core: msg.core, to: prev, op: msg.op})
+			}
+		case "fwd":
+			c := &n.cores[msg.to]
+			switch {
+			case c.pending != 0:
+				c.parked = append(c.parked, msg)
+			case c.state == 'R':
+				if msg.op == 'r' {
+					c.state = 'V' // remote sync read downgrades (§4.2.1)
+				} else {
+					c.state = 'I'
+				}
+				n.msgs = append(n.msgs, dnMsg{kind: "ack", src: msg.to, core: msg.core, to: msg.core, op: msg.op})
+			default:
+				// Stale forward: respond from the committed image.
+				n.msgs = append(n.msgs, dnMsg{kind: "ack", src: msg.to, core: msg.core, to: msg.core, op: msg.op})
+			}
+		case "read":
+			if n.owner == -1 || n.owner == msg.core {
+				// Registry-owned (or stale self-pointer): respond directly.
+				n.msgs = append(n.msgs, dnMsg{kind: "rresp", src: -1, core: msg.core, to: msg.core})
+			} else {
+				n.msgs = append(n.msgs, dnMsg{kind: "rfwd", src: -1, core: msg.core, to: n.owner})
+			}
+		case "rfwd":
+			// Owner responds from its (or the committed) copy and stays
+			// Registered; no state change either way.
+			n.msgs = append(n.msgs, dnMsg{kind: "rresp", src: msg.to, core: msg.core, to: msg.core})
+		case "rresp":
+			c := &n.cores[msg.to]
+			if c.state == 'I' {
+				c.state = 'V'
+			}
+			c.pending = 0
+			c.opsLeft--
+			// A parked registration forward can be waiting behind a data
+			// read; service it from the stale path (we are not Registered).
+			for _, p := range c.parked {
+				n.msgs = append(n.msgs, dnMsg{kind: "ack", src: msg.to, core: p.core, to: p.core, op: p.op})
+			}
+			c.parked = nil
+		case "wb":
+			if n.owner == msg.core {
+				n.owner = -1
+			}
+			// Otherwise the writeback raced a newer registration: stale.
+			// Either way the evictor gets an ack so it may re-register.
+			n.msgs = append(n.msgs, dnMsg{kind: "wback", src: -1, core: msg.core, to: msg.core})
+		case "wback":
+			n.cores[msg.to].wbPending = false
+		case "ack":
+			c := &n.cores[msg.to]
+			c.state = 'R'
+			c.pending = 0
+			c.opsLeft--
+			// Service parked forwards in arrival order: the distributed
+			// registration queue hand-off.
+			for _, p := range c.parked {
+				if c.state == 'R' {
+					if p.op == 'r' {
+						c.state = 'V'
+					} else {
+						c.state = 'I'
+					}
+				}
+				n.msgs = append(n.msgs, dnMsg{kind: "ack", src: msg.to, core: p.core, to: p.core, op: p.op})
+			}
+			c.parked = nil
+		}
+		out = append(out, d.intern(n))
+	}
+	return out
+}
+
+func (d *dnModel) check(enc string) string {
+	s := d.table[enc]
+	if s == nil {
+		return ""
+	}
+	registered := 0
+	for _, c := range s.cores {
+		if c.state == 'R' {
+			registered++
+		}
+	}
+	if registered > 1 {
+		return "single-registrant violation"
+	}
+	// At quiescence the registry pointer must name the Registered core
+	// (or no core is Registered and any stale pointer was cleaned by a
+	// later registration — owner then names the last registrant, which
+	// must still be Registered).
+	if d.quiescent(enc) && s.owner >= 0 && s.cores[s.owner].state != 'R' {
+		return "registry points to a non-registered core at quiescence"
+	}
+	return ""
+}
+
+func (d *dnModel) l1states(enc string) []string {
+	s := d.table[enc]
+	if s == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range s.cores {
+		label := string(c.state)
+		if c.pending != 0 {
+			label += "+" + string(c.pending)
+			if len(c.parked) > 0 {
+				label += fmt.Sprintf("p%d", len(c.parked))
+			}
+		}
+		out = append(out, label)
+	}
+	return out
+}
+
+func (d *dnModel) quiescent(enc string) bool {
+	s := d.table[enc]
+	if s == nil {
+		return false
+	}
+	if len(s.msgs) > 0 {
+		return false
+	}
+	for _, c := range s.cores {
+		if c.pending != 0 || c.opsLeft > 0 || len(c.parked) > 0 || c.wbPending {
+			return false
+		}
+	}
+	return true
+}
