@@ -1,0 +1,59 @@
+GO ?= go
+
+# `make` = the full CI gate: static checks, build, race-enabled tests,
+# and the reduced-scale golden-figure check.
+.PHONY: all
+all: check
+
+.PHONY: check
+check: vet build race golden
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: race
+race:
+	$(GO) test -race ./...
+
+# Golden checks: figure CSVs (Figs. 3-7 at reduced scale) and the
+# cycle-exact determinism fingerprints. Regenerate deliberately with
+# `make golden-update` after an intentional simulator change.
+.PHONY: golden
+golden:
+	$(GO) test ./internal/harness -run TestGoldenFigures -count=1
+	$(GO) test ./internal/machine -run 'TestDeterminism|TestBatchingMatchesEager' -count=1
+
+.PHONY: golden-update
+golden-update:
+	$(GO) test ./internal/harness -run TestGoldenFigures -count=1 -update
+	$(GO) test ./internal/machine -run TestDeterminismGolden -count=1 -update
+
+# Engine + handshake micro-benchmarks (compare against BENCH_baseline.json
+# on the same machine; see EXPERIMENTS.md, "Benchmark workflow").
+.PHONY: bench
+bench:
+	$(GO) test ./internal/sim ./internal/cpu -run '^$$' -bench 'BenchmarkEngine|BenchmarkHandshake' -benchmem
+	$(GO) test . -run '^$$' -bench BenchmarkEngineThroughput -benchmem
+
+# bench-baseline prints the numbers in BENCH_baseline.json format worth
+# pasting in after a deliberate engine change (higher -count for stability).
+.PHONY: bench-baseline
+bench-baseline:
+	$(GO) test ./internal/sim ./internal/cpu -run '^$$' -bench 'BenchmarkEngine|BenchmarkHandshake' -count=5
+	$(GO) test . -run '^$$' -bench BenchmarkEngineThroughput -count=5
+
+# Short fuzzing passes over the DeNovoSync backoff-counter and MSHR
+# parking properties (seed corpus always runs under `make test`).
+.PHONY: fuzz
+fuzz:
+	$(GO) test ./internal/denovo -fuzz FuzzBackoffCounterWrap -fuzztime 30s
+	$(GO) test ./internal/denovo -fuzz FuzzMSHRSyncParking -fuzztime 30s

@@ -14,6 +14,8 @@
 //	paperbench -scale 10           # 10x smaller workloads (quick look)
 //	paperbench -csv out.csv        # also dump machine-readable rows
 //	paperbench -list-config        # print Table 1
+//	paperbench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	                               # profile the run (go tool pprof)
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"os"
 
 	"denovosync"
+	"denovosync/internal/profiling"
 )
 
 func main() {
@@ -34,6 +37,8 @@ func main() {
 		listConfig = flag.Bool("list-config", false, "print the Table 1 system parameters")
 		bars       = flag.Bool("bars", false, "render ASCII stacked bars instead of tables")
 		check      = flag.Bool("check", true, "evaluate the paper's qualitative claims per figure")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file")
 	)
 	flag.Parse()
 
@@ -41,6 +46,16 @@ func main() {
 		printTable1()
 		return
 	}
+
+	stopProfile, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer func() {
+		if err := stopProfile(); err != nil {
+			fatalf("%v", err)
+		}
+	}()
 
 	opt := denovosync.FigureOptions{Scale: *scale}
 	var csv *os.File

@@ -18,14 +18,17 @@ import (
 	"os"
 
 	"denovosync"
+	"denovosync/internal/profiling"
 )
 
 func main() {
 	var (
-		kernelID = flag.String("kernel", "nb-m-s-queue", "kernel slug (see denovosim -list)")
-		cores    = flag.Int("cores", 16, "machine size: 16 or 64")
-		iters    = flag.Int("iters", 30, "kernel iterations per thread")
-		csvPath  = flag.String("csv", "", "write CSV to this file as well")
+		kernelID   = flag.String("kernel", "nb-m-s-queue", "kernel slug (see denovosim -list)")
+		cores      = flag.Int("cores", 16, "machine size: 16 or 64")
+		iters      = flag.Int("iters", 30, "kernel iterations per thread")
+		csvPath    = flag.String("csv", "", "write CSV to this file as well")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file")
 	)
 	flag.Parse()
 
@@ -34,6 +37,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: unknown kernel %q\n", *kernelID)
 		os.Exit(1)
 	}
+
+	stopProfile, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProfile(); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+		}
+	}()
 
 	var csv *os.File
 	if *csvPath != "" {

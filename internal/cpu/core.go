@@ -102,6 +102,34 @@ func (c *Core) complete(v uint64) {
 	c.serviceThread()
 }
 
+// replay re-enacts batched lazy steps as the exact event chain the eager
+// thread API would have produced — one event per step, each scheduled from
+// inside its predecessor — then runs op inside the final event. Keeping
+// the schedule-call sequence identical keeps (time, seq) dispatch order,
+// and therefore all simulated results, bit-identical to unbatched runs.
+func (c *Core) replay(steps []lazyStep, op threadOp) {
+	var run func(i int)
+	run = func(i int) {
+		if i == len(steps) {
+			op(c)
+			return
+		}
+		s := steps[i]
+		if s.setPhase {
+			c.eng.Schedule(0, func() {
+				c.phase = s.phase
+				run(i + 1)
+			})
+			return
+		}
+		c.eng.Schedule(s.delay, func() {
+			c.charge(s.comp, s.delay)
+			run(i + 1)
+		})
+	}
+	run(0)
+}
+
 // charge attributes n cycles to component comp, redirected by the current
 // phase: everything in the non-synch phase lands in NonSynch, and in the
 // barrier phase all waiting lands in BarrierStall. Hardware and software

@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"os"
+
 	"denovosync/internal/proto"
 	"denovosync/internal/sim"
 	"denovosync/internal/stats"
@@ -16,6 +18,13 @@ type RegionMapper interface {
 // methods marked "blocking" suspend the calling goroutine for the
 // simulated duration of the operation. A Thread's methods must only be
 // called from its own workload goroutine.
+//
+// Pure time-advancing operations (Compute, SWBackoff, SetPhase) are
+// batched: they queue locally and are replayed as the exact event chain
+// the eager implementation would have produced when the next blocking
+// operation (or Close/Now/Epoch) flushes them. This skips two goroutine
+// context switches per batched call without perturbing the engine's event
+// sequence, so simulated results are bit-identical to unbatched runs.
 type Thread struct {
 	// ID is the thread index, equal to the core ID it runs on.
 	ID int
@@ -24,6 +33,15 @@ type Thread struct {
 
 	core    *Core
 	regions RegionMapper
+	pending []lazyStep
+}
+
+// lazyStep is one queued time-advancing operation awaiting flush.
+type lazyStep struct {
+	delay    sim.Cycle
+	comp     stats.TimeComponent
+	setPhase bool
+	phase    Phase
 }
 
 // NewThread binds a workload thread to core. regions may be nil if the
@@ -33,14 +51,55 @@ func NewThread(core *Core, regions RegionMapper, rng *sim.RNG) *Thread {
 }
 
 // do hands op to the core and blocks until the simulated completion.
+// Queued lazy steps are replayed first, as a chain of events identical to
+// the one the eager path would have scheduled; op runs inside the chain's
+// final event, exactly where it would have run after the last handshake.
 func (t *Thread) do(op threadOp) uint64 {
+	if len(t.pending) > 0 {
+		steps := t.pending
+		t.pending = t.pending[:0] // safe: t blocks until the chain completes
+		inner := op
+		op = func(c *Core) { c.replay(steps, inner) }
+	}
 	t.core.ops <- op
 	return <-t.core.resp
 }
 
+// flush drains queued lazy steps so the engine state observed by
+// non-blocking accessors (Now, Epoch) reflects them.
+func (t *Thread) flush() {
+	if len(t.pending) > 0 {
+		t.do(func(c *Core) { c.complete(0) })
+	}
+}
+
+// Rendezvous performs one empty handshake with the core, blocking the
+// calling goroutine until the core's cycle-0 thread-service event runs.
+// The spawner calls it before the workload function so that native code
+// ahead of the first blocking operation (including host-level access to
+// shared simulation state like the allocator) executes serialized, in
+// core order, under the engine's one-runnable-goroutine discipline —
+// instead of racing across freshly spawned workload goroutines. The
+// handshake schedules no events and charges no time, so the simulated
+// event sequence is untouched.
+func (t *Thread) Rendezvous() {
+	t.do(func(c *Core) { c.complete(0) })
+}
+
+// Flush replays any batched time-advancing operations before returning.
+// Workload code MUST call it before natively reading or mutating host
+// state shared across threads (e.g. the simulated-memory allocator): the
+// flush pins that access to the current simulated time, keeping the
+// cross-thread interleaving of such accesses identical to an unbatched
+// run. Blocking operations flush implicitly.
+func (t *Thread) Flush() { t.flush() }
+
 // Now returns the current simulated cycle. (Safe: the engine is blocked
 // whenever workload code runs.)
-func (t *Thread) Now() sim.Cycle { return t.core.eng.Now() }
+func (t *Thread) Now() sim.Cycle {
+	t.flush()
+	return t.core.eng.Now()
+}
 
 func (t *Thread) regionOf(addr proto.Addr) proto.RegionID {
 	if t.regions == nil {
@@ -131,30 +190,47 @@ func (t *Thread) Exchange(addr proto.Addr, value uint64) uint64 {
 	return t.rmw(addr, func(uint64) (uint64, bool) { return value, true })
 }
 
-// Compute burns n cycles of computation (1 CPI instructions).
+// EagerOps disables the lazy batching of Compute/SWBackoff/SetPhase,
+// restoring the one-handshake-per-call reference implementation. The two
+// modes must produce bit-identical simulations (TestBatchingMatchesEager
+// checks this); set CPU_EAGER=1 to bisect a suspected batching bug.
+var EagerOps = os.Getenv("CPU_EAGER") != ""
+
+// Compute burns n cycles of computation (1 CPI instructions). Batched:
+// the cycles are charged and the clock advanced when the next blocking
+// operation flushes the queue.
 func (t *Thread) Compute(n sim.Cycle) {
 	if n == 0 {
 		return
 	}
-	t.do(func(c *Core) {
-		c.eng.Schedule(n, func() {
-			c.charge(stats.Compute, n)
-			c.complete(0)
+	if EagerOps {
+		t.do(func(c *Core) {
+			c.eng.Schedule(n, func() {
+				c.charge(stats.Compute, n)
+				c.complete(0)
+			})
 		})
-	})
+		return
+	}
+	t.pending = append(t.pending, lazyStep{delay: n, comp: stats.Compute})
 }
 
 // SWBackoff stalls n cycles of software backoff (plotted separately).
+// Batched like Compute.
 func (t *Thread) SWBackoff(n sim.Cycle) {
 	if n == 0 {
 		return
 	}
-	t.do(func(c *Core) {
-		c.eng.Schedule(n, func() {
-			c.charge(stats.SWBackoff, n)
-			c.complete(0)
+	if EagerOps {
+		t.do(func(c *Core) {
+			c.eng.Schedule(n, func() {
+				c.charge(stats.SWBackoff, n)
+				c.complete(0)
+			})
 		})
-	})
+		return
+	}
+	t.pending = append(t.pending, lazyStep{delay: n, comp: stats.SWBackoff})
 }
 
 // SelfInvalidate drops cached Valid words of the given regions (DeNovo's
@@ -207,16 +283,25 @@ func (t *Thread) Fence() {
 }
 
 // SetPhase switches the accounting phase (kernel / non-synch / barrier).
+// Batched: the switch takes effect, in program order, when the queue is
+// flushed (it costs its original zero-delay event then).
 func (t *Thread) SetPhase(p Phase) {
-	t.do(func(c *Core) {
-		c.phase = p
-		c.eng.Schedule(0, func() { c.complete(0) })
-	})
+	if EagerOps {
+		t.do(func(c *Core) {
+			c.phase = p
+			c.eng.Schedule(0, func() { c.complete(0) })
+		})
+		return
+	}
+	t.pending = append(t.pending, lazyStep{setPhase: true, phase: p})
 }
 
 // Epoch samples the local disturbance counter for addr; pair with
 // WaitDisturb to implement efficient spin-waiting.
-func (t *Thread) Epoch(addr proto.Addr) uint64 { return t.core.l1.Epoch(addr) }
+func (t *Thread) Epoch(addr proto.Addr) uint64 {
+	t.flush()
+	return t.core.l1.Epoch(addr)
+}
 
 // WaitDisturb blocks until the cached state of addr's word is disturbed by
 // remote protocol activity (epoch advances past the sampled epoch). The
@@ -249,6 +334,10 @@ func (t *Thread) SpinSyncLoadUntil(addr proto.Addr, pred func(uint64) bool) uint
 }
 
 // Close ends the thread: the core observes the closed op channel and
-// records its finish time. Deferred by the machine around the workload
-// body; workload code never calls it.
-func (t *Thread) Close() { close(t.core.ops) }
+// records its finish time (after any queued lazy steps play out).
+// Deferred by the machine around the workload body; workload code never
+// calls it.
+func (t *Thread) Close() {
+	t.flush()
+	close(t.core.ops)
+}

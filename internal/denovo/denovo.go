@@ -92,6 +92,16 @@ func (c *Config) unitOf(a proto.Addr) proto.Addr {
 	return a &^ proto.Addr(c.unitWords()*proto.WordBytes-1)
 }
 
+// initialIncrement returns the increment counter's reset value, clamped
+// to the counter width like every later growth step — a DefaultIncrement
+// wider than the register cannot exist in hardware.
+func (c *Config) initialIncrement() sim.Cycle {
+	if mask := c.backoffMask(); c.DefaultIncrement > mask {
+		return mask
+	}
+	return c.DefaultIncrement
+}
+
 // backoffMask returns the wrap mask for the backoff counter.
 func (c *Config) backoffMask() sim.Cycle {
 	if c.BackoffBits == 0 || c.BackoffBits >= 63 {

@@ -80,7 +80,7 @@ func NewL1(cfg *Config, id proto.CoreID, node proto.NodeID, regions proto.Region
 		disturbs:  make(map[proto.Addr][]func()),
 		wbPending: make(map[proto.Addr]bool),
 		wbWaiters: make(map[proto.Addr][]func()),
-		incCtr:    cfg.DefaultIncrement,
+		incCtr:    cfg.initialIncrement(),
 	}
 }
 

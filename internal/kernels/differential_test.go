@@ -1,0 +1,50 @@
+package kernels_test
+
+import (
+	"testing"
+
+	"denovosync/internal/alloc"
+	"denovosync/internal/kernels"
+	"denovosync/internal/machine"
+)
+
+// TestCrossProtocolFunctionalEquivalence runs every kernel on all three
+// protocols and requires identical functional summaries: queue/stack/heap
+// element counts, counter totals, large-CS array sums, barrier arrivals.
+// Coherence protocols may only change timing and traffic — any divergence
+// in the functional outcome is a protocol bug (lost update, broken
+// atomicity, skipped barrier). Structural validity (min-heap property,
+// intact next chains, no overflow) is checked inside each summary.
+//
+// Runs at 16 cores: every kernel's functional outcome is fully determined
+// there (no capacity drops), so the summaries must agree exactly.
+func TestCrossProtocolFunctionalEquivalence(t *testing.T) {
+	protocols := []machine.Protocol{machine.MESI, machine.DeNovoSync0, machine.DeNovoSync}
+	for _, k := range kernels.All() {
+		k := k
+		t.Run(k.ID, func(t *testing.T) {
+			t.Parallel()
+			summaries := make(map[machine.Protocol]string, len(protocols))
+			for _, prot := range protocols {
+				p := machine.Params16()
+				p.Seed = 11
+				m := machine.New(p, prot, alloc.New())
+				_, sum, err := kernels.RunWithSummary(k, m, kernels.Config{Iters: 6, EqChecks: -1})
+				if err != nil {
+					t.Fatalf("%s/%v: %v", k.ID, prot, err)
+				}
+				if sum == "" {
+					t.Fatalf("%s/%v: kernel produced no functional summary", k.ID, prot)
+				}
+				summaries[prot] = sum
+			}
+			base := summaries[protocols[0]]
+			for _, prot := range protocols[1:] {
+				if summaries[prot] != base {
+					t.Errorf("functional outcome diverged:\n  %v: %s\n  %v: %s",
+						protocols[0], base, prot, summaries[prot])
+				}
+			}
+		})
+	}
+}

@@ -6,6 +6,8 @@
 package kernels
 
 import (
+	"fmt"
+
 	"denovosync/internal/alloc"
 	"denovosync/internal/cpu"
 	"denovosync/internal/locks"
@@ -53,6 +55,11 @@ func (q *lockQueue) enqueue(t *cpu.Thread, v uint64) bool {
 	return true
 }
 
+// size reads the resident element count from the final memory image.
+func (q *lockQueue) size(st *mem.Store) uint64 {
+	return st.Read(q.tail) - st.Read(q.head)
+}
+
 func (q *lockQueue) dequeue(t *cpu.Thread) (uint64, bool) {
 	tk := q.lock.Acquire(t)
 	defer q.lock.Release(t, tk)
@@ -95,6 +102,7 @@ func newTwoLockQueue(s *alloc.Space, st *mem.Store, headLock, tailLock locks.Loc
 }
 
 func (q *twoLockQueue) enqueue(t *cpu.Thread, v uint64) bool {
+	t.Flush() // the allocator is shared host state: allocate at simulated time
 	node := q.space.AllocAligned(2, q.region)
 	t.Store(node+tlqValue, v)
 	t.SyncStore(node+tlqNext, 0)
@@ -104,6 +112,24 @@ func (q *twoLockQueue) enqueue(t *cpu.Thread, v uint64) bool {
 	t.Store(q.tail, uint64(node))
 	q.tailLock.Release(t, tk)
 	return true
+}
+
+// size walks the list in the final memory image, counting resident
+// elements (nodes after the dummy). limit bounds the walk so a corrupted
+// next chain cannot loop forever.
+func (q *twoLockQueue) size(st *mem.Store, limit int) (uint64, error) {
+	var n uint64
+	node := proto.Addr(st.Read(q.head))
+	for {
+		next := st.Read(node + tlqNext)
+		if next == 0 {
+			return n, nil
+		}
+		if n++; int(n) > limit {
+			return 0, fmt.Errorf("two-lock queue: next chain exceeds %d nodes", limit)
+		}
+		node = proto.Addr(next)
+	}
 }
 
 func (q *twoLockQueue) dequeue(t *cpu.Thread) (uint64, bool) {
@@ -152,6 +178,9 @@ func (k *lockStack) push(t *cpu.Thread, v uint64) bool {
 	t.Store(k.top, top+1)
 	return true
 }
+
+// size reads the resident element count from the final memory image.
+func (k *lockStack) size(st *mem.Store) uint64 { return st.Read(k.top) }
 
 func (k *lockStack) pop(t *cpu.Thread) (uint64, bool) {
 	tk := k.lock.Acquire(t)
@@ -216,6 +245,23 @@ func (h *lockHeap) insert(t *cpu.Thread, v uint64) bool {
 	return true
 }
 
+// size reads the element count from the final memory image.
+//
+// It deliberately does NOT validate the min-heap property: the L1 models
+// lack store→load forwarding, so a sift step that reloads a word of a
+// line whose own data store is still upgrading S→M reads the stale
+// snapshot and mis-sorts the array (see ROADMAP, "known modeling gaps").
+// The count word never has that load-after-own-inflight-store pattern
+// (one load and one store per critical section, drained at release), so
+// it stays exact.
+func (h *lockHeap) size(st *mem.Store) (uint64, error) {
+	n := int(st.Read(h.count))
+	if n > h.capacity {
+		return 0, fmt.Errorf("lock heap: count %d exceeds capacity %d", n, h.capacity)
+	}
+	return uint64(n), nil
+}
+
 func (h *lockHeap) extractMin(t *cpu.Thread) (uint64, bool) {
 	tk := h.lock.Acquire(t)
 	defer h.lock.Release(t, tk)
@@ -271,6 +317,9 @@ func (c *lockCounter) increment(t *cpu.Thread) {
 	c.lock.Release(t, tk)
 }
 
+// total reads the counter's final value from the memory image.
+func (c *lockCounter) total(st *mem.Store) uint64 { return st.Read(c.addr) }
+
 // largeCS is the synthetic fixed-length large-critical-section kernel:
 // each entry reads and writes `accesses` words of a shared array and burns
 // some compute inside the lock.
@@ -288,6 +337,17 @@ func newLargeCS(s *alloc.Space, lock locks.Lock, region proto.RegionID, words, a
 		words:    words,
 		accesses: accesses,
 	}
+}
+
+// sum totals the shared array in the final memory image: every critical
+// section increments `accesses` words by one, so with no lost updates the
+// sum is exactly cores × iters × accesses.
+func (l *largeCS) sum(st *mem.Store) uint64 {
+	var s uint64
+	for i := 0; i < l.words; i++ {
+		s += st.Read(l.buf + proto.Addr(i*proto.WordBytes))
+	}
+	return s
 }
 
 func (l *largeCS) run(t *cpu.Thread, iter int) {

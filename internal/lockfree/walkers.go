@@ -1,0 +1,83 @@
+package lockfree
+
+import (
+	"fmt"
+
+	"denovosync/internal/mem"
+	"denovosync/internal/proto"
+)
+
+// Post-run walkers: they read the final functional memory image natively
+// (no simulated accesses) so tests can compare each structure's outcome
+// across protocols. limit bounds every chain walk so a corrupted pointer
+// can never loop a test forever.
+
+// Size counts resident elements by walking the next chain from the dummy
+// node at head.
+func (q *MSQueue) Size(st *mem.Store, limit int) (uint64, error) {
+	return walkChain(st, proto.Addr(st.Read(q.head)), func(v uint64) proto.Addr {
+		return proto.Addr(v)
+	}, limit)
+}
+
+// Size counts resident elements; PLJ next links are counted pointers.
+func (q *PLJQueue) Size(st *mem.Store, limit int) (uint64, error) {
+	return walkChain(st, unpackAddr(st.Read(q.head)), unpackAddr, limit)
+}
+
+// Size counts resident elements by walking the top chain.
+func (s *TreiberStack) Size(st *mem.Store, limit int) (uint64, error) {
+	top := proto.Addr(st.Read(s.top))
+	if top == 0 {
+		return 0, nil
+	}
+	// The top node is an element (no dummy), so count it plus the chain
+	// hanging off it.
+	n, err := walkChain(st, top, func(v uint64) proto.Addr { return proto.Addr(v) }, limit)
+	return n + 1, err
+}
+
+// walkChain counts the nodes reachable from node's next link, decoding
+// each link word with nextAddr.
+func walkChain(st *mem.Store, node proto.Addr, nextAddr func(uint64) proto.Addr, limit int) (uint64, error) {
+	var n uint64
+	for {
+		next := nextAddr(st.Read(node + offNext))
+		if next == 0 {
+			return n, nil
+		}
+		if n++; int(n) > limit {
+			return 0, fmt.Errorf("lockfree: next chain exceeds %d nodes", limit)
+		}
+		node = next
+	}
+}
+
+// Size reads the current version object's element count.
+func (h *HerlihyStack) Size(st *mem.Store) (uint64, error) {
+	n := st.Read(proto.Addr(st.Read(h.root)))
+	if int(n) > h.capacity {
+		return 0, fmt.Errorf("herlihy stack: count %d exceeds capacity %d", n, h.capacity)
+	}
+	return n, nil
+}
+
+// Size reads the current version object's element count, validating the
+// min-heap property over the resident elements.
+func (h *HerlihyHeap) Size(st *mem.Store) (uint64, error) {
+	obj := proto.Addr(st.Read(h.root))
+	n := int(st.Read(obj))
+	if n > h.capacity {
+		return 0, fmt.Errorf("herlihy heap: count %d exceeds capacity %d", n, h.capacity)
+	}
+	for i := 1; i < n; i++ {
+		p := (i - 1) / 2
+		if st.Read(obj+heapOff(p)) > st.Read(obj+heapOff(i)) {
+			return 0, fmt.Errorf("herlihy heap: min-heap property violated at index %d", i)
+		}
+	}
+	return uint64(n), nil
+}
+
+// Total reads the counter's final value.
+func (c *FAICounter) Total(st *mem.Store) uint64 { return st.Read(c.addr) }

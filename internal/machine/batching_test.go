@@ -1,0 +1,28 @@
+package machine_test
+
+import (
+	"testing"
+
+	"denovosync/internal/cpu"
+)
+
+// TestBatchingMatchesEager proves the core↔engine handshake batching
+// invariant: lazy replay of Compute/SWBackoff/SetPhase must produce the
+// same event sequence — and therefore bit-identical statistics — as the
+// eager one-handshake-per-call reference implementation. Not parallel: it
+// toggles the global cpu.EagerOps reference switch.
+func TestBatchingMatchesEager(t *testing.T) {
+	if cpu.EagerOps {
+		t.Skip("CPU_EAGER set: nothing to compare against")
+	}
+	for _, j := range detJobs() {
+		lazy := fingerprint(runDetJob(t, j.kernel, j.prot, 7))
+		cpu.EagerOps = true
+		eager := fingerprint(runDetJob(t, j.kernel, j.prot, 7))
+		cpu.EagerOps = false
+		if lazy != eager {
+			t.Fatalf("%s/%v: batched run diverged from eager reference:\neager: %s\nlazy:  %s",
+				j.kernel, j.prot, eager, lazy)
+		}
+	}
+}

@@ -6,6 +6,7 @@ package machine
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"denovosync/internal/alloc"
 	"denovosync/internal/cpu"
@@ -239,11 +240,14 @@ func (m *Machine) RunThreads(name string, body func(i int) Workload) (*stats.Run
 		fn := body(i)
 		go func() {
 			defer th.Close()
+			th.Rendezvous()
 			fn(th)
 		}()
 	}
 	const eventLimit = 4_000_000_000
+	wallStart := time.Now()
 	m.Eng.Run(eventLimit)
+	wall := time.Since(wallStart)
 
 	if m.finished != m.Params.Cores {
 		return nil, fmt.Errorf("machine: deadlock or livelock: %d/%d threads finished after %d events",
@@ -264,6 +268,7 @@ func (m *Machine) RunThreads(name string, body func(i int) Workload) (*stats.Run
 		rs.L1Misses += s.TotalMisses()
 	}
 	rs.Aggregate()
+	rs.SetWallTime(wall)
 
 	// Every run doubles as a protocol invariant test: validate the
 	// stable-state invariants at quiescence.

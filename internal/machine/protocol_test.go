@@ -26,6 +26,7 @@ func TestMESISpinIsLocal(t *testing.T) {
 			th.SpinSyncLoadUntil(flag, func(v uint64) bool { return v == 1 })
 		case 9:
 			th.Compute(5000)
+			th.Flush() // sample the network at simulated time 5000
 			trafficBeforeWrite = m.Net.TotalTraffic()
 			th.SyncStore(flag, 1)
 		}
@@ -95,6 +96,7 @@ func TestBackoffCounterDynamics(t *testing.T) {
 			for i := 0; i < 5; i++ {
 				th.Compute(500)
 			}
+			th.Flush() // let core 1's steals play out before sampling
 			peak = sim.Cycle(l1(0).BackoffCounter())
 			// A sync read that ends in Registered state resets the counter.
 			_ = th.SyncLoad(flag)

@@ -1,0 +1,50 @@
+// Package profiling wires the standard -cpuprofile / -memprofile flags
+// into the simulator's command-line tools. The resulting profiles feed
+// `go tool pprof` and drove the engine's event-pool and handshake-batching
+// optimizations (see EXPERIMENTS.md for the workflow).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (no-op if empty) and returns a
+// stop function that finishes the CPU profile and, if memPath is
+// non-empty, writes an allocation profile there. Call the stop function
+// exactly once, after the measured work completes.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -6,45 +6,45 @@
 // expressed as events on one priority queue, ordered by (time, sequence
 // number). Because sequence numbers break ties deterministically, two runs
 // with the same configuration and seed produce bit-identical statistics.
+//
+// Internally the queue is allocation-free on the hot path: events live in
+// a pooled arena recycled through a free list, the priority queue is an
+// index-based binary heap (no interface boxing, 4-byte swaps), and
+// zero-delay events — the most common kind, from completion callbacks and
+// wakeups — bypass the heap entirely through a same-cycle FIFO ring.
+// Dispatch order is identical to a single (time, seq)-ordered heap: every
+// ring event was scheduled while the clock already stood at its cycle, so
+// it always carries a higher sequence number than any heap event for that
+// cycle.
 package sim
-
-import "container/heap"
 
 // Cycle is a point in simulated time, measured in core clock cycles.
 type Cycle uint64
 
 // event is a closure scheduled to run at a particular cycle. The seq field
 // makes the ordering of same-cycle events deterministic (FIFO by schedule
-// order).
+// order). Events are pooled: next links free arena slots.
 type event struct {
-	at  Cycle
-	seq uint64
-	fn  func()
+	at   Cycle
+	seq  uint64
+	fn   func()
+	next int32 // free-list link; -1 terminates
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return e
-}
+const nilIdx = int32(-1)
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
-	pq      eventHeap
+	arena []event // pooled event storage
+	free  int32   // head of the free list into arena
+	heap  []int32 // binary heap of arena indices, ordered by (at, seq)
+
+	// ring is the same-cycle fast path: a circular FIFO of arena indices
+	// for events scheduled with zero delay. All ring events are at e.now.
+	ring     []int32
+	ringHead int
+	ringLen  int
+
 	now     Cycle
 	seq     uint64
 	stopped bool
@@ -55,19 +55,54 @@ type Engine struct {
 }
 
 // NewEngine returns an empty engine at cycle 0.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine { return &Engine{free: nilIdx} }
 
 // Now returns the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
 
+// alloc takes an arena slot from the free list (or grows the arena).
+func (e *Engine) alloc(at Cycle, fn func()) int32 {
+	e.seq++
+	if i := e.free; i != nilIdx {
+		ev := &e.arena[i]
+		e.free = ev.next
+		ev.at, ev.seq, ev.fn = at, e.seq, fn
+		return i
+	}
+	e.arena = append(e.arena, event{at: at, seq: e.seq, fn: fn})
+	return int32(len(e.arena) - 1)
+}
+
+// release returns slot i to the free list, dropping the closure so the
+// pool does not retain captured state.
+func (e *Engine) release(i int32) {
+	ev := &e.arena[i]
+	ev.fn = nil
+	ev.next = e.free
+	e.free = i
+}
+
+// TraceSchedule, when non-nil, observes every Schedule call. Diagnostic
+// hook: two runs are bit-identical iff their Schedule traces match, so
+// diffing traces pinpoints the first divergent event when an optimization
+// that claims to preserve behavior does not.
+var TraceSchedule func(now Cycle, delay Cycle, seq uint64)
+
 // Schedule runs fn after delay cycles (0 = later this cycle, after events
 // already queued for this cycle).
 func (e *Engine) Schedule(delay Cycle, fn func()) {
+	if TraceSchedule != nil {
+		TraceSchedule(e.now, delay, e.seq+1)
+	}
 	if fn == nil {
 		panic("sim: Schedule with nil fn")
 	}
-	e.seq++
-	heap.Push(&e.pq, event{at: e.now + delay, seq: e.seq, fn: fn})
+	i := e.alloc(e.now+delay, fn)
+	if delay == 0 {
+		e.ringPush(i)
+		return
+	}
+	e.heapPush(i)
 }
 
 // At runs fn at the absolute cycle t. Scheduling in the past panics: it
@@ -83,7 +118,29 @@ func (e *Engine) At(t Cycle, fn func()) {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports how many events remain queued.
-func (e *Engine) Pending() int { return len(e.pq) }
+func (e *Engine) Pending() int { return len(e.heap) + e.ringLen }
+
+// next pops the arena index of the earliest pending event — by (time,
+// seq) — advancing the clock as needed, or returns nilIdx if the queue is
+// drained or the earliest event lies beyond horizon. Heap events at the
+// current cycle precede the ring (they were scheduled before the clock
+// reached this cycle, so their sequence numbers are lower).
+func (e *Engine) next(horizon Cycle) int32 {
+	if len(e.heap) > 0 && e.arena[e.heap[0]].at == e.now {
+		return e.heapPop()
+	}
+	if e.ringLen > 0 {
+		return e.ringPop()
+	}
+	if len(e.heap) > 0 && e.arena[e.heap[0]].at <= horizon {
+		i := e.heapPop()
+		e.now = e.arena[i].at
+		return i
+	}
+	return nilIdx
+}
+
+const maxCycle = ^Cycle(0)
 
 // Run dispatches events until the queue drains, Stop is called, or limit
 // events have run (limit 0 means no limit). It returns the number of events
@@ -91,13 +148,17 @@ func (e *Engine) Pending() int { return len(e.pq) }
 func (e *Engine) Run(limit uint64) uint64 {
 	e.stopped = false
 	var n uint64
-	for len(e.pq) > 0 && !e.stopped {
+	for !e.stopped {
 		if limit > 0 && n >= limit {
 			break
 		}
-		ev := heap.Pop(&e.pq).(event)
-		e.now = ev.at
-		ev.fn()
+		i := e.next(maxCycle)
+		if i == nilIdx {
+			break
+		}
+		fn := e.arena[i].fn
+		e.release(i)
+		fn()
 		n++
 		e.Executed++
 	}
@@ -106,13 +167,95 @@ func (e *Engine) Run(limit uint64) uint64 {
 
 // RunUntil dispatches events with time ≤ t, then sets the clock to t.
 func (e *Engine) RunUntil(t Cycle) {
-	for len(e.pq) > 0 && e.pq[0].at <= t && !e.stopped {
-		ev := heap.Pop(&e.pq).(event)
-		e.now = ev.at
-		ev.fn()
+	for !e.stopped {
+		i := e.next(t)
+		if i == nilIdx {
+			break
+		}
+		fn := e.arena[i].fn
+		e.release(i)
+		fn()
 		e.Executed++
 	}
 	if e.now < t {
 		e.now = t
 	}
+}
+
+// ringPush appends i to the same-cycle FIFO, growing it when full.
+func (e *Engine) ringPush(i int32) {
+	if e.ringLen == len(e.ring) {
+		grown := make([]int32, maxInt(len(e.ring)*2, 16))
+		for k := 0; k < e.ringLen; k++ {
+			grown[k] = e.ring[(e.ringHead+k)%len(e.ring)]
+		}
+		e.ring = grown
+		e.ringHead = 0
+	}
+	e.ring[(e.ringHead+e.ringLen)%len(e.ring)] = i
+	e.ringLen++
+}
+
+func (e *Engine) ringPop() int32 {
+	i := e.ring[e.ringHead]
+	e.ringHead = (e.ringHead + 1) % len(e.ring)
+	e.ringLen--
+	return i
+}
+
+// less orders arena slots by (time, sequence).
+func (e *Engine) less(a, b int32) bool {
+	ea, eb := &e.arena[a], &e.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (e *Engine) heapPush(i int32) {
+	e.heap = append(e.heap, i)
+	// Sift up.
+	h := e.heap
+	c := len(h) - 1
+	for c > 0 {
+		p := (c - 1) / 2
+		if !e.less(h[c], h[p]) {
+			break
+		}
+		h[c], h[p] = h[p], h[c]
+		c = p
+	}
+}
+
+func (e *Engine) heapPop() int32 {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	e.heap = h[:n]
+	// Sift down.
+	h = e.heap
+	p := 0
+	for {
+		c := 2*p + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && e.less(h[r], h[c]) {
+			c = r
+		}
+		if !e.less(h[c], h[p]) {
+			break
+		}
+		h[p], h[c] = h[c], h[p]
+		p = c
+	}
+	return top
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

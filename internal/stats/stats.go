@@ -5,6 +5,7 @@ package stats
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"denovosync/internal/proto"
 	"denovosync/internal/sim"
@@ -85,6 +86,20 @@ type RunStats struct {
 
 	// Events is the engine's dispatched event count (diagnostics).
 	Events uint64
+
+	// WallTime is the host-side duration of the simulation, and
+	// EventsPerSec the resulting engine throughput. Host-dependent
+	// diagnostics: excluded from CSV output, goldens, and fingerprints.
+	WallTime     time.Duration
+	EventsPerSec float64
+}
+
+// SetWallTime records the host-side runtime and derives throughput.
+func (r *RunStats) SetWallTime(d time.Duration) {
+	r.WallTime = d
+	if s := d.Seconds(); s > 0 {
+		r.EventsPerSec = float64(r.Events) / s
+	}
 }
 
 // Aggregate fills the averaged Time breakdown and totals from PerCore and
@@ -139,5 +154,8 @@ func (r *RunStats) String() string {
 		}
 	}
 	fmt.Fprintf(&b, "\n  L1: %d hits / %d misses, %d events", r.L1Hits, r.L1Misses, r.Events)
+	if r.WallTime > 0 {
+		fmt.Fprintf(&b, " (%.2fs wall, %.2fM events/s)", r.WallTime.Seconds(), r.EventsPerSec/1e6)
+	}
 	return b.String()
 }
