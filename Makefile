@@ -6,11 +6,18 @@ GO ?= go
 all: check
 
 .PHONY: check
-check: vet build race golden
+check: vet lint build race golden
 
 .PHONY: vet
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo's own analyzers (internal/lint): exhauststate,
+# determinism, threaddiscipline, cyclehygiene. Suppress a finding at the
+# site with `//simlint:allow <analyzer>: <reason>`; see README.
+.PHONY: lint
+lint:
+	$(GO) run ./cmd/simlint ./...
 
 .PHONY: build
 build:

@@ -6,14 +6,26 @@ package cache
 
 import "denovosync/internal/proto"
 
-// Line is one cache line's worth of storage and metadata. State bytes are
+// LineState is a per-line coherence state. The value space is owned by the
+// protocol controller (internal/mesi declares its I/S/E/M constants with
+// this type); zero is universally "invalid / freshly installed". Being a
+// named type lets the simlint exhauststate analyzer check that protocol
+// switches over line states cover every declared constant.
+type LineState byte
+
+// WordState is a per-word coherence state (DeNovo keeps state at word
+// granularity; internal/denovo declares its Invalid/Valid/Registered
+// constants with this type). Zero is universally "invalid".
+type WordState byte
+
+// Line is one cache line's worth of storage and metadata. State values are
 // protocol-defined: MESI uses LineState only; DeNovo uses the per-word
 // WordState array (Invalid/Valid/Registered).
 type Line struct {
 	Addr      proto.Addr // line-aligned; valid only when Present
 	Present   bool
-	LineState byte
-	WordState [proto.WordsPerLine]byte
+	LineState LineState
+	WordState [proto.WordsPerLine]WordState
 	Values    [proto.WordsPerLine]uint64
 	Regions   [proto.WordsPerLine]proto.RegionID
 
@@ -23,7 +35,7 @@ type Line struct {
 
 // ClearWords resets all per-word metadata to the zero state.
 func (l *Line) ClearWords() {
-	l.WordState = [proto.WordsPerLine]byte{}
+	l.WordState = [proto.WordsPerLine]WordState{}
 	l.Values = [proto.WordsPerLine]uint64{}
 	l.Regions = [proto.WordsPerLine]proto.RegionID{}
 }

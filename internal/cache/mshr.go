@@ -1,6 +1,15 @@
 package cache
 
-import "denovosync/internal/proto"
+import (
+	"sort"
+
+	"denovosync/internal/proto"
+)
+
+// MSHRState labels what kind of miss an entry tracks. The value space is
+// owned by the protocol controller; declaring miss kinds with this type
+// puts switches over them under the simlint exhauststate analyzer.
+type MSHRState int
 
 // MSHREntry tracks one outstanding miss. Waiters are callbacks to run when
 // the miss resolves; Parked holds protocol messages that arrived for the
@@ -12,7 +21,7 @@ type MSHREntry struct {
 	Parked  []interface{}
 
 	// Tag lets the protocol record what kind of miss is outstanding.
-	Tag int
+	Tag MSHRState
 }
 
 // MSHR is a table of outstanding misses keyed by address.
@@ -53,9 +62,18 @@ func (m *MSHR) Free(addr proto.Addr) *MSHREntry {
 // Len returns the number of outstanding entries.
 func (m *MSHR) Len() int { return len(m.entries) }
 
-// ForEach visits all outstanding entries.
+// ForEach visits all outstanding entries in ascending address order.
+// Entries are held in a map, so the visit order is fixed by sorting: MSHR
+// walks feed protocol decisions, and map iteration order leaking into the
+// event stream would break cycle-exact determinism (simlint forbids it in
+// simulator packages).
 func (m *MSHR) ForEach(fn func(*MSHREntry)) {
-	for _, e := range m.entries {
-		fn(e)
+	addrs := make([]proto.Addr, 0, len(m.entries))
+	for a := range m.entries { //simlint:allow determinism: keys are sorted before use
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		fn(m.entries[a])
 	}
 }

@@ -25,17 +25,20 @@
 package denovo
 
 import (
+	"denovosync/internal/cache"
 	"denovosync/internal/mem"
 	"denovosync/internal/noc"
 	"denovosync/internal/proto"
 	"denovosync/internal/sim"
 )
 
-// Word states (cache.Line.WordState values).
+// Word states (cache.Line.WordState values). Typed so that simlint's
+// exhauststate analyzer verifies every switch over a word state covers all
+// three states (or panics explicitly).
 const (
-	wi byte = iota // Invalid
-	wv             // Valid
-	wr             // Registered
+	wi cache.WordState = iota // Invalid
+	wv                        // Valid
+	wr                        // Registered
 )
 
 // Config wires a DeNovo system together.

@@ -164,7 +164,7 @@ func (c *L1) SelfInvalidate(set proto.RegionSet) {
 // setUnit applies state st to every word of addr's coherence unit within
 // line l, filling values from the committed image for words that were not
 // already in that state (unit granularity > 1 transfers whole-unit data).
-func (c *L1) setUnit(l *cache.Line, addr proto.Addr, st byte, region proto.RegionID) {
+func (c *L1) setUnit(l *cache.Line, addr proto.Addr, st cache.WordState, region proto.RegionID) {
 	base := c.cfg.unitOf(addr)
 	n := c.cfg.unitWords()
 	for k := 0; k < n; k++ {
@@ -184,7 +184,7 @@ func (c *L1) setUnit(l *cache.Line, addr proto.Addr, st byte, region proto.Regio
 
 // downUnit downgrades every Registered word of addr's unit to st (wv or
 // wi), signaling disturbance.
-func (c *L1) downUnit(l *cache.Line, addr proto.Addr, st byte) {
+func (c *L1) downUnit(l *cache.Line, addr proto.Addr, st cache.WordState) {
 	base := c.cfg.unitOf(addr)
 	n := c.cfg.unitWords()
 	for k := 0; k < n; k++ {
@@ -279,6 +279,11 @@ func (c *L1) Access(req *proto.Request) {
 		// §5.2): retire after the L1 access cycle; the registration
 		// completes in the background. Program order for the *next* sync
 		// access is enforced by the core's drain-before-sync rule.
+		//
+		// Unlike MESI (see mesi.L1.storeFwd), DeNovo needs no store→load
+		// forwarding buffer: a data store transitions the word to Registered
+		// and writes line.Values *at issue time* (no transient states, §2.2),
+		// so a younger same-core load always hits the new value.
 		c.pendingStores++
 		done := req.Done
 		c.cfg.Eng.Schedule(c.cfg.L1AccessLat, func() { done(0) })

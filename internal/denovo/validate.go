@@ -2,6 +2,7 @@ package denovo
 
 import (
 	"fmt"
+	"sort"
 
 	"denovosync/internal/cache"
 	"denovosync/internal/proto"
@@ -44,7 +45,15 @@ func (r *Registry) Validate(l1s []*L1) error {
 			return err
 		}
 	}
-	for word, os := range owners {
+	// Report errors in a fixed address order: which violation surfaces
+	// first must not depend on map iteration order.
+	words := make([]proto.Addr, 0, len(owners))
+	for word := range owners { //simlint:allow determinism: keys are sorted before use
+		words = append(words, word)
+	}
+	sort.Slice(words, func(i, j int) bool { return words[i] < words[j] })
+	for _, word := range words {
+		os := owners[word]
 		if len(os) > 1 {
 			return fmt.Errorf("denovo: word %v registered at %v", word, os)
 		}
@@ -54,7 +63,13 @@ func (r *Registry) Validate(l1s []*L1) error {
 	}
 	// The converse: a registry pointer must name a core that still holds
 	// the word (or the word was never cached — impossible once pointed).
-	for lineAddr, e := range r.lines {
+	lineAddrs := make([]proto.Addr, 0, len(r.lines))
+	for lineAddr := range r.lines { //simlint:allow determinism: keys are sorted before use
+		lineAddrs = append(lineAddrs, lineAddr)
+	}
+	sort.Slice(lineAddrs, func(i, j int) bool { return lineAddrs[i] < lineAddrs[j] })
+	for _, lineAddr := range lineAddrs {
+		e := r.lines[lineAddr]
 		for i, o := range e.owner {
 			if o == ownerL2 {
 				continue

@@ -245,19 +245,22 @@ func (h *lockHeap) insert(t *cpu.Thread, v uint64) bool {
 	return true
 }
 
-// size reads the element count from the final memory image.
-//
-// It deliberately does NOT validate the min-heap property: the L1 models
-// lack store→load forwarding, so a sift step that reloads a word of a
-// line whose own data store is still upgrading S→M reads the stale
-// snapshot and mis-sorts the array (see ROADMAP, "known modeling gaps").
-// The count word never has that load-after-own-inflight-store pattern
-// (one load and one store per critical section, drained at release), so
-// it stays exact.
+// size reads the element count from the final memory image and validates
+// the min-heap property over it. Sift loops reload words their own
+// just-issued stores wrote, so a mis-sorted array here would mean an L1
+// model lost store→load forwarding (the gap the MESI storeFwd buffer
+// closes); the differential harness compares the returned summary across
+// all three protocols on top of that.
 func (h *lockHeap) size(st *mem.Store) (uint64, error) {
 	n := int(st.Read(h.count))
 	if n > h.capacity {
 		return 0, fmt.Errorf("lock heap: count %d exceeds capacity %d", n, h.capacity)
+	}
+	for i := 1; i < n; i++ {
+		p, c := st.Read(h.at((i-1)/2)), st.Read(h.at(i))
+		if p > c {
+			return 0, fmt.Errorf("lock heap: min-heap violation at %d: parent %d > child %d", i, p, c)
+		}
 	}
 	return uint64(n), nil
 }

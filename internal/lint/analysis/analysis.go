@@ -1,0 +1,52 @@
+// Package analysis is a self-contained subset of the
+// golang.org/x/tools/go/analysis API: just enough structure (Analyzer,
+// Pass, Diagnostic) for simlint's checkers to be written in the standard
+// shape. The repo builds offline, so it cannot vendor x/tools; the types
+// here mirror that package's fields one-for-one, and a checker written
+// against this package ports to the real API by changing one import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //simlint:allow suppression comments. It must be a valid Go
+	// identifier.
+	Name string
+
+	// Doc is the analyzer's one-paragraph documentation.
+	Doc string
+
+	// Run applies the analyzer to a package.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass provides one analyzed, type-checked package to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. The driver owns filtering
+	// (//simlint:allow) and formatting.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"denovosync/internal/lint/analysis"
+)
+
+// CycleHygiene flags untyped integer literals that the type checker
+// converts to sim.Cycle inside simulator packages. Latencies belong in
+// Config structs and the params layer, where sweeps can reach them; a
+// magic `27` buried in a protocol controller is invisible to every sweep
+// and silently diverges from Table 1 when the params change. The literals
+// 0 and 1 are allowed everywhere: "this cycle" and "next cycle" are
+// scheduling structure, not tunable latency.
+var CycleHygiene = &analysis.Analyzer{
+	Name: "cyclehygiene",
+	Doc: "untyped integer literals used as sim.Cycle outside the " +
+		"config/params layer hide latencies from sweeps; 0 and 1 are allowed",
+	Run: runCycleHygiene,
+}
+
+func runCycleHygiene(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[lit]
+			if !ok || tv.Value == nil || !isSimCycle(tv.Type) {
+				return true
+			}
+			v, exact := constant.Uint64Val(tv.Value)
+			if exact && v <= 1 {
+				return true
+			}
+			pass.Reportf(lit.Pos(),
+				"untyped literal %s used as sim.Cycle: name it in a Config/params field so sweeps can reach it", lit.Value)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isSimCycle reports whether t is the sim package's Cycle type. Matching
+// is by type name and package name (not full import path) so the linttest
+// fixtures' local "sim" package is recognized the same way as
+// denovosync/internal/sim.
+func isSimCycle(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Cycle" && named.Obj().Pkg().Name() == "sim"
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"denovosync/internal/lint/analysis"
+)
+
+// Determinism forbids, in simulator packages, the three constructs whose
+// behavior varies across runs of the same seed and would break the
+// cycle-exact determinism goldens:
+//
+//   - range iteration over a map (Go randomizes the order per run);
+//   - time.Now (wall-clock time);
+//   - the global math/rand source (seeded from runtime state; simulator
+//     randomness must come from internal/sim's explicit xorshift RNG).
+//
+// Map ranges whose effect is provably order-insensitive (e.g. keys are
+// collected and sorted before use) are suppressed at the site with
+// //simlint:allow determinism: <reason>.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid map range iteration, time.Now, and global math/rand in " +
+		"simulator packages: all three vary across runs of the same seed",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := pass.TypesInfo.TypeOf(n.X)
+				if t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						pass.Reportf(n.Pos(),
+							"map range iteration in a simulator package: order varies per run; sort the keys first")
+					}
+				}
+			case *ast.SelectorExpr:
+				obj := pass.TypesInfo.Uses[n.Sel]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "time":
+					if obj.Name() == "Now" {
+						pass.Reportf(n.Pos(),
+							"time.Now in a simulator package: wall-clock time is nondeterministic; use the engine's cycle clock")
+					}
+				case "math/rand", "math/rand/v2":
+					// Constructing an explicitly seeded generator is fine
+					// (rand.New, rand.NewSource), as are references to the
+					// package's types; every package-level function or
+					// variable touches the global source.
+					if _, isType := obj.(*types.TypeName); isType {
+						return true
+					}
+					if obj.Name() != "New" && obj.Name() != "NewSource" {
+						pass.Reportf(n.Pos(),
+							"global math/rand (%s.%s) in a simulator package: use internal/sim's seeded RNG", obj.Pkg().Name(), obj.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,107 @@
+// Package lint hosts simlint: four custom analyzers that statically
+// enforce invariants the simulator otherwise only checks at runtime
+// (cycle-exact determinism, exhaustive protocol transitions, workload
+// thread discipline, centralized latency constants), plus the shared
+// registry, package-scope table, and //simlint:allow suppression filter
+// used by cmd/simlint and the tests.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+
+	"denovosync/internal/lint/analysis"
+)
+
+// Analyzers returns the full simlint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{ExhaustState, Determinism, ThreadDiscipline, CycleHygiene}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// scopes maps each analyzer to the repo-relative package paths it runs
+// on. A nil entry means the whole tree. The scope is a property of what
+// each invariant protects: determinism and cycle hygiene guard the
+// simulator core (the machine/params layer legitimately reads wall time
+// for reports and centralizes latency numbers); thread discipline guards
+// code that runs *inside* the simulation.
+var scopes = map[string][]string{
+	ExhaustState.Name: nil,
+	Determinism.Name: {
+		"internal/sim", "internal/cache", "internal/mesi", "internal/denovo",
+		"internal/noc", "internal/mem", "internal/cpu", "internal/stats",
+	},
+	CycleHygiene.Name: {
+		"internal/sim", "internal/cache", "internal/mesi", "internal/denovo",
+		"internal/noc", "internal/mem", "internal/cpu", "internal/stats",
+	},
+	ThreadDiscipline.Name: {
+		"internal/kernels", "internal/apps", "internal/locks",
+		"internal/barrier", "internal/lockfree",
+	},
+}
+
+// InScope reports whether analyzer a applies to the package at the
+// repo-relative path (e.g. "internal/mesi").
+func InScope(a *analysis.Analyzer, relPath string) bool {
+	paths, ok := scopes[a.Name]
+	if !ok {
+		return false
+	}
+	if paths == nil {
+		return true
+	}
+	for _, p := range paths {
+		if relPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// allowRE matches a suppression directive. The reason after the colon is
+// mandatory: an unjustified suppression is itself a finding.
+var allowRE = regexp.MustCompile(`//simlint:allow\s+([a-z]+)\s*:\s*(\S.*)`)
+
+// Filter drops diagnostics suppressed by a //simlint:allow directive for
+// the analyzer, located on the diagnostic's line or the line above it.
+// Files must have been parsed with parser.ParseComments.
+func Filter(fset *token.FileSet, files []*ast.File, a *analysis.Analyzer, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	allowed := map[string]map[int]bool{} // filename -> lines with a directive for a
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil || m[1] != a.Name || strings.TrimSpace(m[2]) == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if allowed[pos.Filename] == nil {
+					allowed[pos.Filename] = map[int]bool{}
+				}
+				allowed[pos.Filename][pos.Line] = true
+			}
+		}
+	}
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		lines := allowed[pos.Filename]
+		if lines != nil && (lines[pos.Line] || lines[pos.Line-1]) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package lint_test
+
+import (
+	"testing"
+
+	"denovosync/internal/lint"
+	"denovosync/internal/lint/linttest"
+)
+
+func TestExhaustState(t *testing.T) {
+	linttest.Run(t, "testdata", lint.ExhaustState, "exhaust", "exhaustx")
+}
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, "testdata", lint.Determinism, "determinism")
+}
+
+func TestThreadDiscipline(t *testing.T) {
+	linttest.Run(t, "testdata", lint.ThreadDiscipline, "threads")
+}
+
+func TestCycleHygiene(t *testing.T) {
+	linttest.Run(t, "testdata", lint.CycleHygiene, "cycles")
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range lint.Analyzers() {
+		if lint.ByName(a.Name) != a {
+			t.Errorf("ByName(%q) does not round-trip", a.Name)
+		}
+	}
+	if lint.ByName("nosuch") != nil {
+		t.Errorf("ByName of an unknown analyzer returned non-nil")
+	}
+}
+
+func TestScopes(t *testing.T) {
+	cases := []struct {
+		analyzer string
+		rel      string
+		want     bool
+	}{
+		{"exhauststate", "internal/mesi", true},
+		{"exhauststate", "cmd/simlint", true},
+		{"determinism", "internal/sim", true},
+		{"determinism", "internal/machine", false}, // params layer reads wall time for reports
+		{"cyclehygiene", "internal/denovo", true},
+		{"cyclehygiene", "internal/machine", false}, // latencies are declared there
+		{"threaddiscipline", "internal/kernels", true},
+		{"threaddiscipline", "internal/cpu", false}, // the thread API itself uses channels
+	}
+	for _, c := range cases {
+		if got := lint.InScope(lint.ByName(c.analyzer), c.rel); got != c.want {
+			t.Errorf("InScope(%s, %s) = %t, want %t", c.analyzer, c.rel, got, c.want)
+		}
+	}
+}

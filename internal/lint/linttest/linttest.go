@@ -1,0 +1,126 @@
+// Package linttest runs a simlint analyzer over fixture packages under a
+// testdata/src directory and checks its diagnostics against `// want`
+// comments, following the golang.org/x/tools/go/analysis/analysistest
+// convention: a comment `// want "regexp"` (or a backquoted regexp) on a
+// line asserts exactly one diagnostic on that line whose message matches.
+// The //simlint:allow suppression filter is applied before matching, so
+// fixtures exercise the directive too.
+package linttest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"denovosync/internal/lint"
+	"denovosync/internal/lint/analysis"
+	"denovosync/internal/lint/loader"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(?:"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`" + `)`)
+
+type want struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each fixture package from testdata/src/<pkg>, applies a, and
+// reports mismatches between diagnostics and want comments on t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	fset := token.NewFileSet()
+	ld := loader.New(fset, func(path string) (string, bool) {
+		dir := filepath.Join(src, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	})
+
+	for _, pkgPath := range pkgs {
+		pkg, err := ld.Load(pkgPath)
+		if err != nil {
+			t.Errorf("%s: loading fixture %s: %v", a.Name, pkgPath, err)
+			continue
+		}
+
+		wants := map[string]map[int][]*want{} // filename -> line -> expectations
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					raw := m[2]
+					if m[1] != "" {
+						unq, err := strconv.Unquote(`"` + m[1] + `"`)
+						if err != nil {
+							t.Errorf("%s: bad want string %q: %v", a.Name, m[1], err)
+							continue
+						}
+						raw = unq
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", a.Name, raw, err)
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					if wants[pos.Filename] == nil {
+						wants[pos.Filename] = map[int][]*want{}
+					}
+					wants[pos.Filename][pos.Line] = append(wants[pos.Filename][pos.Line], &want{re: re, raw: raw})
+				}
+			}
+		}
+
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Errorf("%s: running on %s: %v", a.Name, pkgPath, err)
+			continue
+		}
+		diags = lint.Filter(fset, pkg.Files, a, diags)
+
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			if !consume(wants, pos.Filename, pos.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, pos.Filename, pos.Line, d.Message)
+			}
+		}
+		for fname, byLine := range wants {
+			for line, ws := range byLine {
+				for _, w := range ws {
+					if !w.matched {
+						t.Errorf("%s: no diagnostic at %s:%d matching %q", a.Name, fname, line, w.raw)
+					}
+				}
+			}
+		}
+	}
+}
+
+// consume marks the first unmatched expectation on (file, line) whose
+// regexp matches msg.
+func consume(wants map[string]map[int][]*want, file string, line int, msg string) bool {
+	for _, w := range wants[file][line] {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

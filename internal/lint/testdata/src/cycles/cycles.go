@@ -1,0 +1,30 @@
+// Package cycles is a cyclehygiene fixture: literal latencies handed to
+// sim.Cycle contexts.
+package cycles
+
+import "sim"
+
+// Config names its latencies, the pattern the analyzer pushes toward.
+type Config struct {
+	L1AccessLat sim.Cycle
+}
+
+func schedule(e *sim.Engine, cfg *Config) {
+	e.Schedule(0, nil)               // same-cycle: allowed
+	e.Schedule(1, nil)               // next-cycle: allowed
+	e.Schedule(cfg.L1AccessLat, nil) // named latency: allowed
+	e.Schedule(27, nil)              // want `untyped literal 27 used as sim\.Cycle`
+}
+
+func locals() {
+	var warmup sim.Cycle = 9 // want `untyped literal 9 used as sim\.Cycle`
+	_ = warmup
+	lat := sim.Cycle(3) // want `untyped literal 3 used as sim\.Cycle`
+	_ = lat
+	mask := ^sim.Cycle(0) // zero: allowed
+	_ = mask
+	bit := sim.Cycle(1) << 7 // one and a plain-int shift count: allowed
+	_ = bit
+	plain := 27 // untyped literal bound to int, not Cycle: allowed
+	_ = plain
+}

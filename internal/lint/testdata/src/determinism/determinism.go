@@ -1,0 +1,65 @@
+// Package determinism is a determinism fixture: forbidden map ranges,
+// wall-clock reads, and global math/rand uses, plus the allowed forms.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func mapRange(m map[int]int) int {
+	s := 0
+	for k := range m { // want `map range iteration in a simulator package`
+		s += k
+	}
+	return s
+}
+
+func sortedMapRange(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { //simlint:allow determinism: keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func mapRangeAllowedAbove(m map[int]bool) {
+	//simlint:allow determinism: directive on the line above also suppresses
+	for range m {
+	}
+}
+
+func wrongAnalyzerName(m map[int]int) int {
+	s := 0
+	//simlint:allow exhauststate: a directive for another analyzer must not suppress
+	for k := range m { // want `map range iteration in a simulator package`
+		s += k
+	}
+	return s
+}
+
+func sliceRange(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a simulator package`
+}
+
+func duration() time.Duration {
+	return 3 * time.Second
+}
+
+func globalRand() int {
+	return rand.Intn(16) // want `global math/rand \(rand\.Intn\) in a simulator package`
+}
+
+func seededRand() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}

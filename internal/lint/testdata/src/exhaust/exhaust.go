@@ -1,0 +1,74 @@
+// Package exhaust is an exhauststate fixture: a protocol state type with
+// exhaustive, missing-case, and panicking-default switches.
+package exhaust
+
+// LineState's name marks it a protocol state type by convention.
+type LineState int
+
+const (
+	Invalid LineState = iota
+	Shared
+	Modified
+)
+
+// Freq has no "State" suffix: switches over it are unconstrained.
+type Freq int
+
+const (
+	A Freq = iota
+	B
+)
+
+func full(s LineState) int {
+	switch s {
+	case Invalid:
+		return 0
+	case Shared:
+		return 1
+	case Modified:
+		return 2
+	}
+	return -1
+}
+
+func missing(s LineState) int {
+	switch s { // want `switch over LineState misses constants Modified and has no default`
+	case Invalid, Shared:
+		return 0
+	}
+	return -1
+}
+
+func panickingDefault(s LineState) int {
+	switch s {
+	case Invalid:
+		return 0
+	default:
+		panic("exhaust: unknown line state")
+	}
+}
+
+func silentDefault(s LineState) int {
+	switch s { // want `switch over LineState misses constants Modified, Shared and has a non-panicking default`
+	case Invalid:
+		return 0
+	default:
+		return 1
+	}
+}
+
+func unconstrained(n Freq) int {
+	switch n {
+	case A:
+		return 0
+	}
+	return 1
+}
+
+func noTag(s LineState) int {
+	switch {
+	case s == Invalid:
+		return 0
+	}
+	return 1
+}

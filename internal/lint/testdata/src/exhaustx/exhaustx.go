@@ -1,0 +1,32 @@
+// Package exhaustx is an exhauststate fixture for the cross-package
+// constant-union rule: the required set is the type's own constants plus
+// the ones this package declares.
+package exhaustx
+
+import "states"
+
+// Registered extends states.WordState locally, as internal/mesi extends
+// cache.LineState.
+const Registered states.WordState = 2
+
+func handle(s states.WordState) int {
+	switch s { // want `switch over states\.WordState misses constants Registered and has no default`
+	case states.Invalid:
+		return 0
+	case states.Valid:
+		return 1
+	}
+	return -1
+}
+
+func handleAll(s states.WordState) int {
+	switch s {
+	case states.Invalid:
+		return 0
+	case states.Valid:
+		return 1
+	case Registered:
+		return 2
+	}
+	return -1
+}

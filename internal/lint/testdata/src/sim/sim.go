@@ -1,0 +1,13 @@
+// Package sim is a stand-in for denovosync/internal/sim in cyclehygiene
+// fixtures (the analyzer matches the Cycle type by package and type
+// name).
+package sim
+
+// Cycle counts simulated clock cycles.
+type Cycle uint64
+
+// Engine is a minimal stand-in for the event engine.
+type Engine struct{}
+
+// Schedule runs fn after d cycles.
+func (e *Engine) Schedule(d Cycle, fn func()) {}

@@ -1,0 +1,11 @@
+// Package states declares a state type for cross-package exhauststate
+// fixtures (mirrors internal/cache owning the type while protocol
+// packages declare constants of it).
+package states
+
+type WordState byte
+
+const (
+	Invalid WordState = iota
+	Valid
+)

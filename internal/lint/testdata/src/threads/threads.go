@@ -1,0 +1,40 @@
+// Package threads is a threaddiscipline fixture: native Go concurrency
+// that workload packages must not use.
+package threads
+
+import "sync" // want `import of sync in a workload package`
+
+func spawn(work func()) {
+	go work() // want `go statement in a workload package`
+}
+
+func channels() {
+	ch := make(chan int, 1) // want `channel type in a workload package`
+	ch <- 1                 // want `channel send in a workload package`
+	_ = <-ch                // want `channel receive in a workload package`
+	close(ch)               // want `channel close in a workload package`
+}
+
+func choose(a, b chan int) int { // want `channel type in a workload package`
+	select { // want `select statement in a workload package`
+	case x := <-a: // want `channel receive in a workload package`
+		return x
+	case y := <-b: // want `channel receive in a workload package`
+		return y
+	}
+}
+
+func nativeLock(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// plainHelpers stay legal: the discipline bans concurrency primitives,
+// not ordinary sequential code.
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

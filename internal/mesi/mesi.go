@@ -26,12 +26,15 @@ import (
 	"denovosync/internal/sim"
 )
 
-// L1 line states (cache.Line.LineState).
+// L1 line states (cache.Line.LineState). Typed so that simlint's
+// exhauststate analyzer verifies every switch over a line state covers all
+// four (or panics explicitly): a fifth state added for a protocol
+// extension can then never silently fall through a transition.
 const (
-	li byte = iota // Invalid (also: line absent)
-	ls             // Shared
-	le             // Exclusive clean
-	lm             // Modified
+	li cache.LineState = iota // Invalid (also: line absent)
+	ls                        // Shared
+	le                        // Exclusive clean
+	lm                        // Modified
 )
 
 // Config wires a MESI system together.
@@ -73,6 +76,14 @@ type L1 struct {
 	pendingStores int
 	drainWaiters  []func()
 
+	// storeFwd is the store→load forwarding buffer: per word, the values of
+	// this core's in-flight non-blocking stores, oldest first. A store that
+	// misses (e.g. an S→M upgrade) retires at the core long before its
+	// coherence transaction commits the value to the line; a younger load
+	// from the same core must still see it (single-thread program order), so
+	// the hit check consults this buffer before the cached snapshot.
+	storeFwd map[proto.Addr][]uint64
+
 	epochs   map[proto.Addr]uint64 // per line
 	disturbs map[proto.Addr][]func()
 
@@ -89,6 +100,7 @@ func NewL1(cfg *Config, id proto.CoreID, node proto.NodeID) *L1 {
 		txns:     make(map[proto.Addr]*txn),
 		epochs:   make(map[proto.Addr]uint64),
 		disturbs: make(map[proto.Addr][]func()),
+		storeFwd: make(map[proto.Addr][]uint64),
 	}
 }
 
@@ -144,6 +156,18 @@ func (c *L1) OnWritesDrained(fn func()) {
 	c.drainWaiters = append(c.drainWaiters, fn)
 }
 
+// popStoreFwd retires the oldest forwarding-buffer entry for word. Stores
+// to one word commit in issue order (same-line transactions serialize
+// through the txn waiter list), so FIFO retirement matches commit order.
+func (c *L1) popStoreFwd(word proto.Addr) {
+	vs := c.storeFwd[word]
+	if len(vs) <= 1 {
+		delete(c.storeFwd, word)
+		return
+	}
+	c.storeFwd[word] = vs[1:]
+}
+
 func (c *L1) storeCommitted() {
 	c.pendingStores--
 	if c.pendingStores == 0 {
@@ -165,9 +189,14 @@ func (c *L1) Access(req *proto.Request) {
 		// background. The invalidation latency still lands on the critical
 		// path of the *next* acquirer, per §6.1.1.
 		c.pendingStores++
+		word := req.Addr.Word()
+		c.storeFwd[word] = append(c.storeFwd[word], req.Value)
 		done := req.Done
 		c.cfg.Eng.Schedule(c.cfg.L1AccessLat, func() { done(0) })
-		c.access(req, func(uint64) { c.storeCommitted() }, true)
+		c.access(req, func(uint64) {
+			c.popStoreFwd(word)
+			c.storeCommitted()
+		}, true)
 		return
 	}
 	c.access(req, req.Done, true)
@@ -194,6 +223,16 @@ func (c *L1) access(req *proto.Request, commit func(uint64), first bool) {
 
 	switch req.Kind {
 	case proto.DataLoad, proto.SyncLoad:
+		// Store→load forwarding: the youngest in-flight store to this word
+		// from this core supplies the value, whatever the line state — the
+		// cached snapshot may predate the store's still-uncommitted upgrade.
+		if vs := c.storeFwd[req.Addr.Word()]; len(vs) > 0 {
+			if first {
+				c.stats.Hit(req.Kind)
+			}
+			finish(vs[len(vs)-1])
+			return
+		}
 		if state != li {
 			if first {
 				c.stats.Hit(req.Kind)

@@ -53,7 +53,7 @@ func TestReadThenWriteTransitions(t *testing.T) {
 	if done != 1 {
 		t.Fatal("load never completed")
 	}
-	if st, owner, _, busy := dir.StateOf(addr.Line()); st != dm || owner != 0 || busy {
+	if st, owner, _, busy := dir.StateOf(addr.Line()); st != byte(dm) || owner != 0 || busy {
 		t.Fatalf("after exclusive read: state=%d owner=%d busy=%t", st, owner, busy)
 	}
 	_ = val
@@ -66,7 +66,7 @@ func TestReadThenWriteTransitions(t *testing.T) {
 	// Remote write: FwdGetM invalidates core 0.
 	l1s[1].Access(&proto.Request{Kind: proto.SyncStore, Addr: addr, Value: 9, Done: func(uint64) { done++ }})
 	eng.Run(0)
-	if st, owner, _, busy := dir.StateOf(addr.Line()); st != dm || owner != 1 || busy {
+	if st, owner, _, busy := dir.StateOf(addr.Line()); st != byte(dm) || owner != 1 || busy {
 		t.Fatalf("after remote write: state=%d owner=%d busy=%t", st, owner, busy)
 	}
 	if l := l1s[0].cache.Lookup(addr); l != nil && l.LineState != li {
@@ -86,7 +86,7 @@ func TestSharersThenInvalidate(t *testing.T) {
 		c.Access(&proto.Request{Kind: proto.DataLoad, Addr: addr, Done: func(uint64) {}})
 		eng.Run(0)
 	}
-	if st, _, sharers, _ := dir.StateOf(addr.Line()); st != ds || sharers != 3 {
+	if st, _, sharers, _ := dir.StateOf(addr.Line()); st != byte(ds) || sharers != 3 {
 		t.Fatalf("after three reads: state=%d sharers=%d", st, sharers)
 	}
 	doneW := false
@@ -97,7 +97,7 @@ func TestSharersThenInvalidate(t *testing.T) {
 	if !doneW {
 		t.Fatal("RMW never completed (ack collection broken)")
 	}
-	if st, owner, sharers, _ := dir.StateOf(addr.Line()); st != dm || owner != 3 || sharers != 0 {
+	if st, owner, sharers, _ := dir.StateOf(addr.Line()); st != byte(dm) || owner != 3 || sharers != 0 {
 		t.Fatalf("after invalidating write: state=%d owner=%d sharers=%d", st, owner, sharers)
 	}
 	for _, c := range l1s[:3] {

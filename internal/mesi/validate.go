@@ -2,6 +2,7 @@ package mesi
 
 import (
 	"fmt"
+	"sort"
 
 	"denovosync/internal/cache"
 	"denovosync/internal/proto"
@@ -47,13 +48,27 @@ func (d *Directory) Validate(l1s []*L1) error {
 				}
 			case ls:
 				h.sharers = append(h.sharers, c.id)
+			case li:
+				// Present lines are never left Invalid: Install is always
+				// immediately followed by a state assignment.
+				err = fmt.Errorf("mesi: present line %v at core %d is Invalid", l.Addr, c.id)
+			default:
+				panic("mesi: unknown line state")
 			}
 		})
 		if err != nil {
 			return err
 		}
 	}
-	for line, h := range lines {
+	// Report errors in a fixed line order: which violation surfaces first
+	// must not depend on map iteration order.
+	addrs := make([]proto.Addr, 0, len(lines))
+	for line := range lines { //simlint:allow determinism: keys are sorted before use
+		addrs = append(addrs, line)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, line := range addrs {
+		h := lines[line]
 		if len(h.owners) > 1 {
 			return fmt.Errorf("mesi: line %v owned by %v", line, h.owners)
 		}

@@ -32,8 +32,19 @@ import (
 // exactly what point-to-point ordering forbids. Without evictions the
 // protocol verifies safe even under unordered delivery.
 
+// dnWordState is the abstract model's per-core word state, mirroring the
+// three stable states of internal/denovo. Typed for simlint's
+// exhauststate analyzer, like the MESI model's states.
+type dnWordState byte
+
+const (
+	dnI dnWordState = 'I'
+	dnV dnWordState = 'V'
+	dnR dnWordState = 'R'
+)
+
 type dnCore struct {
-	state     byte // 'I','V','R'
+	state     dnWordState
 	pending   byte // 0 = none, 'r'/'w' = registration, 'd' = data read
 	wbPending bool // eviction writeback awaiting registry ack
 	parked    []dnMsg
@@ -336,7 +347,7 @@ func (d *dnModel) l1states(enc string) []string {
 	}
 	var out []string
 	for _, c := range s.cores {
-		label := string(c.state)
+		label := string(rune(c.state))
 		if c.pending != 0 {
 			label += "+" + string(c.pending)
 			if len(c.parked) > 0 {

@@ -20,6 +20,28 @@ import (
 // the DeNovo model next door gets by with three stable states and a
 // single "registration pending" transient.
 
+// meCoreState is the abstract model's per-core stable L1 state, and
+// meDirState the directory's. Typed so that simlint's exhauststate
+// analyzer verifies every switch covers all declared states — the model's
+// whole point is enumerating transitions, so a silently ignored state
+// would quietly prune the reachable space.
+type meCoreState byte
+
+const (
+	meI meCoreState = 'I'
+	meS meCoreState = 'S'
+	meE meCoreState = 'E'
+	meM meCoreState = 'M'
+)
+
+type meDirState byte
+
+const (
+	mdI meDirState = 'I'
+	mdS meDirState = 'S'
+	mdM meDirState = 'M'
+)
+
 type meTxn struct {
 	wantM    bool
 	dataRecv bool
@@ -30,7 +52,7 @@ type meTxn struct {
 }
 
 type meCore struct {
-	state   byte // 'I','S','E','M'
+	state   meCoreState
 	txn     *meTxn
 	opsLeft int
 }
@@ -52,7 +74,7 @@ type meDirReq struct {
 
 type meState struct {
 	cores    []meCore
-	dirState byte // 'I','S','M'
+	dirState meDirState
 	owner    int  // -1 = none
 	sharers  []bool
 	busy     bool
@@ -307,6 +329,8 @@ func (d *meModel) successors(enc string) []string {
 			n.cores[i].state = 'I'
 			n.msgs = append(n.msgs, meMsg{kind: "putm", src: i, to: -1, req: i})
 			out = append(out, d.intern(n))
+		case 'I':
+			// Nothing cached, nothing to evict.
 		}
 	}
 
@@ -397,6 +421,8 @@ func (d *meModel) check(enc string) string {
 			owners++
 		case 'S':
 			sharers++
+		case 'I':
+			// Invalid copies are unconstrained.
 		}
 	}
 	if owners > 1 {
@@ -415,7 +441,7 @@ func (d *meModel) l1states(enc string) []string {
 	}
 	var out []string
 	for _, c := range s.cores {
-		label := string(c.state)
+		label := string(rune(c.state))
 		if t := c.txn; t != nil {
 			label += fmt.Sprintf("+%t/%t/%d/%d/%t", t.wantM, t.dataRecv, t.acksNeed, t.acksGot, t.unblock)
 		}
