@@ -2,6 +2,12 @@
 // evaluation section (§7) plus the sensitivity studies, printing
 // normalized tables in the same shape as the paper's stacked bars.
 //
+// Grids are planned and executed through internal/exp: runs execute in
+// parallel on a worker pool with per-run fault isolation, and with
+// -journal an interrupted reproduction resumes without re-executing
+// completed grid points (grid points shared between figures — e.g. the
+// MESI baselines an ablation reuses — execute once and are reused).
+//
 // Usage:
 //
 //	paperbench                     # everything (Figures 3-7, paper scale)
@@ -13,32 +19,43 @@
 //	paperbench -ablate hwparams    # backoff parameter sweep
 //	paperbench -scale 10           # 10x smaller workloads (quick look)
 //	paperbench -csv out.csv        # also dump machine-readable rows
+//	paperbench -journal run.jsonl  # resumable (^C, then re-run)
 //	paperbench -list-config        # print Table 1
 //	paperbench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //	                               # profile the run (go tool pprof)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync/atomic"
 
 	"denovosync"
+	"denovosync/internal/exp"
 	"denovosync/internal/profiling"
 )
 
 func main() {
 	var (
-		fig        = flag.Int("fig", 0, "figure to reproduce (3-7); 0 = all")
-		coresFlag  = flag.Int("cores", 0, "restrict kernel figures to 16 or 64 cores; 0 = both")
-		ablate     = flag.String("ablate", "", "ablation: swbackoff | padding | eqchecks | signatures | invall | contention | mcs | granularity | hwparams")
-		scale      = flag.Int("scale", 1, "workload divisor (1 = paper scale)")
-		csvPath    = flag.String("csv", "", "append machine-readable results to this file")
-		listConfig = flag.Bool("list-config", false, "print the Table 1 system parameters")
-		bars       = flag.Bool("bars", false, "render ASCII stacked bars instead of tables")
-		check      = flag.Bool("check", true, "evaluate the paper's qualitative claims per figure")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation profile to this file")
+		fig         = flag.Int("fig", 0, "figure to reproduce (3-7); 0 = all")
+		coresFlag   = flag.Int("cores", 0, "restrict kernel figures to 16 or 64 cores; 0 = both")
+		ablate      = flag.String("ablate", "", "ablation: swbackoff | padding | eqchecks | signatures | invall | contention | mcs | granularity | hwparams")
+		scale       = flag.Int("scale", 1, "workload divisor (1 = paper scale)")
+		csvPath     = flag.String("csv", "", "append machine-readable results to this file")
+		journalPath = flag.String("journal", "", "JSONL result journal (enables resume)")
+		workers     = flag.Int("workers", 0, "concurrent runs; 0 = GOMAXPROCS")
+		timeoutFlag = flag.Duration("timeout", 0, "per-run wall-clock limit; 0 = none")
+		retries     = flag.Int("retries", 0, "extra attempts after a failed run")
+		retryFailed = flag.Bool("retry-failed", false, "re-execute journaled failures")
+		progress    = flag.Bool("progress", false, "print live progress to stderr")
+		listConfig  = flag.Bool("list-config", false, "print the Table 1 system parameters")
+		bars        = flag.Bool("bars", false, "render ASCII stacked bars instead of tables")
+		check       = flag.Bool("check", true, "evaluate the paper's qualitative claims per figure")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write an allocation profile to this file")
 	)
 	flag.Parse()
 
@@ -57,18 +74,69 @@ func main() {
 		}
 	}()
 
-	opt := denovosync.FigureOptions{Scale: *scale}
+	opt := exp.Options{Scale: *scale}
 	var csv *os.File
 	if *csvPath != "" {
 		f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		defer f.Close()
 		csv = f
 	}
 
-	emit := func(f *denovosync.Figure, err error) {
+	eng := &exp.Engine{
+		Workers: *workers, Timeout: *timeoutFlag,
+		Retries: *retries, RetryFailed: *retryFailed,
+	}
+	if *progress {
+		eng.Progress = os.Stderr
+	}
+	if *journalPath != "" {
+		j, prior, err := exp.OpenJournal(*journalPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := j.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench:", err)
+			}
+		}()
+		eng.Journal, eng.Prior = j, prior
+	}
+
+	// First ^C: stop dispatching, journal in-flight runs, exit 130
+	// (re-running the same command resumes). Second ^C: abort.
+	stop := make(chan struct{})
+	eng.Stop = stop
+	var interrupted atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		interrupted.Store(true)
+		fmt.Fprintln(os.Stderr, "paperbench: interrupt — finishing in-flight runs (^C again to abort)")
+		close(stop)
+		<-sigc
+		os.Exit(130)
+	}()
+
+	emit := func(name string, cores int) {
+		plan, err := exp.FigurePlan(name, cores, opt)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		records, _, err := eng.Execute(plan)
+		if err != nil {
+			if errors.Is(err, exp.ErrStopped) && interrupted.Load() {
+				fmt.Fprintln(os.Stderr, "paperbench:", err)
+				os.Exit(130)
+			}
+			fatalf("%v", err)
+		}
+		// Completed grid points feed the next figure's resume set (shared
+		// baselines across figures execute only once per journal).
+		eng.Prior, eng.RetryFailed = records, false
+		f, err := exp.Figure(plan, records)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -97,27 +165,13 @@ func main() {
 			cores = 64
 		}
 		switch *ablate {
-		case "swbackoff":
-			emit(denovosync.AblationSWBackoff(cores, opt))
-		case "padding":
-			emit(denovosync.AblationPadding(cores, opt))
-		case "eqchecks":
-			emit(denovosync.AblationEqChecks(cores, opt))
-		case "signatures":
-			emit(denovosync.AblationSignatures(cores, opt))
-		case "invall":
-			emit(denovosync.AblationInvalidateAll(cores, opt))
-		case "contention":
-			emit(denovosync.AblationLinkContention(cores, opt))
-		case "mcs":
-			emit(denovosync.AblationAltLocks(cores, opt))
-		case "granularity":
-			emit(denovosync.AblationGranularity(cores, opt))
-		case "hwparams":
-			emit(denovosync.AblationBackoffParams(cores, opt))
+		case "swbackoff", "padding", "eqchecks", "signatures", "invall",
+			"contention", "mcs", "granularity", "hwparams":
+			emit(*ablate, cores)
 		default:
 			fatalf("unknown ablation %q", *ablate)
 		}
+		closeCSV(csv)
 		return
 	}
 
@@ -125,30 +179,27 @@ func main() {
 	if *coresFlag != 0 {
 		sizes = []int{*coresFlag}
 	}
-
-	runKernelFig := func(n int, fn func(int, denovosync.FigureOptions) (*denovosync.Figure, error)) {
-		for _, c := range sizes {
-			emit(fn(c, opt))
+	for _, n := range []int{3, 4, 5, 6} {
+		if *fig == 0 || *fig == n {
+			for _, c := range sizes {
+				emit(fmt.Sprintf("fig%d", n), c)
+			}
 		}
-		_ = n
 	}
+	if *fig == 7 || (*fig == 0 && *coresFlag == 0) {
+		emit("fig7", 0)
+	}
+	closeCSV(csv)
+}
 
-	if *fig == 0 || *fig == 3 {
-		runKernelFig(3, denovosync.Fig3)
+// closeCSV checks the CSV Close so a write error (e.g. a full disk)
+// fails the run instead of truncating the archive silently.
+func closeCSV(f *os.File) {
+	if f == nil {
+		return
 	}
-	if *fig == 0 || *fig == 4 {
-		runKernelFig(4, denovosync.Fig4)
-	}
-	if *fig == 0 || *fig == 5 {
-		runKernelFig(5, denovosync.Fig5)
-	}
-	if *fig == 0 || *fig == 6 {
-		runKernelFig(6, denovosync.Fig6)
-	}
-	if *fig == 0 || *fig == 7 {
-		if *fig == 7 || *coresFlag == 0 {
-			emit(denovosync.Fig7(opt))
-		}
+	if err := f.Close(); err != nil {
+		fatalf("%v", err)
 	}
 }
 

@@ -1,24 +1,29 @@
-// Command report digests the machine-readable results emitted by
-// `paperbench -csv` into the per-figure markdown tables embedded in
-// EXPERIMENTS.md (one row per workload with the DS0/DS execution-time and
-// network-traffic ratios against MESI), and optionally re-evaluates the
-// paper's qualitative claims against the archived numbers.
+// Command report digests machine-readable results into the per-figure
+// markdown tables embedded in EXPERIMENTS.md (one row per workload with
+// the DS0/DS execution-time and network-traffic ratios against MESI),
+// and optionally re-evaluates the paper's qualitative claims against the
+// archived numbers. It reads either the CSV emitted by `paperbench -csv`
+// or an internal/exp JSONL result journal directly.
 //
 // Usage:
 //
 //	paperbench -csv results.csv
 //	report -csv results.csv > tables.md
 //	report -csv results.csv -claims
+//	report -journal run.jsonl -o tables.md
 package main
 
 import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 
 	"denovosync"
+	"denovosync/internal/exp"
 )
 
 type row struct {
@@ -30,23 +35,157 @@ type row struct {
 }
 
 func main() {
-	path := flag.String("csv", "results.csv", "results file from paperbench -csv")
+	path := flag.String("csv", "", "results file from paperbench -csv")
+	journalPath := flag.String("journal", "", "JSONL result journal from exp/paperbench/sweep")
+	outPath := flag.String("o", "", "output file (default stdout)")
 	claims := flag.Bool("claims", false, "evaluate the paper's qualitative claims instead of printing tables")
 	full := flag.Bool("full", false, "print full normalized component tables (like paperbench output)")
 	flag.Parse()
 
-	f, err := os.Open(*path)
+	var rows []row
+	var err error
+	switch {
+	case *journalPath != "" && *path != "":
+		fatal(fmt.Errorf("-csv and -journal are mutually exclusive"))
+	case *journalPath != "":
+		rows, err = rowsFromJournal(*journalPath)
+	default:
+		if *path == "" {
+			*path = "results.csv"
+		}
+		rows, err = rowsFromCSV(*path)
+	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "report:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		// Checked close: a write error must fail the run, not truncate
+		// the tables silently.
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		out = f
+	}
+
+	// Group by figure, preserving first-seen order.
+	var figures []string
+	byFig := map[string][]row{}
+	for _, rw := range rows {
+		if _, ok := byFig[rw.figure]; !ok {
+			figures = append(figures, rw.figure)
+		}
+		byFig[rw.figure] = append(byFig[rw.figure], rw)
+	}
+
+	if *full {
+		printFull(out, figures, byFig)
+		return
+	}
+
+	if *claims {
+		totalPass, totalDev := 0, 0
+		for _, fig := range figures {
+			f := rebuild(fig, byFig[fig])
+			if len(denovosync.ClaimsFor(f)) == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "-- %s --\n", fig)
+			p, d := denovosync.CheckClaims(f, out)
+			totalPass += p
+			totalDev += d
+		}
+		fmt.Fprintf(out, "\ntotal: %d claims hold, %d deviate\n", totalPass, totalDev)
+		return
+	}
+
+	for _, fig := range figures {
+		rs := byFig[fig]
+		// Index MESI baselines.
+		base := map[string]row{}
+		for _, rw := range rs {
+			if rw.protocol == "M" {
+				base[rw.workload] = rw
+			}
+		}
+		hasDS0 := false
+		for _, rw := range rs {
+			if rw.protocol == "DS0" {
+				hasDS0 = true
+			}
+		}
+		fmt.Fprintf(out, "### %s\n\n", fig)
+		if hasDS0 {
+			fmt.Fprintln(out, "| workload | DS0 exec | DS exec | DS0 traffic | DS traffic |")
+			fmt.Fprintln(out, "|---|---|---|---|---|")
+		} else {
+			fmt.Fprintln(out, "| workload | DS exec | DS traffic |")
+			fmt.Fprintln(out, "|---|---|---|")
+		}
+		var order []string
+		seen := map[string]bool{}
+		vals := map[string]map[string]row{}
+		for _, rw := range rs {
+			if !seen[rw.workload] {
+				seen[rw.workload] = true
+				order = append(order, rw.workload)
+				vals[rw.workload] = map[string]row{}
+			}
+			vals[rw.workload][rw.protocol] = rw
+		}
+		ratio := func(w, prot string, traffic bool) string {
+			b, ok := base[w]
+			v, ok2 := vals[w][prot]
+			if !ok || !ok2 {
+				return "—"
+			}
+			num, den := v.exec, b.exec
+			if traffic {
+				num, den = v.traffic, b.traffic
+			}
+			if den == 0 {
+				return "—"
+			}
+			return fmt.Sprintf("%.2fx", num/den)
+		}
+		for _, w := range order {
+			if hasDS0 {
+				fmt.Fprintf(out, "| %s | %s | %s | %s | %s |\n", w,
+					ratio(w, "DS0", false), ratio(w, "DS", false),
+					ratio(w, "DS0", true), ratio(w, "DS", true))
+			} else {
+				fmt.Fprintf(out, "| %s | %s | %s |\n", w,
+					ratio(w, "DS", false), ratio(w, "DS", true))
+			}
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "report:", err)
+	os.Exit(1)
+}
+
+// rowsFromCSV parses the `paperbench -csv` format.
+func rowsFromCSV(path string) ([]row, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
 	}
 	defer f.Close()
 	r := csv.NewReader(f)
 	r.FieldsPerRecord = -1
 	recs, err := r.ReadAll()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "report:", err)
-		os.Exit(1)
+		return nil, err
 	}
 
 	var rows []row
@@ -79,99 +218,83 @@ func main() {
 		}
 		rows = append(rows, rw)
 	}
+	return rows, nil
+}
 
-	// Group by figure, preserving first-seen order.
-	var figures []string
-	byFig := map[string][]row{}
-	for _, rw := range rows {
-		if _, ok := byFig[rw.figure]; !ok {
-			figures = append(figures, rw.figure)
-		}
-		byFig[rw.figure] = append(byFig[rw.figure], rw)
+// protoRank orders the paper's protocol columns (M, DS0, DS, variants).
+func protoRank(p string) int {
+	switch p {
+	case "M":
+		return 0
+	case "DS0":
+		return 1
+	case "DS":
+		return 2
 	}
+	return 3 // labeled ablation variants after the plain protocols
+}
 
-	if *full {
-		printFull(figures, byFig)
-		return
+// rowsFromJournal builds report rows straight from an exp result journal.
+// Journal line order is execution order (nondeterministic under the
+// worker pool), so rows are sorted by (figure, workload, protocol rank,
+// label) for a deterministic report.
+func rowsFromJournal(path string) ([]row, error) {
+	recs, err := exp.LoadJournal(path)
+	if err != nil {
+		return nil, err
 	}
-
-	if *claims {
-		totalPass, totalDev := 0, 0
-		for _, fig := range figures {
-			f := rebuild(fig, byFig[fig])
-			if len(denovosync.ClaimsFor(f)) == 0 {
-				continue
-			}
-			fmt.Printf("-- %s --\n", fig)
-			p, d := denovosync.CheckClaims(f, os.Stdout)
-			totalPass += p
-			totalDev += d
+	latest := map[string]*exp.Record{}
+	var keys []string
+	for _, rec := range recs {
+		if _, ok := latest[rec.Key]; !ok {
+			keys = append(keys, rec.Key)
 		}
-		fmt.Printf("\ntotal: %d claims hold, %d deviate\n", totalPass, totalDev)
-		return
+		latest[rec.Key] = rec // later lines win (e.g. a retried failure)
 	}
-
-	for _, fig := range figures {
-		rs := byFig[fig]
-		// Index MESI baselines.
-		base := map[string]row{}
-		for _, rw := range rs {
-			if rw.protocol == "M" {
-				base[rw.workload] = rw
-			}
+	var rows []row
+	for _, k := range keys {
+		rec := latest[k]
+		if rec.Status != exp.StatusOK || rec.Stats == nil {
+			continue
 		}
-		hasDS0 := false
-		for _, rw := range rs {
-			if rw.protocol == "DS0" {
-				hasDS0 = true
-			}
+		r := rec.Run
+		workload := r.Display
+		if workload == "" {
+			workload = r.Workload
 		}
-		fmt.Printf("### %s\n\n", fig)
-		if hasDS0 {
-			fmt.Println("| workload | DS0 exec | DS exec | DS0 traffic | DS traffic |")
-			fmt.Println("|---|---|---|---|---|")
-		} else {
-			fmt.Println("| workload | DS exec | DS traffic |")
-			fmt.Println("|---|---|---|")
+		protocol := r.Label
+		if protocol == "" {
+			protocol = r.Protocol
 		}
-		var order []string
-		seen := map[string]bool{}
-		vals := map[string]map[string]row{}
-		for _, rw := range rs {
-			if !seen[rw.workload] {
-				seen[rw.workload] = true
-				order = append(order, rw.workload)
-				vals[rw.workload] = map[string]row{}
-			}
-			vals[rw.workload][rw.protocol] = rw
+		rw := row{
+			figure:   rec.Fig,
+			workload: workload,
+			protocol: protocol,
+			cores:    r.Cores,
+			exec:     float64(rec.Stats.ExecTime),
+			traffic:  float64(rec.Stats.TotalTraffic),
 		}
-		ratio := func(w, prot string, traffic bool) string {
-			b, ok := base[w]
-			v, ok2 := vals[w][prot]
-			if !ok || !ok2 {
-				return "—"
-			}
-			num, den := v.exec, b.exec
-			if traffic {
-				num, den = v.traffic, b.traffic
-			}
-			if den == 0 {
-				return "—"
-			}
-			return fmt.Sprintf("%.2fx", num/den)
+		rw.times = append(rw.times, rec.Stats.Time[:]...)
+		for _, v := range rec.Stats.Traffic {
+			rw.classes = append(rw.classes, float64(v))
 		}
-		for _, w := range order {
-			if hasDS0 {
-				fmt.Printf("| %s | %s | %s | %s | %s |\n", w,
-					ratio(w, "DS0", false), ratio(w, "DS", false),
-					ratio(w, "DS0", true), ratio(w, "DS", true))
-			} else {
-				fmt.Printf("| %s | %s | %s |\n", w,
-					ratio(w, "DS", false), ratio(w, "DS", true))
-			}
-		}
-		fmt.Println()
+		rows = append(rows, rw)
 	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.figure != b.figure {
+			return a.figure < b.figure
+		}
+		if a.workload != b.workload {
+			return a.workload < b.workload
+		}
+		ra, rb := protoRank(a.protocol), protoRank(b.protocol)
+		if ra != rb {
+			return ra < rb
+		}
+		return a.protocol < b.protocol
+	})
+	return rows, nil
 }
 
 // rebuild reconstructs a harness Figure (exec/traffic only) from CSV rows
@@ -207,7 +330,7 @@ func rebuild(id string, rs []row) *denovosync.Figure {
 // printFull reproduces paperbench's normalized component tables from the
 // archived CSV (used to rebuild experiments_raw.txt if the live output is
 // lost or garbled).
-func printFull(figures []string, byFig map[string][]row) {
+func printFull(out io.Writer, figures []string, byFig map[string][]row) {
 	pct := func(v, norm float64) string {
 		if norm == 0 {
 			return "     —"
@@ -226,8 +349,8 @@ func printFull(figures []string, byFig map[string][]row) {
 				base[rw.workload] = rw
 			}
 		}
-		fmt.Printf("%s — execution time (%% of MESI)\n", fig)
-		fmt.Printf("%-26s %-5s %7s | %8s %8s %8s %8s %8s %8s\n", "workload", "prot", "total",
+		fmt.Fprintf(out, "%s — execution time (%% of MESI)\n", fig)
+		fmt.Fprintf(out, "%-26s %-5s %7s | %8s %8s %8s %8s %8s %8s\n", "workload", "prot", "total",
 			"nonsynch", "compute", "memstall", "swbkoff", "hwbkoff", "barrier")
 		for _, w := range order {
 			for _, rw := range rs {
@@ -235,15 +358,15 @@ func printFull(figures []string, byFig map[string][]row) {
 					continue
 				}
 				b := base[w]
-				fmt.Printf("%-26s %-5s %7s |", w, rw.protocol, pct(rw.exec, b.exec))
+				fmt.Fprintf(out, "%-26s %-5s %7s |", w, rw.protocol, pct(rw.exec, b.exec))
 				for _, v := range rw.times {
-					fmt.Printf(" %8s", pct(v, b.exec))
+					fmt.Fprintf(out, " %8s", pct(v, b.exec))
 				}
-				fmt.Println()
+				fmt.Fprintln(out)
 			}
 		}
-		fmt.Printf("\n%s — network traffic (%% of MESI)\n", fig)
-		fmt.Printf("%-26s %-5s %7s | %8s %8s %8s %8s %8s\n", "workload", "prot", "total",
+		fmt.Fprintf(out, "\n%s — network traffic (%% of MESI)\n", fig)
+		fmt.Fprintf(out, "%-26s %-5s %7s | %8s %8s %8s %8s %8s\n", "workload", "prot", "total",
 			"LD", "ST", "WB", "Inv", "SYNCH")
 		for _, w := range order {
 			for _, rw := range rs {
@@ -251,13 +374,13 @@ func printFull(figures []string, byFig map[string][]row) {
 					continue
 				}
 				b := base[w]
-				fmt.Printf("%-26s %-5s %7s |", w, rw.protocol, pct(rw.traffic, b.traffic))
+				fmt.Fprintf(out, "%-26s %-5s %7s |", w, rw.protocol, pct(rw.traffic, b.traffic))
 				for _, v := range rw.classes {
-					fmt.Printf(" %8s", pct(v, b.traffic))
+					fmt.Fprintf(out, " %8s", pct(v, b.traffic))
 				}
-				fmt.Println()
+				fmt.Fprintln(out)
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 }

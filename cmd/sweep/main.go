@@ -5,43 +5,57 @@
 // read-registration ping-pong overtakes MESI's invalidation cost and
 // where DeNovoSync's backoff pays off.
 //
+// The grid is planned and executed through internal/exp: runs execute in
+// parallel on a worker pool, and with -journal an interrupted sweep
+// resumes without re-executing completed grid points.
+//
 // Usage:
 //
 //	sweep -kernel nb-m-s-queue
 //	sweep -kernel tatas-counter -cores 64
 //	sweep -kernel nb-treiber-stack -csv out.csv
+//	sweep -kernel nb-m-s-queue -journal sweep.jsonl   # resumable
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"sync/atomic"
 
-	"denovosync"
+	"denovosync/internal/exp"
 	"denovosync/internal/profiling"
 )
 
 func main() {
 	var (
-		kernelID   = flag.String("kernel", "nb-m-s-queue", "kernel slug (see denovosim -list)")
-		cores      = flag.Int("cores", 16, "machine size: 16 or 64")
-		iters      = flag.Int("iters", 30, "kernel iterations per thread")
-		csvPath    = flag.String("csv", "", "write CSV to this file as well")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation profile to this file")
+		kernelID    = flag.String("kernel", "nb-m-s-queue", "kernel slug (see denovosim -list)")
+		cores       = flag.Int("cores", 16, "machine size: 16 or 64")
+		iters       = flag.Int("iters", 30, "kernel iterations per thread")
+		csvPath     = flag.String("csv", "", "write CSV to this file as well")
+		journalPath = flag.String("journal", "", "JSONL result journal (enables resume)")
+		workers     = flag.Int("workers", 0, "concurrent runs; 0 = GOMAXPROCS")
+		timeout     = flag.Duration("timeout", 0, "per-run wall-clock limit; 0 = none")
+		retries     = flag.Int("retries", 0, "extra attempts after a failed run")
+		retryFailed = flag.Bool("retry-failed", false, "re-execute journaled failures")
+		progress    = flag.Bool("progress", false, "print live progress to stderr")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write an allocation profile to this file")
 	)
 	flag.Parse()
 
-	k, ok := denovosync.KernelByID(*kernelID)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "sweep: unknown kernel %q\n", *kernelID)
-		os.Exit(1)
+	gaps := []int64{25600, 12800, 6400, 3200, 1600, 800, 400}
+	plan, err := exp.SweepPlan(*kernelID, *cores, *iters, gaps)
+	if err != nil {
+		fatal(err)
 	}
 
 	stopProfile, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	defer func() {
 		if err := stopProfile(); err != nil {
@@ -49,54 +63,103 @@ func main() {
 		}
 	}()
 
-	var csv *os.File
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+	eng := &exp.Engine{
+		Workers: *workers, Timeout: *timeout,
+		Retries: *retries, RetryFailed: *retryFailed,
+	}
+	if *progress {
+		eng.Progress = os.Stderr
+	}
+	if *journalPath != "" {
+		j, prior, err := exp.OpenJournal(*journalPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		defer f.Close()
-		csv = f
-		fmt.Fprintln(csv, "kernel,protocol,gap_cycles,exec_cycles,traffic_flit_hops")
+		defer func() {
+			if err := j.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+			}
+		}()
+		eng.Journal, eng.Prior = j, prior
 	}
 
-	protos := []denovosync.Protocol{denovosync.MESI, denovosync.DeNovoSync0, denovosync.DeNovoSync}
-	fmt.Printf("Sweep: %s on %d cores, %d iterations/thread — exec cycles (traffic)\n", k.ID, *cores, *iters)
+	// First ^C: stop dispatching, journal in-flight runs, exit 130.
+	stop := make(chan struct{})
+	eng.Stop = stop
+	var interrupted atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		interrupted.Store(true)
+		fmt.Fprintln(os.Stderr, "sweep: interrupt — finishing in-flight runs (^C again to abort)")
+		close(stop)
+		<-sigc
+		os.Exit(130)
+	}()
+
+	records, sum, err := eng.Execute(plan)
+	signal.Stop(sigc)
+	if err != nil {
+		if errors.Is(err, exp.ErrStopped) && interrupted.Load() {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(130)
+		}
+		fatal(err)
+	}
+
+	fmt.Printf("Sweep: %s on %d cores, %d iterations/thread — exec cycles (traffic)\n", *kernelID, *cores, *iters)
 	fmt.Println("gap = dummy-compute cycles between operations (smaller = more contention)")
 	fmt.Println()
 	fmt.Printf("%8s", "gap")
-	for _, p := range protos {
-		fmt.Printf("  %22s", p)
+	for _, prot := range []string{"MESI", "DeNovoSync0", "DeNovoSync"} {
+		fmt.Printf("  %22s", prot)
 	}
 	fmt.Println()
 
-	gaps := []int{25600, 12800, 6400, 3200, 1600, 800, 400}
-	for _, gap := range gaps {
-		fmt.Printf("%8d", gap)
-		for _, prot := range protos {
-			var params denovosync.Params
-			if *cores == 64 {
-				params = denovosync.Params64()
-			} else {
-				params = denovosync.Params16()
+	// Plan order is gap-major, protocol-minor: three runs per table row.
+	for i := 0; i < len(plan.Runs); i += 3 {
+		fmt.Printf("%8d", plan.Runs[i].GapMin)
+		for _, r := range plan.Runs[i : i+3] {
+			rec := records[r.Key()]
+			if rec == nil || rec.Status != exp.StatusOK {
+				fmt.Printf("  %22s", "FAILED")
+				continue
 			}
-			m := denovosync.NewMachine(params, prot, denovosync.NewSpace())
-			cfg := denovosync.KernelConfig{
-				Cores: *cores, Iters: *iters, EqChecks: -1,
-				NonSynchMin: denovosync.Cycle(gap),
-				NonSynchMax: denovosync.Cycle(gap) + denovosync.Cycle(gap)/4 + 1,
-			}
-			rs, err := denovosync.RunKernel(k, m, cfg)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "\nsweep: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Printf("  %12d (%8d)", rs.ExecTime, rs.TotalTraffic)
-			if csv != nil {
-				fmt.Fprintf(csv, "%s,%s,%d,%d,%d\n", k.ID, prot.Short(), gap, rs.ExecTime, rs.TotalTraffic)
-			}
+			fmt.Printf("  %12d (%8d)", rec.Stats.ExecTime, rec.Stats.TotalTraffic)
 		}
 		fmt.Println()
 	}
+
+	if *csvPath != "" {
+		if err := writeFile(*csvPath, func(w io.Writer) error {
+			return exp.SweepCSV(w, plan, records)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if sum.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d runs failed (-retry-failed re-executes journaled failures)\n",
+			sum.Failed, sum.Total)
+		os.Exit(1)
+	}
+}
+
+// writeFile writes via fn and reports Close errors — a full disk
+// surfaces as a failure, not a truncated CSV.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
 }

@@ -1,0 +1,203 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"denovosync/internal/apps"
+	"denovosync/internal/kernels"
+	"denovosync/internal/sim"
+)
+
+// Plan is an expanded experiment grid: an ordered list of runs plus the
+// identity used for rendering. Run order is the canonical row order of
+// every merged artifact (table, CSV), independent of execution order.
+type Plan struct {
+	ID    string `json:"id"`
+	Title string `json:"title,omitempty"`
+	Cores int    `json:"cores,omitempty"`
+	Runs  []Run  `json:"runs"`
+}
+
+// Duplicate grid points (identical configuration under different labels
+// — e.g. the hwparams ablation's "paper" and "inc=1" variants at 16
+// cores, where the paper increment IS 1) are legal: the engine executes
+// each distinct key once and every row renders from the shared record.
+
+// Manifest is the declarative, user-authored form of a grid: axes that
+// expand into the cross-product of runs. Empty axes take paper defaults.
+type Manifest struct {
+	Name  string `json:"name"`
+	Title string `json:"title,omitempty"`
+
+	// Workload axes. At least one of Kernels/Apps must be non-empty.
+	Kernels []string `json:"kernels,omitempty"`
+	Apps    []string `json:"apps,omitempty"`
+
+	// Protocols defaults to the paper's comparison set [M, DS0, DS].
+	Protocols []string `json:"protocols,omitempty"`
+
+	// Cores defaults to [16]. Apps ignore it (each app pins its own
+	// paper core count) unless ForceCores is set.
+	Cores      []int `json:"cores,omitempty"`
+	ForceCores bool  `json:"force_cores,omitempty"`
+
+	// Iters defaults to [0] (per-kernel paper default).
+	Iters []int `json:"iters,omitempty"`
+
+	// Gaps is the non-synch dummy-computation axis in cycles; each gap g
+	// expands to the sweep window [g, g+g/4+1). 0 = the paper default
+	// window for the core count. Defaults to [0].
+	Gaps []int64 `json:"gaps,omitempty"`
+
+	// BackoffBits/Increments sweep the DeNovoSync hardware-backoff
+	// parameters; 0 = the Table 1 value. Both default to [0].
+	BackoffBits []uint  `json:"backoff_bits,omitempty"`
+	Increments  []int64 `json:"increments,omitempty"`
+
+	// EqChecks: nil keeps the as-adapted default (-1 → 2 checks);
+	// 0 is the §7.1.3 reduced-equality-check ablation.
+	EqChecks *int `json:"eq_checks,omitempty"`
+
+	// Scale divides app workloads (1 = paper scale).
+	Scale int `json:"scale,omitempty"`
+
+	// Grid-wide ablation switches (applied to every run).
+	SWBackoffMin    int64 `json:"sw_backoff_min,omitempty"`
+	SWBackoffMax    int64 `json:"sw_backoff_max,omitempty"`
+	NoPadding       bool  `json:"no_padding,omitempty"`
+	InvalidateAll   bool  `json:"invalidate_all,omitempty"`
+	ForceMCS        bool  `json:"force_mcs,omitempty"`
+	UseSignatures   bool  `json:"use_signatures,omitempty"`
+	Signatures      bool  `json:"signatures,omitempty"`
+	LineGranularity bool  `json:"line_granularity,omitempty"`
+	LinkContention  bool  `json:"link_contention,omitempty"`
+}
+
+// LoadManifest reads and expands a manifest file.
+func LoadManifest(path string) (Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Plan{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Plan{}, fmt.Errorf("exp: parsing manifest %s: %w", path, err)
+	}
+	return m.Expand()
+}
+
+func orDefaultInts(axis, def []int) []int {
+	if len(axis) == 0 {
+		return def
+	}
+	return axis
+}
+
+// Expand validates the axes and produces the cross-product plan.
+func (m Manifest) Expand() (Plan, error) {
+	if m.Name == "" {
+		return Plan{}, fmt.Errorf("exp: manifest needs a name")
+	}
+	if len(m.Kernels) == 0 && len(m.Apps) == 0 {
+		return Plan{}, fmt.Errorf("exp: manifest %q selects no kernels or apps", m.Name)
+	}
+	protocols := m.Protocols
+	if len(protocols) == 0 {
+		protocols = []string{"M", "DS0", "DS"}
+	}
+	for _, p := range protocols {
+		if _, err := ParseProtocol(p); err != nil {
+			return Plan{}, err
+		}
+	}
+	cores := orDefaultInts(m.Cores, []int{16})
+	for _, c := range cores {
+		if c != 16 && c != 64 {
+			return Plan{}, fmt.Errorf("exp: manifest %q: unsupported core count %d (want 16 or 64)", m.Name, c)
+		}
+	}
+	iters := orDefaultInts(m.Iters, []int{0})
+	gaps := m.Gaps
+	if len(gaps) == 0 {
+		gaps = []int64{0}
+	}
+	bits := m.BackoffBits
+	if len(bits) == 0 {
+		bits = []uint{0}
+	}
+	incs := m.Increments
+	if len(incs) == 0 {
+		incs = []int64{0}
+	}
+	eq := -1
+	if m.EqChecks != nil {
+		eq = *m.EqChecks
+	}
+
+	base := Run{
+		EqChecks:        eq,
+		SWBackoffMin:    sim.Cycle(m.SWBackoffMin),
+		SWBackoffMax:    sim.Cycle(m.SWBackoffMax),
+		NoPadding:       m.NoPadding,
+		InvalidateAll:   m.InvalidateAll,
+		ForceMCS:        m.ForceMCS,
+		UseSignatures:   m.UseSignatures,
+		Signatures:      m.Signatures,
+		LineGranularity: m.LineGranularity,
+		LinkContention:  m.LinkContention,
+	}
+
+	p := Plan{ID: m.Name, Title: m.Title}
+	if len(cores) == 1 {
+		p.Cores = cores[0]
+	}
+	for _, c := range cores {
+		for _, b := range bits {
+			for _, inc := range incs {
+				for _, it := range iters {
+					for _, gap := range gaps {
+						for _, id := range m.Kernels {
+							k, ok := kernels.ByID(id)
+							if !ok {
+								return Plan{}, fmt.Errorf("exp: manifest %q: unknown kernel %q", m.Name, id)
+							}
+							for _, prot := range protocols {
+								r := base
+								r.Kind, r.Workload, r.Display = KindKernel, k.ID, k.Name
+								r.Protocol, r.Cores, r.Iters = prot, c, it
+								r.BackoffBits, r.Increment = b, sim.Cycle(inc)
+								if gap > 0 {
+									r.GapMin = sim.Cycle(gap)
+									r.GapMax = sim.Cycle(gap) + sim.Cycle(gap)/4 + 1
+								}
+								p.Runs = append(p.Runs, r)
+							}
+						}
+					}
+				}
+				for _, id := range m.Apps {
+					a, ok := apps.ByID(id)
+					if !ok {
+						return Plan{}, fmt.Errorf("exp: manifest %q: unknown app %q", m.Name, id)
+					}
+					appCores := a.DefaultCores
+					if m.ForceCores {
+						appCores = c
+					} else if len(cores) > 1 {
+						return Plan{}, fmt.Errorf("exp: manifest %q: apps pin their own core count; use force_cores to override", m.Name)
+					}
+					for _, prot := range protocols {
+						r := base
+						r.Kind, r.Workload, r.Display = KindApp, a.ID, a.Name
+						r.Protocol, r.Cores, r.Scale = prot, appCores, m.Scale
+						r.BackoffBits, r.Increment = b, sim.Cycle(inc)
+						p.Runs = append(p.Runs, r)
+					}
+				}
+			}
+		}
+	}
+	return p, nil
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"denovosync/internal/alloc"
@@ -87,6 +88,13 @@ func Fig7(o Options) (*Figure, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// A panicking application model must fail its own row, not
+			// kill the whole figure (and the process).
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("fig7/%s/%v: panic: %v\n%s", j.a.ID, j.prot, p, debug.Stack())
+				}
+			}()
 			m := machine.New(ParamsFor(j.a.DefaultCores), j.prot, alloc.New())
 			rs, err := apps.Run(j.a, m, o.scale())
 			if err != nil {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 
@@ -90,6 +91,13 @@ func RunKernelGroup(id, title string, g kernels.Group, cores int, cfg kernels.Co
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// A panicking kernel configuration must fail its own row, not
+			// kill the whole figure (and the process).
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("%s/%s/%v: panic: %v\n%s", id, j.k.ID, j.prot, p, debug.Stack())
+				}
+			}()
 			m := machine.New(ParamsFor(cores), j.prot, alloc.New())
 			rs, err := kernels.Run(j.k, m, cfg)
 			if err != nil {

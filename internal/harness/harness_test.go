@@ -40,6 +40,21 @@ func TestRunKernelGroupShape(t *testing.T) {
 	}
 }
 
+// TestRunKernelGroupRecoversPanics: a panic inside a figure's worker
+// goroutine (here: ParamsFor on an unsupported core count) must surface
+// as that row's error, not crash the process.
+func TestRunKernelGroupRecoversPanics(t *testing.T) {
+	_, err := RunKernelGroup("t", "test", kernels.Barriers, 12, quick.kernelCfg(), DefaultProtocols())
+	if err == nil {
+		t.Fatal("want an error from the panicking rows")
+	}
+	for _, want := range []string{"panic", "unsupported core count"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
 func TestRenderAndCSV(t *testing.T) {
 	f, err := Fig6(16, quick)
 	if err != nil {

@@ -35,7 +35,11 @@ func ByName(name string) *analysis.Analyzer {
 // each invariant protects: determinism and cycle hygiene guard the
 // simulator core (the machine/params layer legitimately reads wall time
 // for reports and centralizes latency numbers); thread discipline guards
-// code that runs *inside* the simulation.
+// code that runs *inside* the simulation. Orchestration layers above the
+// simulator — internal/exp, internal/harness, the commands — are
+// deliberately outside the determinism scope: wall-clock time (ETAs,
+// timeouts) and host parallelism are their job, and every simulation
+// they launch is still cycle-exact deterministic inside the boundary.
 var scopes = map[string][]string{
 	ExhaustState.Name: nil,
 	Determinism.Name: {

@@ -48,6 +48,13 @@ func TestScopes(t *testing.T) {
 		{"cyclehygiene", "internal/machine", false}, // latencies are declared there
 		{"threaddiscipline", "internal/kernels", true},
 		{"threaddiscipline", "internal/cpu", false}, // the thread API itself uses channels
+		// internal/exp is the host-side orchestration layer: wall-clock
+		// progress/timeouts are its job, so only the whole-tree analyzers
+		// apply — and no //simlint:allow suppressions are needed there.
+		{"exhauststate", "internal/exp", true},
+		{"determinism", "internal/exp", false},
+		{"cyclehygiene", "internal/exp", false},
+		{"threaddiscipline", "internal/exp", false},
 	}
 	for _, c := range cases {
 		if got := lint.InScope(lint.ByName(c.analyzer), c.rel); got != c.want {

@@ -1,8 +1,11 @@
 package stats
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"denovosync/internal/proto"
 	"denovosync/internal/sim"
@@ -49,6 +52,98 @@ func TestAggregateEmpty(t *testing.T) {
 	rs.Aggregate() // must not panic
 	if rs.ExecTime != 0 {
 		t.Fatal("empty aggregate produced time")
+	}
+}
+
+func TestBusyZeroValue(t *testing.T) {
+	var ct CoreTime
+	if ct.Busy() != 0 {
+		t.Fatalf("zero CoreTime is busy: %d", ct.Busy())
+	}
+}
+
+// TestAggregateAllIdleCores: cores that finished without charging any
+// component (e.g. a workload where only thread 0 does work) still set
+// the makespan, and the averaged breakdown stays zero.
+func TestAggregateAllIdleCores(t *testing.T) {
+	rs := &RunStats{
+		Cores:   2,
+		PerCore: []CoreTime{{Finish: 40}, {Finish: 75}},
+	}
+	rs.Aggregate()
+	if rs.ExecTime != 75 {
+		t.Fatalf("ExecTime = %d, want the max finish 75", rs.ExecTime)
+	}
+	if rs.TimeTotal() != 0 || rs.TotalTraffic != 0 {
+		t.Fatalf("idle cores produced time/traffic: %v / %d", rs.Time, rs.TotalTraffic)
+	}
+}
+
+// TestAggregateIsRepeatable: Aggregate must be safe to call twice
+// (ExecTime keeps the max, TotalTraffic is recomputed, not re-added).
+func TestAggregateIsRepeatable(t *testing.T) {
+	rs := &RunStats{
+		PerCore: []CoreTime{{Cycles: [NumTimeComponents]sim.Cycle{3, 0, 0, 0, 0, 0}, Finish: 10}},
+		Traffic: [proto.NumMsgClasses]uint64{5, 0, 0, 0, 0},
+	}
+	rs.Aggregate()
+	rs.Aggregate()
+	if rs.TotalTraffic != 5 || rs.Time[NonSynch] != 3 || rs.ExecTime != 10 {
+		t.Fatalf("second Aggregate changed results: %+v", rs)
+	}
+}
+
+func TestSetWallTime(t *testing.T) {
+	rs := &RunStats{Events: 1000}
+	if rs.WallTime != 0 || rs.EventsPerSec != 0 {
+		t.Fatal("zero value has wall-time diagnostics")
+	}
+	if s := rs.String(); strings.Contains(s, "wall") {
+		t.Errorf("String() shows wall time before SetWallTime:\n%s", s)
+	}
+
+	rs.SetWallTime(0) // a degenerate (clock-resolution) duration
+	if rs.EventsPerSec != 0 {
+		t.Errorf("zero duration produced a rate: %f", rs.EventsPerSec)
+	}
+
+	rs.SetWallTime(2 * time.Second)
+	if rs.EventsPerSec != 500 {
+		t.Errorf("EventsPerSec = %f, want 500", rs.EventsPerSec)
+	}
+	if s := rs.String(); !strings.Contains(s, "wall") {
+		t.Errorf("String() omits wall time after SetWallTime:\n%s", s)
+	}
+}
+
+// TestRunStatsJSONRoundTrip pins the serialization the exp journal
+// depends on: every field — including non-integral float64 averages —
+// must survive encoding/json exactly, so a resumed grid renders
+// byte-identical output from journaled records.
+func TestRunStatsJSONRoundTrip(t *testing.T) {
+	rs := &RunStats{
+		Protocol: "DeNovoSync", Workload: "msq", Cores: 3,
+		PerCore: []CoreTime{
+			{Cycles: [NumTimeComponents]sim.Cycle{1, 0, 0, 0, 0, 0}, Finish: 7},
+			{Cycles: [NumTimeComponents]sim.Cycle{0, 1, 0, 0, 0, 0}, Finish: 9},
+			{Cycles: [NumTimeComponents]sim.Cycle{0, 0, 2, 0, 0, 0}, Finish: 8},
+		},
+		Traffic:  [proto.NumMsgClasses]uint64{10, 20, 30, 40, 50},
+		L1Hits:   123,
+		L1Misses: 4,
+		Events:   99999,
+	}
+	rs.Aggregate() // Time components become 1/3, 1/3, 2/3: non-integral averages
+	b, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := &RunStats{}
+	if err := json.Unmarshal(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rs) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, rs)
 	}
 }
 
