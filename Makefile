@@ -52,6 +52,31 @@ exp-smoke:
 	cmp /tmp/denovosync-exp-smoke/resumed.csv /tmp/denovosync-exp-smoke/full.csv
 	@echo "exp-smoke: resumed CSV is byte-identical to the uninterrupted run"
 
+# chaos-smoke drives the chaos engine end to end through the real CLI:
+# a small seed grid across all four protocol configs (every run is
+# perturbed, invariant-monitored, and differentially checked against its
+# unperturbed baseline), a forced-watchdog livelock that must abort with
+# a structured diagnostic, a shrink of that failure to a minimal
+# replayable reproducer, and a kill-and-resume byte-identity check on
+# the verdict CSV.
+.PHONY: chaos-smoke
+chaos-smoke:
+	rm -rf /tmp/denovosync-chaos-smoke && mkdir -p /tmp/denovosync-chaos-smoke
+	$(GO) build -o /tmp/denovosync-chaos-smoke/chaos ./cmd/chaos
+	/tmp/denovosync-chaos-smoke/chaos run -kernels tatas-counter,bar-tree \
+		-seeds 4 -iters 4 -quiet -csv /tmp/denovosync-chaos-smoke/full.csv
+	/tmp/denovosync-chaos-smoke/chaos watchdog-demo > /dev/null
+	/tmp/denovosync-chaos-smoke/chaos shrink -kernel bar-tree -config DS -iters 4 -seed 2 \
+		-fault blackhole -fault-msg 60 -watchdog 100000 -o /tmp/denovosync-chaos-smoke/repro.json
+	/tmp/denovosync-chaos-smoke/chaos replay /tmp/denovosync-chaos-smoke/repro.json
+	/tmp/denovosync-chaos-smoke/chaos run -kernels tatas-counter,bar-tree \
+		-seeds 4 -iters 4 -quiet -journal /tmp/denovosync-chaos-smoke/grid.jsonl -stop-after 6
+	/tmp/denovosync-chaos-smoke/chaos run -kernels tatas-counter,bar-tree \
+		-seeds 4 -iters 4 -quiet -journal /tmp/denovosync-chaos-smoke/grid.jsonl \
+		-csv /tmp/denovosync-chaos-smoke/resumed.csv
+	cmp /tmp/denovosync-chaos-smoke/resumed.csv /tmp/denovosync-chaos-smoke/full.csv
+	@echo "chaos-smoke: sweep clean, watchdog fired, failure shrunk + replayed, resume byte-identical"
+
 # Golden checks: figure CSVs (Figs. 3-7 at reduced scale) and the
 # cycle-exact determinism fingerprints. Regenerate deliberately with
 # `make golden-update` after an intentional simulator change.

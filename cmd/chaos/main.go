@@ -1,0 +1,280 @@
+// Command chaos drives the deterministic chaos engine (internal/chaos)
+// from the command line: seed sweeps with live invariant checking,
+// shrinking a failing spec to a minimal replayable reproducer, replaying
+// a reproducer, and a forced-watchdog demo.
+//
+// Usage:
+//
+//	chaos run -kernels tatas-counter,bar-tree -seeds 16          # seed sweep
+//	chaos run -journal c.jsonl -csv verdicts.csv                 # resumable
+//	chaos shrink -kernel bar-tree -config DS -fault blackhole \
+//	    -watchdog 100000 -o repro.json                           # minimize
+//	chaos replay repro.json                                      # reproduce
+//	chaos watchdog-demo                                          # diagnostic
+//
+// Every command is deterministic: the same flags always produce the same
+// schedules, verdicts and artifacts.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"denovosync/internal/chaos"
+	"denovosync/internal/exp"
+	"denovosync/internal/sim"
+)
+
+// defaultKernels is the representative sweep set: a TTS lock, a simple
+// array lock, a non-blocking structure, and a barrier — one kernel per
+// synchronization family the paper studies.
+var defaultKernels = "tatas-counter,array-counter,nb-treiber-stack,bar-tree"
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "run":
+		cmdRun(os.Args[2:])
+	case "shrink":
+		cmdShrink(os.Args[2:])
+	case "replay":
+		cmdReplay(os.Args[2:])
+	case "watchdog-demo":
+		cmdWatchdogDemo(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "chaos: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: chaos <command> [flags]
+
+commands:
+  run            seed sweep: kernels x protocol configs x seeds, each run
+                 perturbed + differentially checked against its baseline
+  shrink         reduce a failing spec to a minimal replayable reproducer
+  replay         re-run a reproducer and confirm the verdict reproduces
+  watchdog-demo  force a livelock and show the structured diagnostic
+
+run 'chaos <command> -h' for the command's flags
+`)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chaos:", err)
+	os.Exit(1)
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("chaos run", flag.ExitOnError)
+	var (
+		kernelCSV = fs.String("kernels", defaultKernels, "comma-separated kernel IDs")
+		configCSV = fs.String("configs", "M,DS0,DS,DSsig", "comma-separated protocol configs")
+		cores     = fs.Int("cores", 16, "core count (16 or 64)")
+		iters     = fs.Int("iters", 0, "iterations per core (0 = kernel default)")
+		seeds     = fs.Int("seeds", 16, "jitter seeds per grid point")
+		seedBase  = fs.Uint64("seed-base", 1, "first seed")
+		jitter    = fs.Int64("jitter", 0, "per-message jitter bound in cycles (0 = default)")
+		watchdog  = fs.Int64("watchdog", 0, "deadlock budget in cycles (0 = default)")
+		journal   = fs.String("journal", "", "JSONL result journal (enables resume)")
+		workers   = fs.Int("workers", 0, "concurrent runs; 0 = GOMAXPROCS")
+		stopAfter = fs.Int("stop-after", 0, "stop dispatching after N completed runs (0 = no limit)")
+		csvPath   = fs.String("csv", "", "write the per-seed verdict CSV here")
+		quiet     = fs.Bool("quiet", false, "suppress progress output")
+	)
+	fs.Parse(args)
+
+	plan, err := exp.ChaosPlan(splitCSV(*kernelCSV), splitCSV(*configCSV),
+		*cores, *iters, *seeds, *seedBase, *jitter, *watchdog)
+	if err != nil {
+		fatal(err)
+	}
+
+	eng := &exp.Engine{Workers: *workers, StopAfter: *stopAfter}
+	if !*quiet {
+		eng.Progress = os.Stderr
+	}
+	if *journal != "" {
+		j, prior, err := exp.OpenJournal(*journal)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := j.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "chaos:", err)
+			}
+		}()
+		eng.Journal, eng.Prior = j, prior
+	}
+
+	records, sum, err := eng.Execute(plan)
+	if errors.Is(err, exp.ErrStopped) {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		return // -stop-after stop is the expected outcome, not an error
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *csvPath != "" {
+		if err := writeFile(*csvPath, func(w io.Writer) error {
+			return exp.ChaosCSV(w, plan, records)
+		}); err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "chaos: wrote %s\n", *csvPath)
+		}
+	}
+	if sum.Failed > 0 {
+		// A failed chaos run is a finding, not an infrastructure error:
+		// surface every non-ok verdict so the seed can be shrunk.
+		fmt.Fprintf(os.Stderr, "chaos: %d of %d runs did not verify:\n", sum.Failed, sum.Total)
+		for _, r := range plan.Runs {
+			rec := records[r.Key()]
+			if rec == nil || rec.Status == exp.StatusOK {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "  %-40s %s: %s\n", r, exp.ChaosVerdict(rec), rec.Error)
+		}
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "chaos: all %d runs ok (schedule-invariant, zero violations)\n", sum.Total)
+	}
+}
+
+func cmdShrink(args []string) {
+	fs := flag.NewFlagSet("chaos shrink", flag.ExitOnError)
+	spec, out, resolve := specFlags(fs)
+	fs.Parse(args)
+	resolve()
+
+	fmt.Fprintf(os.Stderr, "chaos: shrinking %s\n", spec)
+	repro, err := chaos.Shrink(*spec, chaos.RunSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if err := chaos.WriteRepro(*out, repro); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "chaos: %d trials -> minimal reproducer %s (verdict %s)\n",
+		len(repro.Trials), *out, repro.Verdict)
+	fmt.Fprintf(os.Stderr, "chaos: replay with: chaos replay %s\n", *out)
+}
+
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("chaos replay", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(errors.New("usage: chaos replay <repro.json>"))
+	}
+	repro, err := chaos.LoadRepro(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	res, reproduced := chaos.Replay(repro)
+	fmt.Printf("spec:     %s\n", repro.Spec)
+	fmt.Printf("expected: %s (%s)\n", repro.Verdict, repro.Detail)
+	fmt.Printf("got:      %s (%s)\n", res.Verdict, res.Detail)
+	if !reproduced {
+		fatal(errors.New("verdict did NOT reproduce"))
+	}
+	fmt.Println("reproduced")
+}
+
+func cmdWatchdogDemo(args []string) {
+	fs := flag.NewFlagSet("chaos watchdog-demo", flag.ExitOnError)
+	budget := fs.Int64("watchdog", 100_000, "deadlock budget in cycles")
+	fs.Parse(args)
+
+	// A blackholed barrier message leaves waiters parked forever: no core
+	// retires, the watchdog's progress budget expires, and the run aborts
+	// with a structured snapshot instead of hanging.
+	spec := chaos.Spec{
+		Kernel: "bar-tree", Config: "DS", Iters: 4, Seed: 2,
+		Fault:          &chaos.Fault{Kind: chaos.FaultBlackhole, Msg: 60},
+		WatchdogCycles: sim.Cycle(*budget),
+	}
+	fmt.Fprintf(os.Stderr, "chaos: running %s with a blackholed message...\n", spec)
+	res := chaos.RunSpec(spec)
+	fmt.Printf("verdict: %s\n%s\n", res.Verdict, res.Detail)
+	if res.Snapshot != nil {
+		b, err := json.MarshalIndent(res.Snapshot, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("diagnostic snapshot:\n%s\n", b)
+	}
+	if res.Verdict != chaos.VerdictWatchdog {
+		fatal(fmt.Errorf("expected the watchdog to fire, got verdict %q", res.Verdict))
+	}
+}
+
+// specFlags registers the flags that assemble a chaos.Spec and returns
+// the spec, the reproducer output path, and a resolve hook the caller
+// must invoke after fs.Parse (the sim.Cycle and Fault fields are built
+// from plain flag values).
+func specFlags(fs *flag.FlagSet) (*chaos.Spec, *string, func()) {
+	spec := &chaos.Spec{}
+	fs.StringVar(&spec.Kernel, "kernel", "tatas-counter", "kernel ID")
+	fs.StringVar(&spec.Config, "config", "DS", "protocol config (M, DS0, DS, DSsig)")
+	fs.IntVar(&spec.Cores, "cores", 0, "core count (0 = 16)")
+	fs.IntVar(&spec.Iters, "iters", 0, "iterations per core (0 = kernel default)")
+	fs.IntVar(&spec.EqChecks, "eq-checks", 0, "equality checks (0 = kernel default, -1 = disabled)")
+	fs.Uint64Var(&spec.Seed, "seed", 1, "jitter seed")
+	jitter := fs.Int64("jitter", 0, "per-message jitter bound in cycles (0 = default)")
+	watchdog := fs.Int64("watchdog", 0, "deadlock budget in cycles (0 = default)")
+	faultKind := fs.String("fault", "", "planted fault: blackhole or rogue (empty = none)")
+	faultMsg := fs.Int("fault-msg", 0, "blackhole: 0-based index of the doomed message")
+	faultDelay := fs.Int64("fault-delay", 0, "blackhole: added delay in cycles (0 = default)")
+	faultCycle := fs.Int64("fault-cycle", 0, "rogue: corruption cycle (0 = first sample)")
+	out := fs.String("o", "repro.json", "reproducer output path")
+
+	resolve := func() {
+		spec.MaxJitter = sim.Cycle(*jitter)
+		spec.WatchdogCycles = sim.Cycle(*watchdog)
+		if *faultKind != "" {
+			spec.Fault = &chaos.Fault{
+				Kind:  *faultKind,
+				Msg:   *faultMsg,
+				Delay: sim.Cycle(*faultDelay),
+				Cycle: sim.Cycle(*faultCycle),
+			}
+		}
+	}
+	return spec, out, resolve
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func writeFile(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -29,6 +29,8 @@ func main() {
 		scale    = flag.Int("scale", 1, "application workload divisor")
 		seed     = flag.Uint64("seed", 1, "deterministic RNG seed")
 		traceN   = flag.Int("trace", 0, "log the first N network messages to stderr")
+		watchdog = flag.Uint64("watchdog-cycles", 100_000_000,
+			"abort with a diagnostic snapshot if no core retires an operation for this many cycles (0 disables)")
 	)
 	flag.Parse()
 
@@ -63,6 +65,7 @@ func main() {
 		}
 		p := paramsFor(n)
 		p.Seed = *seed
+		p.WatchdogCycles = denovosync.Cycle(*watchdog)
 		m := denovosync.NewMachine(p, prot, denovosync.NewSpace())
 		if *traceN > 0 {
 			m.EnableTrace(os.Stderr, denovosync.AllMsgClasses, *traceN)
@@ -83,6 +86,7 @@ func main() {
 		}
 		p := paramsFor(n)
 		p.Seed = *seed
+		p.WatchdogCycles = denovosync.Cycle(*watchdog)
 		m := denovosync.NewMachine(p, prot, denovosync.NewSpace())
 		if *traceN > 0 {
 			m.EnableTrace(os.Stderr, denovosync.AllMsgClasses, *traceN)

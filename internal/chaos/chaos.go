@@ -1,0 +1,380 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"denovosync/internal/alloc"
+	"denovosync/internal/cache"
+	"denovosync/internal/denovo"
+	"denovosync/internal/kernels"
+	"denovosync/internal/machine"
+	"denovosync/internal/mesi"
+	"denovosync/internal/proto"
+	"denovosync/internal/sim"
+	"denovosync/internal/stats"
+)
+
+// ProtoConfig is one protocol configuration under chaos test.
+type ProtoConfig struct {
+	Name       string // figure abbreviation: M | DS0 | DS | DSsig
+	Protocol   machine.Protocol
+	Signatures bool // DSsig: DeNovoSync + hardware write signatures
+}
+
+// Configs returns the four protocol configurations the chaos sweep
+// covers: MESI, DeNovoSync0 (no backoff), DeNovoSync (hardware backoff),
+// and DeNovoSync with the write-signature extension.
+func Configs() []ProtoConfig {
+	return []ProtoConfig{
+		{Name: "M", Protocol: machine.MESI},
+		{Name: "DS0", Protocol: machine.DeNovoSync0},
+		{Name: "DS", Protocol: machine.DeNovoSync},
+		{Name: "DSsig", Protocol: machine.DeNovoSync, Signatures: true},
+	}
+}
+
+// ConfigByName resolves a configuration abbreviation.
+func ConfigByName(name string) (ProtoConfig, bool) {
+	for _, c := range Configs() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return ProtoConfig{}, false
+}
+
+// Spec is one self-contained chaos experiment: a kernel, a protocol
+// configuration, and a perturbation. It is the replay artifact — a JSON
+// round-trip of a Spec reproduces the identical run, verdict, and
+// diagnostic.
+type Spec struct {
+	Kernel string `json:"kernel"`
+	Config string `json:"config"` // M | DS0 | DS | DSsig
+
+	Cores int `json:"cores,omitempty"` // 16 (default) or 64
+	Iters int `json:"iters,omitempty"` // 0 = the kernel's default
+
+	// EqChecks: 0 = the kernel default, -1 = disabled, n > 0 = n checks.
+	EqChecks int `json:"eq_checks,omitempty"`
+
+	// Seed drives the jitter stream (the workload seed is pinned so the
+	// baseline and perturbed runs issue identical operation streams).
+	Seed uint64 `json:"seed"`
+
+	// MaxJitter is the per-message jitter bound (0 = default 16 cycles).
+	MaxJitter sim.Cycle `json:"max_jitter,omitempty"`
+
+	// Limit restricts jitter to the first *Limit messages: nil =
+	// unlimited, 0 = no jitter. The shrinker bisects it.
+	Limit *int `json:"limit,omitempty"`
+
+	// Fault optionally plants a deliberately illegal fault; see Fault.
+	Fault *Fault `json:"fault,omitempty"`
+
+	// WatchdogCycles (0 = default 2_000_000), SampleEvery (0 = default
+	// 10_000), StuckCycles (0 = default 5_000_000) tune the watchdog and
+	// the live monitor.
+	WatchdogCycles sim.Cycle `json:"watchdog_cycles,omitempty"`
+	SampleEvery    sim.Cycle `json:"sample_every,omitempty"`
+	StuckCycles    sim.Cycle `json:"stuck_cycles,omitempty"`
+}
+
+func (s Spec) cores() int {
+	if s.Cores == 0 {
+		return 16
+	}
+	return s.Cores
+}
+
+func (s Spec) maxJitter() sim.Cycle {
+	if s.MaxJitter == 0 {
+		return 16
+	}
+	return s.MaxJitter
+}
+
+func (s Spec) watchdogCycles() sim.Cycle {
+	if s.WatchdogCycles == 0 {
+		return 2_000_000
+	}
+	return s.WatchdogCycles
+}
+
+func (s Spec) policyLimit() int {
+	if s.Limit == nil {
+		return -1
+	}
+	return *s.Limit
+}
+
+func (s Spec) eqChecks() int {
+	switch {
+	case s.EqChecks == 0:
+		return -1 // kernels.Config: -1 keeps the as-adapted default
+	case s.EqChecks < 0:
+		return 0 // disabled
+	default:
+		return s.EqChecks
+	}
+}
+
+// String identifies the spec for progress lines and error messages.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s/%s/%dc/seed=%d", s.Kernel, s.Config, s.cores(), s.Seed)
+}
+
+// Verdicts, from most to least severe (RunSpec reports the first that
+// applies).
+const (
+	// VerdictViolation: the live monitor observed an invariant breach.
+	VerdictViolation = "violation"
+	// VerdictWatchdog: no core retired for a full watchdog budget.
+	VerdictWatchdog = "watchdog"
+	// VerdictError: the run failed some other way (kernel self-check,
+	// deadlock at drain, bad spec).
+	VerdictError = "error"
+	// VerdictMismatch: the perturbed run's functional summary diverged
+	// from the unperturbed baseline (schedule-dependent result).
+	VerdictMismatch = "mismatch"
+	// VerdictOK: invariants held and the result was schedule-invariant.
+	VerdictOK = "ok"
+)
+
+// Result is one chaos experiment's outcome.
+type Result struct {
+	Verdict string `json:"verdict"`
+	Detail  string `json:"detail,omitempty"`
+
+	BaselineSummary  string `json:"baseline_summary,omitempty"`
+	PerturbedSummary string `json:"perturbed_summary,omitempty"`
+
+	Violations []Violation               `json:"violations,omitempty"`
+	Snapshot   *machine.WatchdogSnapshot `json:"snapshot,omitempty"`
+
+	// Messages is the perturbed run's send count — the upper bound of the
+	// shrinker's Limit bisection.
+	Messages int `json:"messages"`
+
+	// Stats carries the perturbed run's statistics on VerdictOK.
+	Stats *stats.RunStats `json:"-"`
+}
+
+// OK reports a fully green verdict.
+func (r Result) OK() bool { return r.Verdict == VerdictOK }
+
+// Err renders a non-ok result as an error (nil when OK).
+func (r Result) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("chaos[%s]: %s", r.Verdict, r.Detail)
+}
+
+type outcome struct {
+	stats   *stats.RunStats
+	summary string
+	err     error
+	mon     *Monitor
+	sent    int
+}
+
+// RunSpec executes one chaos experiment: the perturbed run first (live
+// monitor + watchdog + perturbation policy), then — only when it comes
+// back clean — the unperturbed baseline for the metamorphic differential
+// check: final memory state and retired-op results must be
+// schedule-invariant, so the two functional summaries must match.
+func RunSpec(spec Spec) Result {
+	cfg, ok := ConfigByName(spec.Config)
+	if !ok {
+		return Result{Verdict: VerdictError, Detail: fmt.Sprintf("unknown protocol config %q (want M, DS0, DS or DSsig)", spec.Config)}
+	}
+	k, ok := kernels.ByID(spec.Kernel)
+	if !ok {
+		return Result{Verdict: VerdictError, Detail: fmt.Sprintf("unknown kernel %q", spec.Kernel)}
+	}
+	if c := spec.cores(); c != 16 && c != 64 {
+		return Result{Verdict: VerdictError, Detail: fmt.Sprintf("unsupported core count %d (want 16 or 64)", c)}
+	}
+
+	pr := runOnce(spec, cfg, k, true)
+	res := Result{Messages: pr.sent, PerturbedSummary: pr.summary}
+	if vs := pr.mon.Violations(); len(vs) > 0 {
+		res.Verdict = VerdictViolation
+		res.Violations = vs
+		res.Detail = pr.mon.Err().Error()
+		return res
+	}
+	var werr *machine.WatchdogError
+	if errors.As(pr.err, &werr) {
+		res.Verdict = VerdictWatchdog
+		res.Snapshot = &werr.Snapshot
+		res.Detail = fmt.Sprintf("no core retired an operation for %d cycles (stalled at cycle %d)", werr.Budget, werr.Snapshot.Cycle)
+		return res
+	}
+	if pr.err != nil {
+		res.Verdict = VerdictError
+		res.Detail = pr.err.Error()
+		return res
+	}
+
+	ba := runOnce(spec, cfg, k, false)
+	res.BaselineSummary = ba.summary
+	if vs := ba.mon.Violations(); len(vs) > 0 {
+		res.Verdict = VerdictViolation
+		res.Violations = vs
+		res.Detail = "baseline: " + ba.mon.Err().Error()
+		return res
+	}
+	if ba.err != nil {
+		res.Verdict = VerdictError
+		res.Detail = "baseline: " + ba.err.Error()
+		return res
+	}
+	if ba.summary != pr.summary {
+		res.Verdict = VerdictMismatch
+		res.Detail = fmt.Sprintf("perturbed summary diverged from baseline:\n  baseline:  %s\n  perturbed: %s", ba.summary, pr.summary)
+		return res
+	}
+	res.Verdict = VerdictOK
+	res.Stats = pr.stats
+	return res
+}
+
+// runOnce builds a fresh machine for spec and runs the kernel once,
+// monitored; perturbed selects whether the policy (and any fault) is
+// attached.
+func runOnce(spec Spec, cfg ProtoConfig, k kernels.Kernel, perturbed bool) outcome {
+	var p machine.Params
+	if spec.cores() == 64 {
+		p = machine.Params64()
+	} else {
+		p = machine.Params16()
+	}
+	p.Signatures = cfg.Signatures
+	p.WatchdogCycles = spec.watchdogCycles()
+	// p.Seed stays at the preset default: the workload stream must be
+	// identical across the baseline and every jitter seed.
+
+	m := machine.New(p, cfg.Protocol, alloc.New())
+	mo := NewMonitor(m, MonitorConfig{SampleEvery: spec.SampleEvery, StuckCycles: spec.StuckCycles})
+	var pb *Perturber
+	if perturbed {
+		pb = Attach(m.Eng, m.Net, Policy{
+			Seed:           spec.Seed,
+			MaxJitter:      spec.maxJitter(),
+			Limit:          spec.policyLimit(),
+			KeepClassOrder: true,
+			Fault:          spec.Fault,
+		})
+		if f := spec.Fault; f != nil && f.Kind == FaultRogue {
+			armRogue(m, mo, f)
+		}
+	}
+	mo.Start()
+
+	kc := kernels.Config{
+		Cores:         spec.cores(),
+		Iters:         spec.Iters,
+		EqChecks:      spec.eqChecks(),
+		UseSignatures: cfg.Signatures,
+	}
+	st, summary, err := kernels.RunWithSummary(k, m, kc)
+	o := outcome{stats: st, summary: summary, err: err, mon: mo}
+	if pb != nil {
+		o.sent = pb.Sent()
+	}
+	return o
+}
+
+// armRogue schedules the broken toy controller: starting at f.Cycle (0 =
+// one sample interval in) it corrupts the value of the first quiescent
+// owned/registered word it finds, re-striking every sample interval
+// until the monitor notices or every thread has finished — the final
+// strike can no longer be repaired by protocol activity, so the
+// monitor's drain-time check is a guaranteed backstop.
+func armRogue(m *machine.Machine, mo *Monitor, f *Fault) {
+	interval := mo.cfg.sampleEvery()
+	var tick func()
+	tick = func() {
+		if len(mo.Violations()) > 0 {
+			return
+		}
+		rogueCorrupt(m)
+		for _, c := range m.Cores {
+			if !c.Finished() {
+				m.Eng.Schedule(interval, tick)
+				return
+			}
+		}
+	}
+	delay := f.Cycle
+	if delay == 0 {
+		delay = interval
+	}
+	m.Eng.Schedule(delay, tick)
+}
+
+// rogueCorrupt flips bits in the cached value of the first quiescent
+// owned (MESI) or registered (DeNovo) word, without updating the backing
+// image — exactly the silent data corruption a buggy controller would
+// produce. Reports whether a target was found.
+func rogueCorrupt(m *machine.Machine) bool {
+	const flip = 0x5a5a_5a5a
+	blocked := map[proto.Addr]bool{}
+	if m.MESIDir != nil {
+		for _, line := range m.MESIDir.BusyLines() {
+			blocked[line] = true
+		}
+	}
+	if m.Registry != nil {
+		for _, line := range m.Registry.FetchingLines() {
+			blocked[line] = true
+		}
+	}
+	for _, c := range m.L1s {
+		switch l1 := c.(type) {
+		case *mesi.L1:
+			for _, line := range l1.OutstandingLines() {
+				blocked[line] = true
+			}
+		case *denovo.L1:
+			for _, w := range l1.OutstandingWords() {
+				blocked[w.Line()] = true
+			}
+			for _, w := range l1.PendingWritebacks() {
+				blocked[w.Line()] = true
+			}
+		}
+	}
+	for _, c := range m.L1s {
+		hit := false
+		switch l1 := c.(type) {
+		case *mesi.L1:
+			l1.ForEachLine(func(l *cache.Line) {
+				if hit || blocked[l.Addr] || !mesi.IsOwned(l.LineState) {
+					return
+				}
+				l.Values[0] ^= flip
+				hit = true
+			})
+		case *denovo.L1:
+			l1.ForEachLine(func(l *cache.Line) {
+				if hit || blocked[l.Addr] {
+					return
+				}
+				for i := range l.WordState {
+					if denovo.IsRegistered(l.WordState[i]) {
+						l.Values[i] ^= flip
+						hit = true
+						return
+					}
+				}
+			})
+		}
+		if hit {
+			return true
+		}
+	}
+	return false
+}

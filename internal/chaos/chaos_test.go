@@ -1,0 +1,281 @@
+package chaos_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"denovosync/internal/chaos"
+	"denovosync/internal/kernels"
+)
+
+// representative is the default kernel set for seed sweeps: one
+// test-and-set lock, one array lock, one non-blocking structure, one
+// barrier.
+var representative = []string{"tatas-counter", "array-counter", "nb-treiber-stack", "bar-tree"}
+
+// TestMonitorGreenAllKernels runs every kernel under every protocol
+// configuration with the live invariant monitor armed and a perturbed
+// schedule, and requires a fully green verdict: no invariant violation,
+// no watchdog, and a schedule-invariant functional summary.
+func TestMonitorGreenAllKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full kernel × config chaos sweep")
+	}
+	for _, cfg := range chaos.Configs() {
+		for _, k := range kernels.All() {
+			cfg, k := cfg, k
+			t.Run(cfg.Name+"/"+k.ID, func(t *testing.T) {
+				t.Parallel()
+				spec := chaos.Spec{Kernel: k.ID, Config: cfg.Name, Iters: 6, Seed: 3}
+				res := chaos.RunSpec(spec)
+				if !res.OK() {
+					t.Fatalf("chaos run not green: %v", res.Err())
+				}
+			})
+		}
+	}
+}
+
+// TestSeedsExploreSchedules checks that (a) every seed of a small sweep
+// stays green, (b) the perturbation actually changes the executed
+// schedule (some pair of seeds differs in event count), and (c) a spec
+// is fully deterministic: running it twice yields identical results.
+func TestSeedsExploreSchedules(t *testing.T) {
+	events := map[uint64]uint64{}
+	for seed := uint64(1); seed <= 4; seed++ {
+		spec := chaos.Spec{Kernel: "tatas-counter", Config: "DS", Iters: 10, Seed: seed}
+		res := chaos.RunSpec(spec)
+		if !res.OK() {
+			t.Fatalf("seed %d not green: %v", seed, res.Err())
+		}
+		if res.Stats == nil {
+			t.Fatalf("seed %d: ok verdict without stats", seed)
+		}
+		events[seed] = res.Stats.Events
+	}
+	distinct := map[uint64]bool{}
+	for _, e := range events {
+		distinct[e] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("4 seeds produced identical event counts %v — perturbation seems inert", events)
+	}
+
+	spec := chaos.Spec{Kernel: "nb-treiber-stack", Config: "DS0", Iters: 10, Seed: 7}
+	a, _ := json.Marshal(chaos.RunSpec(spec))
+	b, _ := json.Marshal(chaos.RunSpec(spec))
+	if string(a) != string(b) {
+		t.Errorf("same spec, different results:\n%s\n%s", a, b)
+	}
+}
+
+// TestRogueControllerCaught plants the broken toy controller (silent
+// value corruption of an owned/registered word) and requires the live
+// monitor to convert it into a violation verdict for both protocol
+// families.
+func TestRogueControllerCaught(t *testing.T) {
+	for _, cfgName := range []string{"M", "DS"} {
+		cfgName := cfgName
+		t.Run(cfgName, func(t *testing.T) {
+			t.Parallel()
+			spec := chaos.Spec{
+				Kernel:   "tatas-counter",
+				Config:   cfgName,
+				Iters:    20,
+				EqChecks: -1, // corrupt data must fail via the monitor, not the kernel self-check
+				Seed:     1,
+				Fault:    &chaos.Fault{Kind: chaos.FaultRogue},
+			}
+			res := chaos.RunSpec(spec)
+			if res.Verdict != chaos.VerdictViolation {
+				t.Fatalf("verdict = %q (detail: %s), want %q", res.Verdict, res.Detail, chaos.VerdictViolation)
+			}
+			if len(res.Violations) == 0 {
+				t.Fatal("violation verdict without recorded violations")
+			}
+		})
+	}
+}
+
+// TestWatchdogConvertsLivelock blackholes an early message under a
+// barrier kernel — every core eventually parks in the barrier with no
+// retirement — and requires the watchdog to abort with a populated
+// structured snapshot within a couple of budgets.
+func TestWatchdogConvertsLivelock(t *testing.T) {
+	const budget = 100_000
+	spec := chaos.Spec{
+		Kernel:         "bar-tree",
+		Config:         "DS",
+		Iters:          4,
+		Seed:           2,
+		Fault:          &chaos.Fault{Kind: chaos.FaultBlackhole, Msg: 60},
+		WatchdogCycles: budget,
+	}
+	res := chaos.RunSpec(spec)
+	if res.Verdict != chaos.VerdictWatchdog {
+		t.Fatalf("verdict = %q (detail: %s), want %q", res.Verdict, res.Detail, chaos.VerdictWatchdog)
+	}
+	snap := res.Snapshot
+	if snap == nil {
+		t.Fatal("watchdog verdict without snapshot")
+	}
+	if len(snap.PerCore) != 16 {
+		t.Errorf("snapshot has %d per-core entries, want 16", len(snap.PerCore))
+	}
+	if snap.Finished >= snap.Cores {
+		t.Errorf("snapshot claims %d/%d threads finished — not a hang", snap.Finished, snap.Cores)
+	}
+	// The hang starts within the first budget or so; the watchdog must
+	// diagnose it within a small number of budgets, not at the event limit.
+	if snap.Cycle > 20*budget {
+		t.Errorf("watchdog fired at cycle %d, want within a few budgets of %d", snap.Cycle, budget)
+	}
+}
+
+// TestStuckMSHRDetected uses the same blackhole but a huge watchdog
+// budget and a small stuck budget: the monitor's MSHR-leak check must
+// report the orphaned transaction first.
+func TestStuckMSHRDetected(t *testing.T) {
+	spec := chaos.Spec{
+		Kernel:         "bar-tree",
+		Config:         "DS",
+		Iters:          4,
+		Seed:           2,
+		Fault:          &chaos.Fault{Kind: chaos.FaultBlackhole, Msg: 60},
+		WatchdogCycles: 50_000_000,
+		StuckCycles:    100_000,
+	}
+	res := chaos.RunSpec(spec)
+	if res.Verdict != chaos.VerdictViolation {
+		t.Fatalf("verdict = %q (detail: %s), want %q", res.Verdict, res.Detail, chaos.VerdictViolation)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Kind == "stuck-mshr" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no stuck-mshr violation in %v", res.Violations)
+	}
+}
+
+// TestShrinkSynthetic drives the shrinker with a synthetic monotonic
+// failure predicate and checks it finds the exact minimum on both axes.
+func TestShrinkSynthetic(t *testing.T) {
+	const minIters, minLimit = 7, 23
+	trials := 0
+	run := func(s chaos.Spec) chaos.Result {
+		trials++
+		iters := s.Iters
+		lim := -1
+		if s.Limit != nil {
+			lim = *s.Limit
+		}
+		if iters >= minIters && (lim < 0 || lim >= minLimit) {
+			return chaos.Result{Verdict: chaos.VerdictViolation, Detail: "synthetic", Messages: iters * 10}
+		}
+		return chaos.Result{Verdict: chaos.VerdictOK, Messages: iters * 10}
+	}
+	rep, err := chaos.Shrink(chaos.Spec{Kernel: "synthetic", Config: "DS", Iters: 100, Seed: 1}, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spec.Iters != minIters {
+		t.Errorf("shrunk iters = %d, want %d", rep.Spec.Iters, minIters)
+	}
+	if rep.Spec.Limit == nil || *rep.Spec.Limit != minLimit {
+		t.Errorf("shrunk limit = %v, want %d", rep.Spec.Limit, minLimit)
+	}
+	if rep.Verdict != chaos.VerdictViolation {
+		t.Errorf("repro verdict = %q, want violation", rep.Verdict)
+	}
+	if trials > 40 {
+		t.Errorf("shrinker used %d trials for a 100×1000 space — bisection broken?", trials)
+	}
+	if len(rep.Trials) == 0 {
+		t.Error("repro carries no trial history")
+	}
+}
+
+// TestShrinkBlackholeEndToEnd shrinks a real failing spec (blackholed
+// message under a barrier) to a minimal reproducer, writes it to disk,
+// reloads it, and replays it.
+func TestShrinkBlackholeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end shrink")
+	}
+	spec := chaos.Spec{
+		Kernel:         "bar-tree",
+		Config:         "DS",
+		Iters:          4,
+		Seed:           2,
+		Fault:          &chaos.Fault{Kind: chaos.FaultBlackhole, Msg: 60},
+		WatchdogCycles: 100_000,
+	}
+	rep, err := chaos.Shrink(spec, chaos.RunSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != chaos.VerdictWatchdog {
+		t.Fatalf("repro verdict = %q, want watchdog", rep.Verdict)
+	}
+	// Jitter is irrelevant to a blackhole hang: the limit must shrink to 0.
+	if rep.Spec.Limit == nil || *rep.Spec.Limit != 0 {
+		t.Errorf("shrunk limit = %v, want 0 (jitter irrelevant)", rep.Spec.Limit)
+	}
+	if rep.Spec.Iters > spec.Iters {
+		t.Errorf("shrunk iters %d exceeds original %d", rep.Spec.Iters, spec.Iters)
+	}
+
+	path := filepath.Join(t.TempDir(), "repro.json")
+	if err := chaos.WriteRepro(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := chaos.LoadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := chaos.Replay(loaded)
+	if !ok {
+		t.Fatalf("replay verdict = %q, want %q (detail: %s)", res.Verdict, rep.Verdict, res.Detail)
+	}
+}
+
+// TestBadSpecs covers the error verdicts for malformed specs.
+func TestBadSpecs(t *testing.T) {
+	for _, spec := range []chaos.Spec{
+		{Kernel: "tatas-counter", Config: "XX"},
+		{Kernel: "no-such-kernel", Config: "M"},
+		{Kernel: "tatas-counter", Config: "M", Cores: 32},
+	} {
+		res := chaos.RunSpec(spec)
+		if res.Verdict != chaos.VerdictError {
+			t.Errorf("%+v: verdict %q, want error", spec, res.Verdict)
+		}
+	}
+	if _, err := chaos.Shrink(chaos.Spec{Kernel: "tatas-counter", Config: "M", Iters: 2, Seed: 1},
+		func(chaos.Spec) chaos.Result { return chaos.Result{Verdict: chaos.VerdictOK} }); err == nil {
+		t.Error("Shrink accepted a passing spec")
+	}
+}
+
+// TestConfigNames pins the protocol configuration set the sweep covers.
+func TestConfigNames(t *testing.T) {
+	var names []string
+	for _, c := range chaos.Configs() {
+		names = append(names, c.Name)
+		got, ok := chaos.ConfigByName(c.Name)
+		if !ok || got.Name != c.Name {
+			t.Errorf("ConfigByName(%q) broken", c.Name)
+		}
+	}
+	if fmt.Sprint(names) != "[M DS0 DS DSsig]" {
+		t.Errorf("configs = %v", names)
+	}
+	if _, ok := chaos.ConfigByName("nope"); ok {
+		t.Error("ConfigByName accepted an unknown name")
+	}
+}

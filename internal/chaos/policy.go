@@ -1,0 +1,142 @@
+// Package chaos is the simulator's deterministic fault-injection and
+// online-verification layer: seeded timing perturbation of the NoC
+// (metamorphic schedule exploration), a cycle-sampled live invariant
+// monitor over the real MESI/DeNovo controllers, a deadlock/livelock
+// watchdog, and a schedule shrinker that reduces a failing seed to a
+// replayable JSON artifact.
+//
+// Everything in this package runs inside the simulation's determinism
+// boundary: all randomness comes from a seeded sim.RNG, so a (spec, seed)
+// pair always reproduces the same schedule, the same verdict, and the
+// same diagnostic.
+package chaos
+
+import (
+	"denovosync/internal/noc"
+	"denovosync/internal/proto"
+	"denovosync/internal/sim"
+)
+
+// Policy describes one deterministic timing perturbation.
+//
+// Legal-reorder bounds: jitter is always non-negative (a message is never
+// delivered before its modeled latency) and, with KeepClassOrder, the
+// delivery order of messages with the same (src, dst, class) triple is
+// preserved by clamping each delivery to be no earlier than its
+// predecessor's. Cross-pair and cross-class reordering is unrestricted —
+// exactly the freedom a real mesh with per-class virtual networks has.
+// Both protocols' handshakes must converge under every such schedule;
+// the metamorphic differential check (RunSpec) enforces it.
+type Policy struct {
+	// Seed drives the jitter stream (independent of the workload seed).
+	Seed uint64
+
+	// MaxJitter is the largest per-message added delay; each message gets
+	// a uniform draw from [0, MaxJitter]. 0 = no jitter.
+	MaxJitter sim.Cycle
+
+	// Limit restricts jitter to the first Limit messages sent (< 0 =
+	// unlimited, 0 = none). The shrinker bisects this prefix.
+	Limit int
+
+	// KeepClassOrder preserves per-(src,dst,class) FIFO delivery.
+	// RunSpec always sets it; disabling it leaves the legal-reorder
+	// envelope and is only for experiments.
+	KeepClassOrder bool
+
+	// Fault, when non-nil, plants a deliberately *illegal* fault (message
+	// blackholing, rogue controller writes) to exercise the detection
+	// machinery. See Fault.
+	Fault *Fault
+}
+
+// Fault kinds.
+const (
+	// FaultBlackhole delays one message (index Msg in send order) by
+	// Delay cycles (default effectively forever) — a lost-message model
+	// that the watchdog must convert into a diagnostic.
+	FaultBlackhole = "blackhole"
+	// FaultRogue is a broken toy controller: at cycle Cycle it marks a
+	// word owned/registered in a second cache with a corrupted value,
+	// violating SWMR — the live invariant monitor must catch it.
+	FaultRogue = "rogue"
+)
+
+// Fault plants one deterministic, serializable fault. Faults are outside
+// the legal perturbation bounds by design (test/demo tooling); a Spec
+// carrying one is expected to fail, and shrinks/replays like any other.
+type Fault struct {
+	Kind string `json:"kind"` // FaultBlackhole | FaultRogue
+
+	// Blackhole: 0-based index of the doomed message and the added delay
+	// (0 = defaultBlackholeDelay).
+	Msg   int       `json:"msg,omitempty"`
+	Delay sim.Cycle `json:"delay,omitempty"`
+
+	// Rogue: corruption cycle.
+	Cycle sim.Cycle `json:"cycle,omitempty"`
+}
+
+// defaultBlackholeDelay is far beyond any run length, so a blackholed
+// message is effectively never delivered.
+const defaultBlackholeDelay sim.Cycle = 1 << 40
+
+func (f *Fault) blackholeDelay() sim.Cycle {
+	if f.Delay > 0 {
+		return f.Delay
+	}
+	return defaultBlackholeDelay
+}
+
+// pairKey identifies a FIFO-preserved delivery stream.
+type pairKey struct {
+	src, dst proto.NodeID
+	class    proto.MsgClass
+}
+
+// Perturber is an attached policy: it rewrites every message's delivery
+// latency and counts sends (the shrinker's prefix coordinate).
+type Perturber struct {
+	policy Policy
+	eng    *sim.Engine
+	rng    *sim.RNG
+	sent   int
+	lastAt map[pairKey]sim.Cycle
+}
+
+// Attach installs policy p on net. The engine is needed to anchor the
+// FIFO clamp at absolute delivery times.
+func Attach(eng *sim.Engine, net *noc.Network, p Policy) *Perturber {
+	pb := &Perturber{
+		policy: p,
+		eng:    eng,
+		rng:    sim.NewRNG(p.Seed ^ 0x9e3779b97f4a7c15), // decorrelate from workload seeds
+		lastAt: make(map[pairKey]sim.Cycle),
+	}
+	net.SetPerturb(pb.perturb)
+	return pb
+}
+
+// Sent returns the number of messages observed so far.
+func (pb *Perturber) Sent() int { return pb.sent }
+
+func (pb *Perturber) perturb(src, dst proto.NodeID, class proto.MsgClass, flits int, lat sim.Cycle) sim.Cycle {
+	idx := pb.sent
+	pb.sent++
+	jitter := sim.Cycle(0)
+	if pb.policy.MaxJitter > 0 && (pb.policy.Limit < 0 || idx < pb.policy.Limit) {
+		jitter = pb.rng.Cycles(0, pb.policy.MaxJitter+1)
+	}
+	if f := pb.policy.Fault; f != nil && f.Kind == FaultBlackhole && idx == f.Msg {
+		jitter += f.blackholeDelay()
+	}
+	at := pb.eng.Now() + lat + jitter
+	if pb.policy.KeepClassOrder {
+		k := pairKey{src, dst, class}
+		if prev, ok := pb.lastAt[k]; ok && at < prev {
+			at = prev
+		}
+		pb.lastAt[k] = at
+	}
+	return at - pb.eng.Now()
+}

@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"denovosync/internal/kernels"
+)
+
+// Trial records one shrinking probe.
+type Trial struct {
+	Iters   int    `json:"iters"`
+	Limit   int    `json:"limit"` // -1 = unlimited jitter
+	Verdict string `json:"verdict"`
+}
+
+// Repro is the replayable minimal reproducer the shrinker emits: the
+// reduced Spec plus the verdict it reproduces and the probe history that
+// led there. RunSpec(r.Spec) — or `chaos replay r.json` — re-derives the
+// identical failure.
+type Repro struct {
+	Spec     Spec    `json:"spec"`
+	Verdict  string  `json:"verdict"`
+	Detail   string  `json:"detail,omitempty"`
+	Messages int     `json:"messages"`
+	Trials   []Trial `json:"trials,omitempty"`
+}
+
+// Shrink reduces a failing spec to a minimal reproducer: it first
+// bisects the workload-op prefix (kernel iterations), then the
+// perturbation prefix (the jitter message limit), keeping each reduction
+// only when the run still fails with the original verdict, and
+// re-verifies the final spec. run is the executor (normally RunSpec;
+// tests substitute predicates).
+func Shrink(spec Spec, run func(Spec) Result) (*Repro, error) {
+	r0 := run(spec)
+	if r0.OK() {
+		return nil, fmt.Errorf("chaos: %s does not fail — nothing to shrink", spec.String())
+	}
+	target := r0.Verdict
+	rep := &Repro{Spec: spec}
+	probe := func(s Spec) bool {
+		r := run(s)
+		rep.Trials = append(rep.Trials, Trial{Iters: s.Iters, Limit: s.policyLimit(), Verdict: r.Verdict})
+		return r.Verdict == target
+	}
+
+	// Phase 1: smallest iteration count that still fails.
+	iters := spec.Iters
+	if iters == 0 {
+		if k, ok := kernels.ByID(spec.Kernel); ok {
+			iters = k.DefaultIters
+		}
+	}
+	if iters > 1 {
+		lo, hi := 1, iters // invariant: hi fails (or is the original), lo-1 region unknown
+		best := iters
+		for lo <= hi {
+			mid := lo + (hi-lo)/2
+			s := spec
+			s.Iters = mid
+			if probe(s) {
+				best = mid
+				hi = mid - 1
+			} else {
+				lo = mid + 1
+			}
+		}
+		spec.Iters = best
+	} else if iters == 1 {
+		spec.Iters = 1
+	}
+
+	// Phase 2: smallest jitter prefix that still fails. The upper bound is
+	// the failing run's message count (a limit beyond it is equivalent to
+	// unlimited). Converging to 0 proves jitter is irrelevant to the
+	// failure (e.g. a planted fault reproduces on the unjittered schedule).
+	r1 := run(spec)
+	if r1.Verdict != target {
+		return nil, fmt.Errorf("chaos: shrink lost the failure re-running %s (got %q, want %q)", spec.String(), r1.Verdict, target)
+	}
+	hiLimit := r1.Messages
+	if cur := spec.policyLimit(); cur >= 0 && cur < hiLimit {
+		hiLimit = cur
+	}
+	bestLimit := spec.policyLimit()
+	lo, hi := 0, hiLimit
+	for lo <= hi {
+		mid := lo + (hi-lo)/2
+		s := spec
+		lim := mid
+		s.Limit = &lim
+		if probe(s) {
+			bestLimit = mid
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if bestLimit >= 0 {
+		lim := bestLimit
+		spec.Limit = &lim
+	}
+
+	// Final verification of the reduced spec.
+	rf := run(spec)
+	if rf.Verdict != target {
+		return nil, fmt.Errorf("chaos: shrunk spec %s does not reproduce (got %q, want %q)", spec.String(), rf.Verdict, target)
+	}
+	rep.Spec = spec
+	rep.Verdict = rf.Verdict
+	rep.Detail = rf.Detail
+	rep.Messages = rf.Messages
+	return rep, nil
+}
+
+// WriteRepro writes the reproducer as indented JSON.
+func WriteRepro(path string, r *Repro) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("chaos: marshaling repro: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadRepro reads a reproducer written by WriteRepro.
+func LoadRepro(path string) (*Repro, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Repro
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("chaos: parsing repro %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Replay re-runs a reproducer's spec and reports whether the recorded
+// verdict reproduced.
+func Replay(r *Repro) (Result, bool) {
+	res := RunSpec(r.Spec)
+	return res, res.Verdict == r.Verdict
+}

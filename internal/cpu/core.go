@@ -31,6 +31,19 @@ const (
 	PhaseBarrier
 )
 
+func (p Phase) String() string {
+	switch p {
+	case PhaseKernel:
+		return "kernel"
+	case PhaseNonSynch:
+		return "nonsynch"
+	case PhaseBarrier:
+		return "barrier"
+	default:
+		panic("cpu: unknown phase")
+	}
+}
+
 // threadOp is one simulated operation, executed on the engine goroutine.
 // It must arrange for c.complete to be called exactly once.
 type threadOp func(c *Core)
@@ -46,6 +59,7 @@ type Core struct {
 
 	phase    Phase
 	time     stats.CoreTime
+	retired  uint64
 	finished bool
 	onFinish func()
 }
@@ -74,6 +88,13 @@ func (c *Core) Time() stats.CoreTime { return c.time }
 // Finished reports whether the thread has ended.
 func (c *Core) Finished() bool { return c.finished }
 
+// Phase returns the core's current workload phase.
+func (c *Core) Phase() Phase { return c.phase }
+
+// Retired counts completed thread operations — the progress signal the
+// deadlock/livelock watchdog monitors.
+func (c *Core) Retired() uint64 { return c.retired }
+
 // Start schedules the core's first service of its thread at cycle 0.
 func (c *Core) Start() {
 	c.eng.Schedule(0, c.serviceThread)
@@ -98,6 +119,7 @@ func (c *Core) serviceThread() {
 // complete resumes the thread with value v, then waits for its next op.
 // Called exactly once per threadOp, from an engine event.
 func (c *Core) complete(v uint64) {
+	c.retired++
 	c.resp <- v
 	c.serviceThread()
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"denovosync/internal/apps"
+	"denovosync/internal/chaos"
 	"denovosync/internal/harness"
 	"denovosync/internal/kernels"
 	"denovosync/internal/machine"
@@ -363,8 +364,13 @@ func Figure(p Plan, records map[string]*Record) (*harness.Figure, error) {
 }
 
 // MergeCSV renders a plan's journaled records in the harness figure CSV
-// format (the same bytes paperbench -csv emits for the figure).
+// format (the same bytes paperbench -csv emits for the figure). Chaos
+// plans render in the per-seed verdict format instead (ChaosCSV): their
+// failed records carry verdicts, not broken figures.
 func MergeCSV(w io.Writer, p Plan, records map[string]*Record) error {
+	if p.IsChaos() {
+		return ChaosCSV(w, p, records)
+	}
 	f, err := Figure(p, records)
 	if err != nil {
 		return err
@@ -400,6 +406,61 @@ func SweepPlan(kernelID string, cores, iters int, gaps []int64) (Plan, error) {
 		}
 	}
 	return p, nil
+}
+
+// ChaosPlan expands the cmd/chaos grid directly (the manifest-free
+// path): kernels × chaos protocol configs × seeds at one core count.
+func ChaosPlan(kernelIDs, configs []string, cores, iters, seeds int, seedBase uint64, jitter, watchdog int64) (Plan, error) {
+	m := Manifest{
+		Name:      fmt.Sprintf("chaos (%dc, %d seeds)", cores, seeds),
+		Title:     "Chaos sweep: perturbed schedules with live invariant checking",
+		Kernels:   kernelIDs,
+		Protocols: configs,
+		Cores:     []int{cores},
+		Iters:     []int{iters},
+		Chaos:     &ChaosAxis{Seeds: seeds, SeedBase: seedBase, Jitter: jitter, Watchdog: watchdog},
+	}
+	return m.Expand()
+}
+
+// ChaosVerdict extracts the chaos verdict a journal record carries: "ok"
+// for a green run, the bracketed verdict of the deterministic
+// "chaos[verdict]: ..." error otherwise.
+func ChaosVerdict(rec *Record) string {
+	if rec.Status == StatusOK {
+		return chaos.VerdictOK
+	}
+	if i := strings.Index(rec.Error, "chaos["); i >= 0 {
+		rest := rec.Error[i+len("chaos["):]
+		if j := strings.IndexByte(rest, ']'); j >= 0 {
+			return rest[:j]
+		}
+	}
+	return StatusFailed
+}
+
+// ChaosCSV renders a chaos plan's journaled records: one row per grid
+// point with its per-seed verdict. Byte-identical however the grid was
+// executed (serially, in parallel, or resumed across sessions).
+func ChaosCSV(w io.Writer, p Plan, records map[string]*Record) error {
+	if _, err := fmt.Fprintln(w, "kernel,config,cores,iters,seed,verdict,exec_cycles"); err != nil {
+		return err
+	}
+	for _, r := range p.Runs {
+		rec, ok := records[r.Key()]
+		if !ok {
+			continue // unexecuted points are reported by the driver
+		}
+		cycles := uint64(0)
+		if rec.Status == StatusOK && rec.Stats != nil {
+			cycles = uint64(rec.Stats.ExecTime)
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%s,%d\n",
+			r.Workload, r.Protocol, r.Cores, r.Iters, r.ChaosSeed, ChaosVerdict(rec), cycles); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // SweepCSV renders a sweep plan's records in cmd/sweep's CSV format.

@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"denovosync/internal/apps"
+	"denovosync/internal/chaos"
 	"denovosync/internal/kernels"
 	"denovosync/internal/sim"
 )
@@ -18,6 +19,12 @@ type Plan struct {
 	Title string `json:"title,omitempty"`
 	Cores int    `json:"cores,omitempty"`
 	Runs  []Run  `json:"runs"`
+}
+
+// IsChaos reports whether the plan is a chaos grid (manifests cannot mix
+// chaos and figure runs, so the first run's kind decides).
+func (p Plan) IsChaos() bool {
+	return len(p.Runs) > 0 && p.Runs[0].Kind == KindChaos
 }
 
 // Duplicate grid points (identical configuration under different labels
@@ -63,6 +70,14 @@ type Manifest struct {
 	// Scale divides app workloads (1 = paper scale).
 	Scale int `json:"scale,omitempty"`
 
+	// Chaos switches the manifest to a chaos grid: every kernel ×
+	// protocol-config × cores × iters × seed expands to one
+	// self-contained chaos run (perturbed + baseline + differential
+	// check; see internal/chaos). With Chaos set, Protocols names chaos
+	// protocol configurations (default [M, DS0, DS, DSsig]) and Apps
+	// must be empty; the ablation axes below do not apply.
+	Chaos *ChaosAxis `json:"chaos,omitempty"`
+
 	// Grid-wide ablation switches (applied to every run).
 	SWBackoffMin    int64 `json:"sw_backoff_min,omitempty"`
 	SWBackoffMax    int64 `json:"sw_backoff_max,omitempty"`
@@ -73,6 +88,18 @@ type Manifest struct {
 	Signatures      bool  `json:"signatures,omitempty"`
 	LineGranularity bool  `json:"line_granularity,omitempty"`
 	LinkContention  bool  `json:"link_contention,omitempty"`
+}
+
+// ChaosAxis is the seed/perturbation axis of a chaos manifest.
+type ChaosAxis struct {
+	// Seeds is the number of jitter seeds per grid point (>= 1).
+	Seeds int `json:"seeds"`
+	// SeedBase is the first seed (default 1).
+	SeedBase uint64 `json:"seed_base,omitempty"`
+	// Jitter bounds the per-message delay (cycles; 0 = chaos default).
+	Jitter int64 `json:"jitter,omitempty"`
+	// Watchdog is the deadlock budget (cycles; 0 = chaos default).
+	Watchdog int64 `json:"watchdog,omitempty"`
 }
 
 // LoadManifest reads and expands a manifest file.
@@ -102,6 +129,9 @@ func (m Manifest) Expand() (Plan, error) {
 	}
 	if len(m.Kernels) == 0 && len(m.Apps) == 0 {
 		return Plan{}, fmt.Errorf("exp: manifest %q selects no kernels or apps", m.Name)
+	}
+	if m.Chaos != nil {
+		return m.expandChaos()
 	}
 	protocols := m.Protocols
 	if len(protocols) == 0 {
@@ -194,6 +224,67 @@ func (m Manifest) Expand() (Plan, error) {
 						r.Protocol, r.Cores, r.Scale = prot, appCores, m.Scale
 						r.BackoffBits, r.Increment = b, sim.Cycle(inc)
 						p.Runs = append(p.Runs, r)
+					}
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// expandChaos produces the chaos grid: kernels × protocol configs ×
+// cores × iters × seeds.
+func (m Manifest) expandChaos() (Plan, error) {
+	ax := m.Chaos
+	if len(m.Apps) > 0 {
+		return Plan{}, fmt.Errorf("exp: manifest %q: chaos grids support kernels only", m.Name)
+	}
+	if ax.Seeds < 1 {
+		return Plan{}, fmt.Errorf("exp: manifest %q: chaos.seeds must be >= 1", m.Name)
+	}
+	configs := m.Protocols
+	if len(configs) == 0 {
+		for _, c := range chaos.Configs() {
+			configs = append(configs, c.Name)
+		}
+	}
+	for _, name := range configs {
+		if _, ok := chaos.ConfigByName(name); !ok {
+			return Plan{}, fmt.Errorf("exp: manifest %q: unknown chaos protocol config %q (want M, DS0, DS or DSsig)", m.Name, name)
+		}
+	}
+	cores := orDefaultInts(m.Cores, []int{16})
+	for _, c := range cores {
+		if c != 16 && c != 64 {
+			return Plan{}, fmt.Errorf("exp: manifest %q: unsupported core count %d (want 16 or 64)", m.Name, c)
+		}
+	}
+	iters := orDefaultInts(m.Iters, []int{0})
+	seedBase := ax.SeedBase
+	if seedBase == 0 {
+		seedBase = 1
+	}
+
+	p := Plan{ID: m.Name, Title: m.Title}
+	if len(cores) == 1 {
+		p.Cores = cores[0]
+	}
+	for _, c := range cores {
+		for _, it := range iters {
+			for _, id := range m.Kernels {
+				k, ok := kernels.ByID(id)
+				if !ok {
+					return Plan{}, fmt.Errorf("exp: manifest %q: unknown kernel %q", m.Name, id)
+				}
+				for _, cfg := range configs {
+					for s := 0; s < ax.Seeds; s++ {
+						p.Runs = append(p.Runs, Run{
+							Kind: KindChaos, Workload: k.ID, Display: k.Name,
+							Protocol: cfg, Cores: c, Iters: it, EqChecks: -1,
+							ChaosSeed:     seedBase + uint64(s),
+							ChaosJitter:   sim.Cycle(ax.Jitter),
+							ChaosWatchdog: sim.Cycle(ax.Watchdog),
+						})
 					}
 				}
 			}

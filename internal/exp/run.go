@@ -20,6 +20,7 @@ import (
 
 	"denovosync/internal/alloc"
 	"denovosync/internal/apps"
+	"denovosync/internal/chaos"
 	"denovosync/internal/kernels"
 	"denovosync/internal/locks"
 	"denovosync/internal/machine"
@@ -31,6 +32,12 @@ import (
 const (
 	KindKernel = "kernel"
 	KindApp    = "app"
+	// KindChaos is one chaos grid point: a self-contained
+	// chaos.RunSpec execution (perturbed run + baseline + differential
+	// check) whose verdict lands in the journal. For chaos runs the
+	// Protocol field holds the chaos protocol-config abbreviation
+	// (M/DS0/DS/DSsig) rather than a plain protocol.
+	KindChaos = "chaos"
 )
 
 // Run is one point of an experiment grid: everything needed to rebuild
@@ -69,6 +76,12 @@ type Run struct {
 	// App configuration: workload divisor (1 = paper scale).
 	Scale int `json:"scale,omitempty"`
 
+	// Chaos configuration (Kind == KindChaos). All omitempty: adding
+	// them left every pre-existing run key unchanged.
+	ChaosSeed     uint64    `json:"chaos_seed,omitempty"`
+	ChaosJitter   sim.Cycle `json:"chaos_jitter,omitempty"`
+	ChaosWatchdog sim.Cycle `json:"chaos_watchdog,omitempty"`
+
 	// Machine parameter overrides (zero = the Table 1 value for Cores).
 	BackoffBits     uint      `json:"backoff_bits,omitempty"`
 	Increment       sim.Cycle `json:"increment,omitempty"`
@@ -106,6 +119,9 @@ func (r Run) display() string {
 // String identifies the run for error messages and progress lines.
 func (r Run) String() string {
 	s := fmt.Sprintf("%s/%s/%dc", r.Workload, r.Protocol, r.Cores)
+	if r.Kind == KindChaos {
+		s += fmt.Sprintf("/seed=%d", r.ChaosSeed)
+	}
 	if r.Label != "" {
 		s += "/" + r.Label
 	}
@@ -172,10 +188,43 @@ func (r Run) scale() int {
 	return r.Scale
 }
 
+// chaosSpec maps a chaos run onto chaos.Spec. The EqChecks conventions
+// differ (exp: -1 = default, 0 = disabled; chaos.Spec: 0 = default,
+// -1 = disabled), so the value is translated.
+func (r Run) chaosSpec() chaos.Spec {
+	eq := r.EqChecks
+	switch eq {
+	case -1:
+		eq = 0
+	case 0:
+		eq = -1
+	}
+	return chaos.Spec{
+		Kernel:         r.Workload,
+		Config:         r.Protocol,
+		Cores:          r.Cores,
+		Iters:          r.Iters,
+		EqChecks:       eq,
+		Seed:           r.ChaosSeed,
+		MaxJitter:      r.ChaosJitter,
+		WatchdogCycles: r.ChaosWatchdog,
+	}
+}
+
 // Execute builds a fresh machine and runs the workload. Each call is
 // fully independent (its own address space and memory image), which is
 // what makes grid points safe to execute concurrently.
 func Execute(r Run) (*stats.RunStats, error) {
+	if r.Kind == KindChaos {
+		// The verdict travels in the error string ("chaos[verdict]: ...",
+		// fully deterministic), so the journal records it per seed and
+		// ChaosCSV can render it without a schema change.
+		res := chaos.RunSpec(r.chaosSpec())
+		if err := res.Err(); err != nil {
+			return nil, err
+		}
+		return res.Stats, nil
+	}
 	prot, err := ParseProtocol(r.Protocol)
 	if err != nil {
 		return nil, err

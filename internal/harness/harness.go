@@ -16,6 +16,7 @@ import (
 	"denovosync/internal/kernels"
 	"denovosync/internal/machine"
 	"denovosync/internal/proto"
+	"denovosync/internal/sim"
 	"denovosync/internal/stats"
 )
 
@@ -46,16 +47,28 @@ type Figure struct {
 	Rows  []Row
 }
 
-// ParamsFor returns the Table 1 configuration for a core count.
+// DefaultWatchdog is the deadlock/livelock budget applied to every
+// machine the harness builds (machine.Params.WatchdogCycles): a hang
+// aborts with a structured diagnostic snapshot instead of spinning to
+// the event limit. The default is generous — orders of magnitude beyond
+// any legitimate retirement gap — so it only fires on a genuine hang.
+// Set to 0 to disable.
+var DefaultWatchdog sim.Cycle = 100_000_000
+
+// ParamsFor returns the Table 1 configuration for a core count, with the
+// harness's watchdog budget applied.
 func ParamsFor(cores int) machine.Params {
+	var p machine.Params
 	switch cores {
 	case 16:
-		return machine.Params16()
+		p = machine.Params16()
 	case 64:
-		return machine.Params64()
+		p = machine.Params64()
 	default:
 		panic(fmt.Sprintf("harness: unsupported core count %d", cores))
 	}
+	p.WatchdogCycles = DefaultWatchdog
+	return p
 }
 
 // DefaultProtocols is the paper's kernel comparison set (M, DS0, DS).

@@ -40,11 +40,22 @@ func ByName(name string) *analysis.Analyzer {
 // deliberately outside the determinism scope: wall-clock time (ETAs,
 // timeouts) and host parallelism are their job, and every simulation
 // they launch is still cycle-exact deterministic inside the boundary.
+//
+// internal/chaos is the exception among the upper layers: its whole
+// point is that a (spec, seed) pair replays bit-identically, so it is
+// *inside* the determinism scope — explicitly seeded generators
+// (sim.NewRNG, rand.New(rand.NewSource(seed))) are fine, the global
+// math/rand source and time.Now are not, and any order-insensitive map
+// range needs a per-site //simlint:allow with a reason (no blanket
+// suppressions). It stays outside the cycle-hygiene scope for the same
+// reason internal/exp does: it is a config-bearing layer (jitter
+// bounds, watchdog budgets) above the latency constants.
 var scopes = map[string][]string{
 	ExhaustState.Name: nil,
 	Determinism.Name: {
 		"internal/sim", "internal/cache", "internal/mesi", "internal/denovo",
 		"internal/noc", "internal/mem", "internal/cpu", "internal/stats",
+		"internal/chaos",
 	},
 	CycleHygiene.Name: {
 		"internal/sim", "internal/cache", "internal/mesi", "internal/denovo",

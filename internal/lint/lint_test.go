@@ -55,6 +55,15 @@ func TestScopes(t *testing.T) {
 		{"determinism", "internal/exp", false},
 		{"cyclehygiene", "internal/exp", false},
 		{"threaddiscipline", "internal/exp", false},
+		// internal/chaos must replay bit-identically from a (spec, seed)
+		// pair, so unlike the other upper layers it *is* in the
+		// determinism scope (seeded generators allowed, global
+		// math/rand and time.Now banned) — but like internal/exp it is a
+		// config-bearing layer, outside cycle hygiene.
+		{"determinism", "internal/chaos", true},
+		{"cyclehygiene", "internal/chaos", false},
+		{"threaddiscipline", "internal/chaos", false},
+		{"exhauststate", "internal/chaos", true},
 	}
 	for _, c := range cases {
 		if got := lint.InScope(lint.ByName(c.analyzer), c.rel); got != c.want {

@@ -92,6 +92,12 @@ type Params struct {
 
 	// Seed drives all workload randomness (deterministic).
 	Seed uint64
+
+	// WatchdogCycles arms the deadlock/livelock watchdog: if no core
+	// retires an operation for this many cycles, the run aborts with a
+	// structured diagnostic snapshot (*WatchdogError) instead of spinning
+	// to the event limit. 0 disables.
+	WatchdogCycles sim.Cycle
 }
 
 // Params16 returns the 16-core configuration of Table 1.
@@ -136,8 +142,9 @@ type Machine struct {
 	MESIDir  *mesi.Directory
 	Registry *denovo.Registry
 
-	rng      *sim.RNG
-	finished int
+	rng         *sim.RNG
+	finished    int
+	watchdogErr *WatchdogError
 }
 
 // New assembles a machine. space provides the region map (it may already
@@ -244,11 +251,17 @@ func (m *Machine) RunThreads(name string, body func(i int) Workload) (*stats.Run
 			fn(th)
 		}()
 	}
+	if m.Params.WatchdogCycles > 0 {
+		m.armWatchdog()
+	}
 	const eventLimit = 4_000_000_000
 	wallStart := time.Now()
 	m.Eng.Run(eventLimit)
 	wall := time.Since(wallStart)
 
+	if m.watchdogErr != nil {
+		return nil, m.watchdogErr
+	}
 	if m.finished != m.Params.Cores {
 		return nil, fmt.Errorf("machine: deadlock or livelock: %d/%d threads finished after %d events",
 			m.finished, m.Params.Cores, m.Eng.Executed)

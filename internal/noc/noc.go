@@ -87,6 +87,19 @@ type Network struct {
 	// trace, when non-nil, observes every message at send time.
 	trace func(at sim.Cycle, src, dst proto.NodeID, class proto.MsgClass, flits int)
 
+	// perturb, when non-nil, replaces a message's modeled delivery latency
+	// with a (possibly jittered) one — the chaos engine's injection point.
+	// The callback must return a latency >= 0; it may reorder deliveries
+	// across source/destination pairs but is responsible for whatever
+	// ordering discipline the attached policy promises.
+	perturb func(src, dst proto.NodeID, class proto.MsgClass, flits int, lat sim.Cycle) sim.Cycle
+
+	// inFlight counts sent-but-undelivered messages per class when
+	// tracking is enabled (watchdog snapshots, end-of-run quiescence).
+	// Tracking is opt-in because it wraps every deliver closure.
+	track    bool
+	inFlight [proto.NumMsgClasses]int64
+
 	// cont, when non-nil, switches latency to the link-contention model.
 	cont *contention
 }
@@ -121,8 +134,42 @@ func (n *Network) Send(src, dst proto.NodeID, class proto.MsgClass, flits int, d
 	} else {
 		lat = n.Latency(hops)
 	}
+	if n.perturb != nil {
+		lat = n.perturb(src, dst, class, flits, lat)
+	}
+	if n.track {
+		n.inFlight[class]++
+		orig := deliver
+		deliver = func() {
+			n.inFlight[class]--
+			orig()
+		}
+	}
 	n.eng.Schedule(lat, deliver)
 	return lat
+}
+
+// SetPerturb installs a delivery-latency perturbation (nil disables).
+func (n *Network) SetPerturb(fn func(src, dst proto.NodeID, class proto.MsgClass, flits int, lat sim.Cycle) sim.Cycle) {
+	n.perturb = fn
+}
+
+// TrackInFlight enables per-class counting of sent-but-undelivered
+// messages. It cannot be disabled once enabled: a message sent while
+// tracking was on must still decrement its class counter at delivery.
+func (n *Network) TrackInFlight() { n.track = true }
+
+// InFlight returns the sent-but-undelivered message count per class
+// (all zero unless TrackInFlight was called).
+func (n *Network) InFlight() [proto.NumMsgClasses]int64 { return n.inFlight }
+
+// InFlightTotal returns the total sent-but-undelivered message count.
+func (n *Network) InFlightTotal() int64 {
+	var t int64
+	for _, v := range n.inFlight {
+		t += v
+	}
+	return t
 }
 
 // SetTrace installs a message observer (nil disables tracing).
