@@ -6,18 +6,36 @@ GO ?= go
 all: check
 
 .PHONY: check
-check: vet lint build race golden
+check: vet lint build race golden atlas-check
 
 .PHONY: vet
 vet:
 	$(GO) vet ./...
 
 # lint runs the repo's own analyzers (internal/lint): exhauststate,
-# determinism, threaddiscipline, cyclehygiene. Suppress a finding at the
-# site with `//simlint:allow <analyzer>: <reason>`; see README.
+# determinism, threaddiscipline, cyclehygiene, observerpurity,
+# atlasdrift. Suppress a finding at the site with
+# `//simlint:allow <analyzer>: <reason>`; see README.
 .PHONY: lint
 lint:
 	$(GO) run ./cmd/simlint ./...
+
+# atlas regenerates the golden transition atlases
+# (docs/atlas/{mesi,denovo}.json) and the Table-1-style complexity
+# summary (docs/atlas/complexity.md) from the controller source. Run it
+# after any deliberate protocol change, then review the diff.
+.PHONY: atlas
+atlas:
+	$(GO) run ./cmd/protocov -mode extract
+
+# atlas-check is the CI gate over the atlas: goldens must match the
+# source byte-for-byte (check), every tuple must be exercised by the
+# kernel/stress grid or annotated //atlas:unreachable (cover), and the
+# atlas must map cleanly onto the internal/verify abstract models
+# through docs/atlas/absmap.json (crosscheck).
+.PHONY: atlas-check
+atlas-check:
+	$(GO) run ./cmd/protocov -mode all
 
 .PHONY: build
 build:

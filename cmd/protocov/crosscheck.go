@@ -1,0 +1,259 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"denovosync/internal/lint/atlas"
+	"denovosync/internal/verify"
+)
+
+// The abstraction map (docs/atlas/absmap.json) relates the extracted
+// implementation atlas to the internal/verify abstract models. Each
+// implementation controller maps to a model component, each
+// implementation state to a model state letter, and each handler event
+// to the model events that abstract it (looked up by the exact
+// kind-qualified event first, then by the base handler name).
+//
+// "unmodeled" lists implementation tuples the model deliberately
+// abstracts away (with a reason); "unimplemented" lists model tuples
+// with no implementation counterpart. Both lists are exact: an entry
+// that no longer excuses anything fails the crosscheck as stale.
+type absCtrl struct {
+	Component string              `json:"component"`
+	States    map[string]string   `json:"states"`
+	Events    map[string][]string `json:"events"`
+}
+
+type absImplEntry struct {
+	Controller string `json:"controller"`
+	State      string `json:"state"` // "*" matches any state
+	Event      string `json:"event"`
+	Reason     string `json:"reason"`
+}
+
+type absModelEntry struct {
+	Component string `json:"component"`
+	State     string `json:"state"`
+	Event     string `json:"event"`
+	Reason    string `json:"reason"`
+}
+
+type absProto struct {
+	Controllers   map[string]*absCtrl `json:"controllers"`
+	Unmodeled     []absImplEntry      `json:"unmodeled"`
+	Unimplemented []absModelEntry     `json:"unimplemented"`
+}
+
+type modelTuple struct{ component, state, event string }
+
+// crosscheck maps the golden atlas onto the abstract models in both
+// directions: every (reachable) implementation tuple must have a model
+// image among the transitions the exhaustive exploration recorded, and
+// every recorded model transition must have an implementation preimage.
+func crosscheck(atlasDir string) bool {
+	data, err := os.ReadFile(filepath.Join(atlasDir, "absmap.json"))
+	if err != nil {
+		fatal(fmt.Errorf("%v (the abstraction map is checked in; see docs/atlas)", err))
+	}
+	maps := map[string]*absProto{}
+	if err := json.Unmarshal(data, &maps); err != nil {
+		fatal(fmt.Errorf("absmap.json: %v", err))
+	}
+
+	// Record the models' reachable transitions at the protocheck grid
+	// (2 and 3 cores, 2 ops/core; the full models subsume the base ones).
+	recorded := map[string]map[modelTuple]bool{"mesi": {}, "denovo": {}}
+	for _, cores := range []int{2, 3} {
+		rm, rd := recorded["mesi"], recorded["denovo"]
+		verify.NewMESIModelRecorded(cores, 2, func(c, s, e string) { rm[modelTuple{c, s, e}] = true })
+		verify.NewDeNovoModelRecorded(cores, 2, func(c, s, e string) { rd[modelTuple{c, s, e}] = true })
+	}
+
+	ok := true
+	for _, proto := range protocols {
+		am := maps[proto]
+		if am == nil {
+			fmt.Printf("protocov: absmap.json has no %q section\n", proto)
+			ok = false
+			continue
+		}
+		golden, err := atlas.ReadFile(filepath.Join(atlasDir, proto+".json"))
+		if err != nil {
+			fatal(fmt.Errorf("%v (run `make atlas` first)", err))
+		}
+		ok = crosscheckProto(proto, am, golden, recorded[proto]) && ok
+	}
+	return ok
+}
+
+func crosscheckProto(proto string, am *absProto, golden *atlas.Atlas, recorded map[modelTuple]bool) bool {
+	ok := true
+	usedUnmod := make([]bool, len(am.Unmodeled))
+	usedUnimp := make([]bool, len(am.Unimplemented))
+
+	// Forward: implementation tuple -> model image.
+	fwdOK := 0
+	for _, t := range golden.Transitions {
+		if t.Unreachable != "" {
+			continue // statically present but dynamically dead; not modeled
+		}
+		ctrl := am.Controllers[t.Controller]
+		if ctrl == nil {
+			fmt.Printf("protocov: %s crosscheck: controller %s missing from absmap.json\n", proto, t.Controller)
+			ok = false
+			continue
+		}
+		mevents, haveEvents := ctrl.Events[t.Event]
+		if !haveEvents {
+			mevents, haveEvents = ctrl.Events[atlas.EventBase(t.Event)]
+		}
+		var mstates []string
+		if t.State == "*" {
+			for _, k := range sortedKeys(ctrl.States) {
+				mstates = append(mstates, ctrl.States[k])
+			}
+		} else if ms, okS := ctrl.States[t.State]; okS {
+			mstates = []string{ms}
+		} else {
+			fmt.Printf("protocov: %s crosscheck: state %s of %s missing from absmap.json\n", proto, t.State, t.Controller)
+			ok = false
+			continue
+		}
+		found := false
+		if haveEvents {
+			for _, s := range mstates {
+				for _, e := range mevents {
+					if recorded[modelTuple{ctrl.Component, s, e}] {
+						found = true
+					}
+				}
+			}
+		}
+		if found {
+			fwdOK++
+			continue
+		}
+		if i := matchUnmodeled(am.Unmodeled, t); i >= 0 {
+			usedUnmod[i] = true
+			continue
+		}
+		why := "no recorded model transition matches"
+		if !haveEvents {
+			why = "event has no absmap.json mapping"
+		}
+		fmt.Printf("protocov: %s IMPLEMENTED BUT UNMODELED: (%s) at %s — %s; extend the verify model, the event map, or the unmodeled list\n",
+			proto, t.Key(), t.Pos, why)
+		ok = false
+	}
+
+	// Reverse: recorded model transition -> implementation preimage.
+	var mts []modelTuple
+	for mt := range recorded { //simlint:allow determinism: sorted on the next line
+		mts = append(mts, mt)
+	}
+	sort.Slice(mts, func(i, j int) bool {
+		if mts[i].component != mts[j].component {
+			return mts[i].component < mts[j].component
+		}
+		if mts[i].event != mts[j].event {
+			return mts[i].event < mts[j].event
+		}
+		return mts[i].state < mts[j].state
+	})
+	revOK := 0
+	for _, mt := range mts {
+		if implPreimage(am, golden, mt) {
+			revOK++
+			continue
+		}
+		if i := matchUnimplemented(am.Unimplemented, mt); i >= 0 {
+			usedUnimp[i] = true
+			continue
+		}
+		fmt.Printf("protocov: %s MODELED BUT UNIMPLEMENTED: model transition (%s %s %s) has no atlas preimage\n",
+			proto, mt.component, mt.state, mt.event)
+		ok = false
+	}
+
+	for i, used := range usedUnmod {
+		if !used {
+			e := am.Unmodeled[i]
+			fmt.Printf("protocov: %s STALE unmodeled entry (%s %s %s): every matching tuple now has a model image — remove it\n",
+				proto, e.Controller, e.State, e.Event)
+			ok = false
+		}
+	}
+	for i, used := range usedUnimp {
+		if !used {
+			e := am.Unimplemented[i]
+			fmt.Printf("protocov: %s STALE unimplemented entry (%s %s %s) — remove it\n",
+				proto, e.Component, e.State, e.Event)
+			ok = false
+		}
+	}
+	fmt.Printf("protocov: %s crosscheck: %d impl tuples mapped onto the model, %d model transitions covered by the atlas\n",
+		proto, fwdOK, revOK)
+	return ok
+}
+
+// implPreimage reports whether some reachable atlas tuple abstracts to mt.
+func implPreimage(am *absProto, golden *atlas.Atlas, mt modelTuple) bool {
+	for _, t := range golden.Transitions {
+		if t.Unreachable != "" {
+			continue
+		}
+		ctrl := am.Controllers[t.Controller]
+		if ctrl == nil || ctrl.Component != mt.component {
+			continue
+		}
+		mevents, haveEvents := ctrl.Events[t.Event]
+		if !haveEvents {
+			mevents, haveEvents = ctrl.Events[atlas.EventBase(t.Event)]
+		}
+		if !haveEvents || !hasString(mevents, mt.event) {
+			continue
+		}
+		if t.State == "*" || ctrl.States[t.State] == mt.state {
+			return true
+		}
+	}
+	return false
+}
+
+func matchUnmodeled(entries []absImplEntry, t *atlas.Transition) int {
+	for i, e := range entries {
+		if e.Controller != t.Controller {
+			continue
+		}
+		if e.State != "*" && e.State != t.State {
+			continue
+		}
+		if e.Event != t.Event && e.Event != atlas.EventBase(t.Event) {
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
+func matchUnimplemented(entries []absModelEntry, mt modelTuple) int {
+	for i, e := range entries {
+		if e.Component == mt.component && (e.State == "*" || e.State == mt.state) && e.Event == mt.event {
+			return i
+		}
+	}
+	return -1
+}
+
+func hasString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,234 @@
+// Command protocov maintains and enforces the protocol transition atlas
+// (docs/atlas/): the machine-readable (controller, state, event) table
+// extracted from the coherence controllers' source.
+//
+// Modes:
+//
+//	-mode extract    regenerate docs/atlas/{mesi,denovo}.json (and the
+//	                 Table-1-style complexity summary)
+//	-mode check      fail if the checked-in goldens drift from the source
+//	-mode cover      run every kernel under every protocol config with
+//	                 transition observers attached; every atlas tuple must
+//	                 be covered or annotated //atlas:unreachable
+//	-mode crosscheck map the atlas onto the internal/verify abstract
+//	                 models through docs/atlas/absmap.json; implemented-
+//	                 but-unmodeled (and vice versa) transitions fail
+//	-mode all        check + cover + crosscheck (the CI gate)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"denovosync/internal/alloc"
+	"denovosync/internal/chaos"
+	"denovosync/internal/denovo"
+	"denovosync/internal/kernels"
+	"denovosync/internal/lint/atlas"
+	"denovosync/internal/machine"
+	"denovosync/internal/mesi"
+)
+
+var protocols = []string{"mesi", "denovo"}
+
+func main() {
+	mode := flag.String("mode", "check", "extract | check | cover | crosscheck | all")
+	dirFlag := flag.String("dir", "", "module root (default: walk up from cwd)")
+	flag.Parse()
+
+	moduleDir := *dirFlag
+	if moduleDir == "" {
+		d, err := atlas.FindModuleDir(".")
+		if err != nil {
+			fatal(err)
+		}
+		moduleDir = d
+	}
+	atlasDir := filepath.Join(moduleDir, "docs", "atlas")
+
+	ok := true
+	switch *mode {
+	case "extract":
+		if err := extract(moduleDir, atlasDir); err != nil {
+			fatal(err)
+		}
+	case "check":
+		ok = check(moduleDir, atlasDir)
+	case "cover":
+		ok = cover(atlasDir)
+	case "crosscheck":
+		ok = crosscheck(atlasDir)
+	case "all":
+		ok = check(moduleDir, atlasDir)
+		ok = cover(atlasDir) && ok
+		ok = crosscheck(atlasDir) && ok
+	default:
+		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "protocov:", err)
+	os.Exit(1)
+}
+
+// extract regenerates the golden atlas files and the complexity summary.
+func extract(moduleDir, atlasDir string) error {
+	if err := os.MkdirAll(atlasDir, 0o755); err != nil {
+		return err
+	}
+	var atlases []*atlas.Atlas
+	for _, proto := range protocols {
+		a, err := atlas.ExtractDir(moduleDir, "denovosync/internal/"+proto)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(atlasDir, proto+".json")
+		if err := a.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("protocov: wrote %s (%d tuples)\n", path, len(a.Transitions))
+		atlases = append(atlases, a)
+	}
+	return writeComplexity(atlasDir, atlases)
+}
+
+// check regenerates each atlas in memory and compares with the golden.
+func check(moduleDir, atlasDir string) bool {
+	ok := true
+	for _, proto := range protocols {
+		fresh, err := atlas.ExtractDir(moduleDir, "denovosync/internal/"+proto)
+		if err != nil {
+			fatal(err)
+		}
+		golden, err := atlas.ReadFile(filepath.Join(atlasDir, proto+".json"))
+		if err != nil {
+			fmt.Printf("protocov: %s: %v (run `make atlas`)\n", proto, err)
+			ok = false
+			continue
+		}
+		diffs := atlas.Diff(golden, fresh)
+		for _, d := range diffs {
+			fmt.Printf("protocov: %s atlas drift: %s\n", proto, d)
+		}
+		if len(diffs) > 0 {
+			fmt.Printf("protocov: %s atlas is stale — run `make atlas` and commit docs/atlas/%s.json\n", proto, proto)
+			ok = false
+		} else {
+			fmt.Printf("protocov: %s atlas up to date (%d tuples)\n", proto, len(golden.Transitions))
+		}
+	}
+	return ok
+}
+
+// cover runs the full kernel grid (every kernel × every protocol config)
+// with transition observers attached and gates the goldens on coverage.
+func cover(atlasDir string) bool {
+	goldens := map[string]*atlas.Atlas{}
+	for _, proto := range protocols {
+		a, err := atlas.ReadFile(filepath.Join(atlasDir, proto+".json"))
+		if err != nil {
+			fatal(fmt.Errorf("%v (run `make atlas` first)", err))
+		}
+		goldens[proto] = a
+	}
+
+	hits := map[string]map[atlas.Hit]uint64{
+		"mesi":   {},
+		"denovo": {},
+	}
+	runs := 0
+	for _, cfg := range chaos.Configs() {
+		family := "denovo"
+		if cfg.Protocol == machine.MESI {
+			family = "mesi"
+		}
+		sink := hits[family]
+		obs := func(controller, state, event string) {
+			sink[atlas.Hit{Controller: controller, State: state, Event: event}]++
+		}
+		for _, k := range kernels.All() {
+			p := machine.Params16()
+			p.Signatures = cfg.Signatures
+			m := machine.New(p, cfg.Protocol, alloc.New())
+			attachObservers(m, obs)
+			if _, _, err := kernels.RunWithSummary(k, m, kernels.Config{
+				Cores:         p.Cores,
+				EqChecks:      -1,
+				UseSignatures: cfg.Signatures,
+			}); err != nil {
+				fmt.Printf("protocov: kernel %q under %s failed: %v\n", k.Name, cfg.Name, err)
+				return false
+			}
+			runs++
+		}
+		for _, seed := range stressSeeds {
+			if err := stressRun(cfg, seed, obs); err != nil {
+				fmt.Printf("protocov: stress seed %d under %s failed: %v\n", seed, cfg.Name, err)
+				return false
+			}
+			runs++
+		}
+		for _, seed := range raceSeeds {
+			if err := raceRun(cfg, seed, obs); err != nil {
+				fmt.Printf("protocov: race seed %d under %s failed: %v\n", seed, cfg.Name, err)
+				return false
+			}
+			runs++
+		}
+		for _, seed := range wbRaceSeeds {
+			if err := wbRace(cfg, seed, obs); err != nil {
+				fmt.Printf("protocov: wb-race seed %d under %s failed: %v\n", seed, cfg.Name, err)
+				return false
+			}
+			runs++
+		}
+	}
+
+	ok := true
+	for _, proto := range protocols {
+		cov := atlas.Match(goldens[proto], hits[proto])
+		total := len(goldens[proto].Transitions)
+		fmt.Printf("protocov: %s coverage: %d/%d tuples covered, %d annotated unreachable\n",
+			proto, len(cov.Covered), total, len(cov.Unreachable))
+		for _, t := range cov.Uncovered {
+			fmt.Printf("protocov: %s UNCOVERED tuple (%s) at %s — cover it with a kernel or annotate //atlas:unreachable\n",
+				proto, t.Key(), t.Pos)
+			ok = false
+		}
+		for _, t := range cov.Stale {
+			fmt.Printf("protocov: %s STALE annotation: tuple (%s) at %s fired at runtime but is marked unreachable (%s)\n",
+				proto, t.Key(), t.Pos, t.Unreachable)
+			ok = false
+		}
+		for _, h := range cov.Unknown {
+			fmt.Printf("protocov: %s note: runtime hit (%s %s %s) matches no atlas tuple\n",
+				proto, h.Controller, h.State, h.Event)
+		}
+	}
+	fmt.Printf("protocov: coverage grid: %d kernel runs across %d configs\n", runs, len(chaos.Configs()))
+	return ok
+}
+
+// attachObservers wires a transition observer into every controller of m.
+func attachObservers(m *machine.Machine, obs func(controller, state, event string)) {
+	for _, l1 := range m.L1s {
+		switch c := l1.(type) {
+		case *mesi.L1:
+			c.SetTransitionObserver(mesi.TransitionObserver(obs))
+		case *denovo.L1:
+			c.SetTransitionObserver(denovo.TransitionObserver(obs))
+		}
+	}
+	if m.MESIDir != nil {
+		m.MESIDir.SetTransitionObserver(mesi.TransitionObserver(obs))
+	}
+	if m.Registry != nil {
+		m.Registry.SetTransitionObserver(denovo.TransitionObserver(obs))
+	}
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"denovosync/internal/alloc"
+	"denovosync/internal/chaos"
+	"denovosync/internal/cpu"
+	"denovosync/internal/machine"
+	"denovosync/internal/proto"
+)
+
+// Directed stress workloads for the coverage gate. The kernel grid
+// exercises the protocols' steady-state paths; what it misses are the
+// eviction races — a forward or writeback arriving at a controller that
+// already lost the line. These workloads force capacity evictions of a
+// contended line between accesses from other cores, under seeded message
+// jitter inside the legal reorder envelope (per-class FIFO preserved),
+// so those windows open on some seed deterministically.
+
+const (
+	stressRounds = 6
+	// thrashLines of distinct lines exceed the 32 KiB L1, guaranteeing
+	// the contended line is a capacity victim every sweep.
+	thrashLines = 768
+)
+
+var stressSeeds = []uint64{1, 7, 13}
+
+// raceSeeds drive the conflict-set variant; more seeds because the
+// windows are narrow.
+var raceSeeds = []uint64{3, 5, 11, 17, 29, 37, 41}
+
+// wbRaceSeeds drive the direct-mapped writeback race. The target window
+// needs one writeback's jitter to outlast a rival core's entire
+// register→evict→writeback chain, so only some seeds open it; these were
+// scanned to hit (and the schedule is deterministic, so they keep
+// hitting). Several are listed for redundancy against timing-neutral
+// refactors.
+var wbRaceSeeds = []uint64{21, 26, 42, 59, 72}
+
+// stressRun executes one seeded stress workload on a fresh machine with
+// transition observers attached. Thread roles: cores 0 and 1 register a
+// shared line and immediately thrash it out (writeback/Put in flight
+// while forwards race in); core 2 reads the line (data and sync) so
+// forwards chase the evicted owner; core 3 keeps a private read-only
+// line (E in MESI) and evicts it.
+func stressRun(cfg chaos.ProtoConfig, seed uint64, obs func(controller, state, event string)) error {
+	p := machine.Params16()
+	p.Signatures = cfg.Signatures
+	p.WatchdogCycles = 2_000_000
+	m := machine.New(p, cfg.Protocol, alloc.New())
+	attachObservers(m, obs)
+	chaos.Attach(m.Eng, m.Net, chaos.Policy{
+		Seed: seed, MaxJitter: 32, Limit: -1, KeepClassOrder: true,
+	})
+
+	region := m.Space.Region("protocov.stress")
+	a := m.Space.AllocAligned(proto.WordsPerLine, region)
+	b := m.Space.AllocAligned(proto.WordsPerLine, region)
+	thrash := m.Space.AllocAligned(thrashLines*proto.WordsPerLine, region)
+
+	sweep := func(t *cpu.Thread) {
+		for i := 0; i < thrashLines; i++ {
+			t.Load(thrash + proto.Addr(i*proto.LineBytes))
+		}
+	}
+	_, err := m.Run("protocov-stress", func(t *cpu.Thread) {
+		switch t.ID {
+		case 0, 1:
+			for r := 0; r < stressRounds; r++ {
+				t.SyncStore(a, uint64(r+1))
+				if t.ID == 1 {
+					t.Store(a+proto.WordBytes, uint64(r+1))
+				}
+				// Word 3 is never stored: this data read fills a line
+				// whose word 0 is still registered.
+				t.Load(a + 3*proto.WordBytes)
+				sweep(t)
+				t.Load(a)
+				t.FetchAdd(a+2*proto.WordBytes, 1)
+				t.Compute(t.RNG.Cycles(20, 300))
+			}
+		case 2:
+			for r := 0; r < stressRounds*3; r++ {
+				t.Load(a)
+				t.Compute(t.RNG.Cycles(10, 150))
+				t.SyncLoad(a)
+				t.Load(a + proto.WordBytes)
+			}
+		case 3:
+			for r := 0; r < stressRounds; r++ {
+				t.Load(b)
+				sweep(t)
+			}
+		}
+	})
+	return err
+}
+
+const raceRounds = 300
+
+// raceRun is the conflict-set variant: the sweep touches only lines that
+// map to the contended line's cache set, so a register→evict cycle takes
+// ~1k cycles instead of a full-cache sweep, and a large jitter bound
+// (still per-class FIFO) lets a writeback or Put linger in the mesh while
+// requests from its own core (data loads pass the writeback gate) and
+// others overtake it on different message classes.
+func raceRun(cfg chaos.ProtoConfig, seed uint64, obs func(controller, state, event string)) error {
+	p := machine.Params16()
+	p.Signatures = cfg.Signatures
+	p.WatchdogCycles = 2_000_000
+	m := machine.New(p, cfg.Protocol, alloc.New())
+	attachObservers(m, obs)
+	chaos.Attach(m.Eng, m.Net, chaos.Policy{
+		Seed: seed, MaxJitter: 2000, Limit: -1, KeepClassOrder: true,
+	})
+
+	sets := p.L1Size / proto.LineBytes / p.L1Ways
+	region := m.Space.Region("protocov.race")
+	a := m.Space.AllocAligned(proto.WordsPerLine, region)
+	conflict := m.Space.AllocAligned((p.L1Ways+2)*sets*proto.WordsPerLine, region)
+	// Offset the conflict rows so every row's line lands in a's set.
+	setOf := func(x proto.Addr) int { return int(x/proto.LineBytes) & (sets - 1) }
+	off := proto.Addr(((setOf(a) - setOf(conflict)) & (sets - 1)) * proto.LineBytes)
+
+	sweep := func(t *cpu.Thread) {
+		for j := 0; j < p.L1Ways+1; j++ {
+			t.Load(conflict + off + proto.Addr(j*sets*proto.LineBytes))
+		}
+	}
+	_, err := m.Run("protocov-race", func(t *cpu.Thread) {
+		switch t.ID {
+		case 0, 1:
+			for r := 0; r < raceRounds; r++ {
+				t.SyncStore(a, uint64(r+1))
+				sweep(t)
+				t.Load(a)
+				t.Compute(t.RNG.Cycles(0, 100))
+			}
+		case 2:
+			for r := 0; r < raceRounds*2; r++ {
+				t.Load(a)
+				t.Compute(t.RNG.Cycles(0, 50))
+				t.Load(a)
+				t.SyncLoad(a)
+			}
+		}
+	})
+	return err
+}
+
+const wbRaceRounds = 200
+
+// wbRace targets the registry's rarest transition: a writeback arriving
+// at a word the registry already owns (roL2 recvWB). The interleaving
+// needs core A's writeback to linger in the mesh while core B registers
+// the word, evicts it, and B's own writeback releases it first. Two
+// workload properties make that window reachable at all:
+//
+//   - The registering access is a SyncLoad, which blocks until its ack,
+//     so the word is provably Registered when the very next access runs.
+//     (A non-blocking SyncStore races its own ack: the conflict eviction
+//     usually wins, no writeback is sent, and the ack's reinstall defers
+//     the writeback a whole round — thousands of cycles past any jitter
+//     bound.)
+//   - The L1 is direct-mapped (L1Ways=1), so evicting the contended
+//     line costs exactly one conflicting load instead of an LRU sweep of
+//     ways+1 jittered round trips. Eviction happens at access time, so
+//     the writeback is in the mesh ~three hops after the registration
+//     serialized — inside a rival writeback's jitter budget.
+func wbRace(cfg chaos.ProtoConfig, seed uint64, obs func(controller, state, event string)) error {
+	p := machine.Params16()
+	p.Signatures = cfg.Signatures
+	p.L1Ways = 1
+	p.WatchdogCycles = 2_000_000
+	m := machine.New(p, cfg.Protocol, alloc.New())
+	attachObservers(m, obs)
+	chaos.Attach(m.Eng, m.Net, chaos.Policy{
+		Seed: seed, MaxJitter: 2000, Limit: -1, KeepClassOrder: true,
+	})
+
+	sets := p.L1Size / proto.LineBytes / p.L1Ways
+	region := m.Space.Region("protocov.wbrace")
+	a := m.Space.AllocAligned(proto.WordsPerLine, region)
+	// Direct-mapped conflict: same set, different tag.
+	b := a + proto.Addr(sets*proto.LineBytes)
+
+	_, err := m.Run("protocov-wbrace", func(t *cpu.Thread) {
+		switch t.ID {
+		case 0, 1:
+			for r := 0; r < wbRaceRounds; r++ {
+				t.SyncLoad(a)
+				t.Load(b)
+				t.Compute(t.RNG.Cycles(0, 200))
+			}
+		}
+	})
+	return err
+}

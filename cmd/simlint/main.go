@@ -1,12 +1,16 @@
 // Command simlint runs the repo's custom static analyzers (see
-// internal/lint): exhauststate, determinism, threaddiscipline, and
-// cyclehygiene.
+// internal/lint): exhauststate, determinism, threaddiscipline,
+// cyclehygiene, observerpurity, and atlasdrift.
 //
 // Standalone mode analyzes a whole module tree offline:
 //
-//	simlint            # the module in the current directory
-//	simlint ./...      # same (the go-style pattern is accepted)
+//	simlint                       # the module in the current directory
+//	simlint ./...                 # same (the go-style pattern is accepted)
 //	simlint path/to/module
+//	simlint -analyzer=determinism,atlasdrift ./...   # a subset of the suite
+//
+// An unknown -analyzer name is an error listing the valid names (names
+// match case-insensitively).
 //
 // It prints each unsuppressed finding as file:line:col: message
 // (analyzer) and exits 1 if there were any.
@@ -61,15 +65,20 @@ func main() {
 		return
 	}
 
+	analyzers, rest, err := selectAnalyzers(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(1)
+	}
 	dir := "."
-	if len(args) > 0 {
-		dir = strings.TrimSuffix(args[0], "...")
+	if len(rest) > 0 {
+		dir = strings.TrimSuffix(rest[0], "...")
 		dir = strings.TrimSuffix(dir, "/")
 		if dir == "" {
 			dir = "."
 		}
 	}
-	findings, err := driver.Run(dir, lint.Analyzers())
+	findings, err := driver.Run(dir, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(1)
@@ -80,6 +89,50 @@ func main() {
 	if len(findings) > 0 {
 		os.Exit(2)
 	}
+}
+
+// selectAnalyzers consumes -analyzer flags from args and resolves the
+// requested subset of the suite (the full suite when absent). An unknown
+// name is an explicit error naming the valid analyzers: lint.ByName used
+// to return nil for a misspelled or miscased name, and a silent nil made
+// the whole filter a no-op.
+func selectAnalyzers(args []string) ([]*analysis.Analyzer, []string, error) {
+	var names []string
+	var rest []string
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
+		switch {
+		case strings.HasPrefix(arg, "-analyzer="):
+			names = append(names, strings.Split(arg[len("-analyzer="):], ",")...)
+		case arg == "-analyzer":
+			if i+1 >= len(args) {
+				return nil, nil, fmt.Errorf("-analyzer needs a value (valid: %s)", strings.Join(lint.Names(), ", "))
+			}
+			i++
+			names = append(names, strings.Split(args[i], ",")...)
+		default:
+			rest = append(rest, arg)
+		}
+	}
+	if len(names) == 0 {
+		return lint.Analyzers(), rest, nil
+	}
+	var out []*analysis.Analyzer
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a := lint.ByName(name)
+		if a == nil {
+			return nil, nil, fmt.Errorf("unknown analyzer %q (valid: %s)", name, strings.Join(lint.Names(), ", "))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, nil, fmt.Errorf("-analyzer selected nothing (valid: %s)", strings.Join(lint.Names(), ", "))
+	}
+	return out, rest, nil
 }
 
 // selfHash returns a content hash of the running binary (best-effort:

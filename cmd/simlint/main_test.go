@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"denovosync/internal/lint"
+)
+
+func TestSelectAnalyzers(t *testing.T) {
+	t.Run("default is the full suite", func(t *testing.T) {
+		as, rest, err := selectAnalyzers([]string{"./..."})
+		if err != nil || len(as) != len(lint.Analyzers()) || len(rest) != 1 {
+			t.Fatalf("got %d analyzers, rest %v, err %v", len(as), rest, err)
+		}
+	})
+	t.Run("subset with case-insensitive names", func(t *testing.T) {
+		as, rest, err := selectAnalyzers([]string{"-analyzer=Determinism,atlasdrift", "."})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(as) != 2 || as[0] != lint.Determinism || as[1] != lint.AtlasDrift {
+			t.Fatalf("wrong subset: %v", as)
+		}
+		if len(rest) != 1 || rest[0] != "." {
+			t.Fatalf("wrong rest: %v", rest)
+		}
+	})
+	t.Run("separate flag value", func(t *testing.T) {
+		as, _, err := selectAnalyzers([]string{"-analyzer", "cyclehygiene"})
+		if err != nil || len(as) != 1 || as[0] != lint.CycleHygiene {
+			t.Fatalf("got %v, err %v", as, err)
+		}
+	})
+	t.Run("unknown name errors and lists valid names", func(t *testing.T) {
+		_, _, err := selectAnalyzers([]string{"-analyzer=nosuch"})
+		if err == nil {
+			t.Fatal("unknown analyzer accepted")
+		}
+		for _, name := range lint.Names() {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("error does not list %q: %v", name, err)
+			}
+		}
+	})
+	t.Run("missing value errors", func(t *testing.T) {
+		if _, _, err := selectAnalyzers([]string{"-analyzer"}); err == nil {
+			t.Fatal("dangling -analyzer accepted")
+		}
+	})
+}

@@ -50,6 +50,15 @@ type L1 struct {
 	// registry.recvWB for the deadlock this prevents).
 	wbPending map[proto.Addr]bool
 	wbWaiters map[proto.Addr][]func()
+	// wbBound records, per coherence unit, the registry serial carried by
+	// the last writeback ack. A forwarded registration stamped with an
+	// older serial was generated before that writeback serialized, so it
+	// targets ownership this core has already relinquished: it must be
+	// answered from the committed image, never parked behind (or allowed
+	// to downgrade) a registration issued after the ack. Message classes
+	// only guarantee per-class point-to-point order, so such a forward
+	// can legally arrive arbitrarily late (see recvFwdReg).
+	wbBound map[proto.Addr]uint64
 
 	// writeSig accumulates the word addresses this core has written since
 	// its last release — the DeNovoND hardware write signature.
@@ -62,6 +71,10 @@ type L1 struct {
 	incCtr          sim.Cycle
 	remoteSyncReads int
 	backoffStall    sim.Cycle
+
+	// obs, when set, receives one (controller, state, event) hit per
+	// handler activation (see coverage.go).
+	obs TransitionObserver
 
 	stats proto.L1Stats
 }
@@ -80,6 +93,7 @@ func NewL1(cfg *Config, id proto.CoreID, node proto.NodeID, regions proto.Region
 		disturbs:  make(map[proto.Addr][]func()),
 		wbPending: make(map[proto.Addr]bool),
 		wbWaiters: make(map[proto.Addr][]func()),
+		wbBound:   make(map[proto.Addr]uint64),
 		incCtr:    cfg.initialIncrement(),
 	}
 }
@@ -223,6 +237,7 @@ func (c *L1) evict(v *cache.Line) {
 	var mask [proto.WordsPerLine]bool
 	words := 0
 	for i, st := range v.WordState {
+		c.observe(st, "evict")
 		if st == wr {
 			base := i / uw * uw
 			for k := base; k < base+uw; k++ {
@@ -253,14 +268,18 @@ func (c *L1) evict(v *cache.Line) {
 }
 
 // recvWBAck unblocks registrations that waited for an eviction writeback
-// to be serialized at the registry (keyed per coherence unit).
-func (c *L1) recvWBAck(lineAddr proto.Addr, mask [proto.WordsPerLine]bool) {
+// to be serialized at the registry (keyed per coherence unit). serial is
+// the registry's serialization stamp for the writeback; it becomes the
+// staleness bound for forwarded registrations (see wbBound).
+func (c *L1) recvWBAck(lineAddr proto.Addr, mask [proto.WordsPerLine]bool, serial uint64) {
 	uw := c.cfg.unitWords()
 	for i, m := range mask {
 		if !m || i%uw != 0 {
 			continue
 		}
 		word := lineAddr + proto.Addr(i*proto.WordBytes)
+		c.observe(c.wordState(word), "recvWBAck")
+		c.wbBound[word] = serial
 		delete(c.wbPending, word)
 		ws := c.wbWaiters[word]
 		if len(ws) > 0 {
@@ -309,6 +328,7 @@ func (c *L1) access(req *proto.Request, commit func(uint64), first bool) {
 	if line != nil {
 		st = line.WordState[widx]
 	}
+	c.observeKind(st, "access", req.Kind)
 
 	finish := func(v uint64) {
 		if first {
@@ -494,7 +514,11 @@ func (c *L1) regionOf(word proto.Addr) proto.RegionID {
 func (c *L1) recvDataFill(lineAddr proto.Addr, mask [proto.WordsPerLine]bool, vals [proto.WordsPerLine]uint64) {
 	l := c.ensureLine(lineAddr)
 	for i := range mask {
-		if !mask[i] || l.WordState[i] == wr {
+		if !mask[i] {
+			continue
+		}
+		c.observe(l.WordState[i], "recvDataFill")
+		if l.WordState[i] == wr {
 			continue
 		}
 		l.WordState[i] = wv
@@ -531,6 +555,7 @@ func (c *L1) finishTxn(lineAddr proto.Addr, mask [proto.WordsPerLine]bool) {
 // the previous lock holder).
 func (c *L1) recvFwdDataRead(word proto.Addr, from *L1) {
 	c.cfg.Eng.Schedule(c.cfg.RemoteL1Lat, func() {
+		c.observe(c.wordState(word), "recvFwdDataRead")
 		lineAddr := word.Line()
 		var mask [proto.WordsPerLine]bool
 		var vals [proto.WordsPerLine]uint64
@@ -561,14 +586,18 @@ func (c *L1) recvFwdDataRead(word proto.Addr, from *L1) {
 // Registered with the serialized value, stalled accesses retry (and now
 // hit), then any parked forwarded registration is serviced — handing the
 // registration down the distributed queue.
+//
+//atlas:unreachable denovo.L1 * recvRegAck:DataLoad: data loads never register — they complete via recvDataFill
 func (c *L1) recvRegAck(word proto.Addr, kind proto.AccessKind, val uint64) {
 	t := c.txns[word]
 	if t == nil {
 		panic("denovo: registration ack for absent transaction")
 	}
+	c.observeKind(c.wordState(word), "recvRegAck", kind)
 	delete(c.txns, word)
 
-	if kind.IsSync() {
+	switch kind {
+	case proto.SyncLoad, proto.SyncStore, proto.SyncRMW:
 		l := c.ensureLine(word)
 		widx := word.WordIndex()
 		l.WordState[widx] = wr
@@ -577,10 +606,15 @@ func (c *L1) recvRegAck(word proto.Addr, kind proto.AccessKind, val uint64) {
 		if c.cfg.unitWords() > 1 {
 			c.setUnit(l, word, wr, t.region)
 		}
-	} else if c.cfg.unitWords() > 1 {
-		// Line-granularity data registration: the ack carries the rest of
+	case proto.DataStore:
+		// Data stores already committed locally at issue (no data travels
+		// with the ack). At line granularity the ack carries the rest of
 		// the unit, which becomes Registered alongside the written word.
-		c.setUnit(c.ensureLine(word), word, wr, t.region)
+		// DataLoad never arrives here: data reads do not register and
+		// complete via recvDataFill.
+		if c.cfg.unitWords() > 1 {
+			c.setUnit(c.ensureLine(word), word, wr, t.region)
+		}
 	}
 	// Data stores already committed locally at issue; sync retries now hit
 	// in Registered state and commit in serialization order.
@@ -591,7 +625,7 @@ func (c *L1) recvRegAck(word proto.Addr, kind proto.AccessKind, val uint64) {
 		w()
 	}
 	for _, p := range t.parked {
-		c.serviceFwd(p.kind, p.from, word)
+		c.serviceFwd(p.kind, p.from, word, false)
 	}
 }
 
@@ -599,13 +633,29 @@ func (c *L1) recvRegAck(word proto.Addr, kind proto.AccessKind, val uint64) {
 // this (previous-registrant) L1. If our own registration for the word is
 // still pending, the request parks in the MSHR (§4.1); otherwise it is
 // serviced after the remote-L1 access latency.
-func (c *L1) recvFwdReg(word proto.Addr, kind proto.AccessKind, from *L1) {
-	if t := c.txns[word]; t != nil && t.isReg {
+//
+// Parking is only sound for forwards that chase this core's pending
+// registration (the requester serialized *after* us, so our ack will
+// arrive and hand the queue down). Network classes preserve point-to-
+// point order only per class, so a forward can also arrive late: sent
+// while we were still the registrant, overtaken by our writeback's ack
+// (a different class), and delivered after we re-registered. Parking
+// that forward deadlocks — the requester serialized *before* us, and
+// our own ack transitively waits on theirs (mutual parking; the bundled
+// model checker derives this cycle under same-channel reordering, see
+// internal/verify). The registry's serialization stamp resolves the
+// ambiguity: a forward older than the last writeback ack (wbBound)
+// targets relinquished ownership and is answered immediately from the
+// committed image, without touching the new registration.
+func (c *L1) recvFwdReg(word proto.Addr, kind proto.AccessKind, from *L1, serial uint64) {
+	c.observeKind(c.wordState(word), "recvFwdReg", kind)
+	stale := serial < c.wbBound[c.cfg.unitOf(word)]
+	if t := c.txns[word]; t != nil && t.isReg && !stale {
 		t.parked = append(t.parked, parkedFwd{kind: kind, from: from})
 		return
 	}
 	c.cfg.Eng.Schedule(c.cfg.RemoteL1Lat, func() {
-		c.serviceFwd(kind, from, word)
+		c.serviceFwd(kind, from, word, stale)
 	})
 }
 
@@ -616,14 +666,21 @@ func (c *L1) recvFwdReg(word proto.Addr, kind proto.AccessKind, from *L1) {
 //
 // The response acks the requester directly; values come from the committed
 // image (this core's writes are committed, so the image is its data).
-func (c *L1) serviceFwd(kind proto.AccessKind, from *L1, word proto.Addr) {
+//
+// stale marks a forward that predates this core's last writeback ack
+// (see recvFwdReg): it targets ownership already given back, so it must
+// not downgrade a registration acquired since — only the committed-image
+// ack below applies.
+func (c *L1) serviceFwd(kind proto.AccessKind, from *L1, word proto.Addr, stale bool) {
 	l := c.cache.Lookup(word)
 	widx := word.WordIndex()
-	if l != nil && l.WordState[widx] == wr {
-		if kind == proto.SyncLoad {
+	if !stale && l != nil && l.WordState[widx] == wr {
+		c.observeKind(wr, "serviceFwd", kind)
+		switch kind {
+		case proto.SyncLoad:
 			c.downUnit(l, word, wv)
 			c.noteRemoteSyncRead()
-		} else {
+		case proto.DataStore, proto.SyncStore, proto.SyncRMW:
 			c.downUnit(l, word, wi)
 		}
 	}

@@ -7,6 +7,21 @@ import (
 // ownerL2 marks a word whose up-to-date copy lives in the L2 data bank.
 const ownerL2 = -1
 
+// regOwnerState classifies a word's registry entry relative to one
+// requesting core — the registry's whole per-word "state machine" (the
+// paper's point: no sharer list, no busy bit, no transient states).
+// Typed so that simlint's exhauststate analyzer verifies every switch
+// over it covers all three classifications, and so the atlas extractor
+// (internal/lint/atlas) can read the registry's transition nests the
+// same way it reads the L1s'.
+type regOwnerState byte
+
+const (
+	roL2    regOwnerState = iota // registry/LLC owns the word's data
+	roSelf                       // the requesting core is the registrant
+	roOther                      // another core is the registrant
+)
+
 // regLine is the registry's per-line record: for every word, either the
 // L2 holds the data (ownerL2) or the ID of the core registered for it.
 // This replaces a MESI directory entry — there is no sharer list and no
@@ -16,6 +31,38 @@ type regLine struct {
 	fetching bool
 	owner    [proto.WordsPerLine]int16
 	pending  []func() // requests that arrived during the cold fetch
+	// serial counts this line's serialized ownership events (registrations
+	// and writebacks). Forwarded registrations and writeback acks carry the
+	// stamp so an L1 can order a late-delivered forward against its own
+	// writeback — classes only give per-class point-to-point order, so the
+	// network cannot (see L1.recvFwdReg).
+	serial uint64
+}
+
+// ownerState classifies word's entry relative to requester from.
+func (e *regLine) ownerState(word proto.Addr, from *L1) regOwnerState {
+	switch o := e.owner[word.WordIndex()]; {
+	case o == ownerL2:
+		return roL2
+	case o == int16(from.id):
+		return roSelf
+	default:
+		return roOther
+	}
+}
+
+// register points word's coherence unit at core — the single serialized
+// update every registration transfer reduces to.
+func (e *regLine) register(cfg *Config, word proto.Addr, core proto.CoreID) {
+	base := cfg.unitOf(word)
+	for k := 0; k < cfg.unitWords(); k++ {
+		e.owner[(base + proto.Addr(k*proto.WordBytes)).WordIndex()] = int16(core)
+	}
+}
+
+// release returns one word to registry/LLC ownership.
+func (e *regLine) release(word proto.Addr) {
+	e.owner[word.WordIndex()] = ownerL2
 }
 
 func newRegLine() *regLine {
@@ -34,6 +81,10 @@ type Registry struct {
 	tiles int
 	lines map[proto.Addr]*regLine
 	l1s   []*L1
+
+	// obs, when set, receives one (controller, state, event) hit per
+	// handler activation (see coverage.go).
+	obs TransitionObserver
 }
 
 // NewRegistry creates the registry for a tiles-tile system.
@@ -92,8 +143,12 @@ func (r *Registry) recvDataRead(word proto.Addr, from *L1) {
 	r.cfg.Eng.Schedule(r.cfg.L2AccessLat, func() {
 		r.withResident(word, proto.ClassLD, func(e *regLine) {
 			node := r.NodeFor(word)
-			owner := e.owner[word.WordIndex()]
-			if owner == ownerL2 || owner == int16(from.id) {
+			st := e.ownerState(word, from)
+			r.observe(st, "recvDataRead")
+			switch st {
+			case roL2, roSelf:
+				// Registry-owned (or a stale self-pointer): respond with
+				// every registry-owned word of the line.
 				line := word.Line()
 				var mask [proto.WordsPerLine]bool
 				var vals [proto.WordsPerLine]uint64
@@ -116,12 +171,12 @@ func (r *Registry) recvDataRead(word proto.Addr, from *L1) {
 				r.cfg.Net.Send(node, from.node, proto.ClassLD, proto.DataFlits(words), func() {
 					from.recvDataFill(line, mask, vals)
 				})
-				return
+			case roOther:
+				prev := r.l1s[e.owner[word.WordIndex()]]
+				r.cfg.Net.Send(node, prev.node, proto.ClassLD, proto.CtrlFlits, func() {
+					prev.recvFwdDataRead(word, from)
+				})
 			}
-			prev := r.l1s[owner]
-			r.cfg.Net.Send(node, prev.node, proto.ClassLD, proto.CtrlFlits, func() {
-				prev.recvFwdDataRead(word, from)
-			})
 		})
 	})
 }
@@ -131,31 +186,35 @@ func (r *Registry) recvDataRead(word proto.Addr, from *L1) {
 // register too). The registry is non-blocking: it updates the registrant
 // immediately and forwards the request to the previous one, never queuing
 // a transaction (§4.1).
+//
+//atlas:unreachable denovo.Registry roSelf recvReg: the writeback-ack gate (recvWB) orders a re-registration after the evictor's writeback serialized, and that writeback either released the words or found them re-registered elsewhere — the registry never still names the re-registrant
 func (r *Registry) recvReg(word proto.Addr, kind proto.AccessKind, from *L1) {
 	class := regClass(kind)
 	r.cfg.Eng.Schedule(r.cfg.L2AccessLat, func() {
 		r.withResident(word, class, func(e *regLine) {
 			node := r.NodeFor(word)
+			st := e.ownerState(word, from)
+			r.observeReg(st, kind)
+			e.serial++
+			seq := e.serial
 			prev := e.owner[word.WordIndex()]
 			// The whole coherence unit changes hands (a single word at the
 			// paper's granularity).
-			base := r.cfg.unitOf(word)
-			for k := 0; k < r.cfg.unitWords(); k++ {
-				e.owner[(base + proto.Addr(k*proto.WordBytes)).WordIndex()] = int16(from.id)
-			}
-			if prev == ownerL2 || prev == int16(from.id) {
+			e.register(r.cfg, word, from.id)
+			switch st {
+			case roL2, roSelf:
 				// Registry-owned (or a re-registration after an in-flight
 				// writeback): ack directly with the committed value.
 				flits := r.ackFlits(kind)
 				r.cfg.Net.Send(node, from.node, class, flits, func() {
 					from.recvRegAck(word, kind, r.cfg.Store.Read(word))
 				})
-				return
+			case roOther:
+				prevL1 := r.l1s[prev]
+				r.cfg.Net.Send(node, prevL1.node, class, proto.CtrlFlits, func() {
+					prevL1.recvFwdReg(word, kind, from, seq)
+				})
 			}
-			prevL1 := r.l1s[prev]
-			r.cfg.Net.Send(node, prevL1.node, class, proto.CtrlFlits, func() {
-				prevL1.recvFwdReg(word, kind, from)
-			})
 		})
 	})
 }
@@ -167,7 +226,14 @@ func (r *Registry) recvReg(word proto.Addr, kind proto.AccessKind, from *L1) {
 // re-registration of the same words: without it, a forwarded registration
 // aimed at the evictor's stale ownership can mutually park with the
 // evictor's own new registration (a deadlock the bundled model checker
-// finds; see internal/verify).
+// finds; see internal/verify). The gate alone is not enough on a network
+// with per-class virtual channels: a forward sent before this writeback
+// serialized can still be delivered after the ack (different class), so
+// the ack carries the line serial and the L1 classifies such late
+// forwards as stale by comparison (see L1.recvFwdReg). A writeback can
+// even find the word back in registry ownership (roL2): the evictor's
+// writeback lingers in the mesh while another core registers, evicts,
+// and has its own writeback release the word first.
 func (r *Registry) recvWB(lineAddr proto.Addr, mask [proto.WordsPerLine]bool, from *L1) {
 	r.cfg.Eng.Schedule(r.cfg.L2AccessLat, func() {
 		// The writeback must serialize through the same queue as other
@@ -176,13 +242,21 @@ func (r *Registry) recvWB(lineAddr proto.Addr, mask [proto.WordsPerLine]bool, fr
 		// (dropping it leaves a dangling ownership pointer — a bug the
 		// end-of-run validator caught).
 		r.withResident(lineAddr, proto.ClassWB, func(e *regLine) {
+			e.serial++
+			seq := e.serial
 			for i, m := range mask {
-				if m && e.owner[i] == int16(from.id) {
-					e.owner[i] = ownerL2
+				if !m {
+					continue
+				}
+				word := lineAddr + proto.Addr(i*proto.WordBytes)
+				st := e.ownerState(word, from)
+				r.observe(st, "recvWB")
+				if st == roSelf {
+					e.release(word)
 				}
 			}
 			r.cfg.Net.Send(r.NodeFor(lineAddr), from.node, proto.ClassWB, proto.CtrlFlits, func() {
-				from.recvWBAck(lineAddr, mask)
+				from.recvWBAck(lineAddr, mask, seq)
 			})
 		})
 	})

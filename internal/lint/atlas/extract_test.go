@@ -1,0 +1,224 @@
+package atlas
+
+import (
+	"strings"
+	"testing"
+)
+
+func extractProtocol(t *testing.T, pkg string) *Atlas {
+	t.Helper()
+	mod, err := FindModuleDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ExtractDir(mod, "denovosync/internal/"+pkg)
+	if err != nil {
+		t.Fatalf("extracting %s: %v", pkg, err)
+	}
+	return a
+}
+
+func wantTuple(t *testing.T, a *Atlas, ctrl, state, event string) *Transition {
+	t.Helper()
+	tr := a.Lookup(ctrl, state, event)
+	if tr == nil {
+		t.Fatalf("missing tuple (%s %s %s)", ctrl, state, event)
+	}
+	return tr
+}
+
+func hasStr(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func TestExtractMESI(t *testing.T) {
+	a := extractProtocol(t, "mesi")
+	if a.Protocol != "mesi" {
+		t.Fatalf("protocol = %q", a.Protocol)
+	}
+	if got := a.States["mesi.L1"]; strings.Join(got, ",") != "li,ls,le,lm" {
+		t.Fatalf("L1 states = %v", got)
+	}
+	if got := a.States["mesi.Directory"]; strings.Join(got, ",") != "di,ds,dm" {
+		t.Fatalf("Directory states = %v", got)
+	}
+
+	// Directory: I-state read grants exclusive (the E optimization).
+	tr := wantTuple(t, a, "mesi.Directory", "di", "serviceGetS")
+	if !hasStr(tr.Next, "dm") || !hasStr(tr.Sends, "recvData") {
+		t.Errorf("(di serviceGetS) = next %v sends %v, want dm / recvData", tr.Next, tr.Sends)
+	}
+	// Directory: shared-state write invalidates sharers.
+	tr = wantTuple(t, a, "mesi.Directory", "ds", "serviceGetM")
+	if !hasStr(tr.Sends, "recvInv") || !hasStr(tr.Next, "dm") {
+		t.Errorf("(ds serviceGetM) = next %v sends %v, want dm / recvInv", tr.Next, tr.Sends)
+	}
+	// Stale-Put handling does not discriminate on state.
+	tr = wantTuple(t, a, "mesi.Directory", "*", "recvPut")
+	if !hasStr(tr.Next, "di") {
+		t.Errorf("(* recvPut) next = %v, want di", tr.Next)
+	}
+
+	// L1: store hit in M/E upgrades silently to M.
+	tr = wantTuple(t, a, "mesi.L1", "lm", "access:DataStore")
+	if !hasStr(tr.Next, "lm") {
+		t.Errorf("(lm access:DataStore) next = %v, want lm", tr.Next)
+	}
+	wantTuple(t, a, "mesi.L1", "le", "access:SyncRMW")
+	// L1: invalid-state load misses to the directory.
+	tr = wantTuple(t, a, "mesi.L1", "li", "access:DataLoad")
+	if !hasStr(tr.Sends, "recvGetS") {
+		t.Errorf("(li access:DataLoad) sends = %v, want recvGetS", tr.Sends)
+	}
+	// L1: only M/E evictions write back.
+	tr = wantTuple(t, a, "mesi.L1", "lm", "evict")
+	if !hasStr(tr.Sends, "recvPut") {
+		t.Errorf("(lm evict) sends = %v, want recvPut", tr.Sends)
+	}
+	tr = wantTuple(t, a, "mesi.L1", "ls", "evict")
+	if hasStr(tr.Sends, "recvPut") {
+		t.Errorf("(ls evict) sends = %v, want no recvPut", tr.Sends)
+	}
+	// L1: forwarded GetS downgrades M to S.
+	tr = wantTuple(t, a, "mesi.L1", "lm", "recvFwdGetS")
+	if !hasStr(tr.Next, "ls") || !hasStr(tr.Sends, "recvOwnerAck") {
+		t.Errorf("(lm recvFwdGetS) = next %v sends %v, want ls / recvOwnerAck", tr.Next, tr.Sends)
+	}
+	// Completion is observed per miss-issuing state; the resident E/M
+	// variants exist only as annotated-unreachable tuples (misses issue
+	// from I or S only).
+	tr = wantTuple(t, a, "mesi.L1", "li", "maybeComplete")
+	if !hasStr(tr.Sends, "recvUnblock") {
+		t.Errorf("(li maybeComplete) sends = %v, want recvUnblock", tr.Sends)
+	}
+	wantTuple(t, a, "mesi.L1", "ls", "maybeComplete")
+	for _, s := range []string{"le", "lm"} {
+		if tr := wantTuple(t, a, "mesi.L1", s, "maybeComplete"); tr.Unreachable == "" {
+			t.Errorf("(%s maybeComplete) should be annotated unreachable", s)
+		}
+	}
+
+	assertWellFormed(t, a)
+}
+
+func TestExtractDeNovo(t *testing.T) {
+	a := extractProtocol(t, "denovo")
+	if got := a.States["denovo.L1"]; strings.Join(got, ",") != "wi,wv,wr" {
+		t.Fatalf("L1 states = %v", got)
+	}
+	if got := a.States["denovo.Registry"]; strings.Join(got, ",") != "roL2,roSelf,roOther" {
+		t.Fatalf("Registry states = %v", got)
+	}
+
+	// Registry: registration with another core registered forwards.
+	tr := wantTuple(t, a, "denovo.Registry", "roOther", "recvReg")
+	if !hasStr(tr.Sends, "recvFwdReg") || !hasStr(tr.Actions, "register") {
+		t.Errorf("(roOther recvReg) = sends %v actions %v, want recvFwdReg / register", tr.Sends, tr.Actions)
+	}
+	tr = wantTuple(t, a, "denovo.Registry", "roL2", "recvReg")
+	if !hasStr(tr.Sends, "recvRegAck") {
+		t.Errorf("(roL2 recvReg) sends = %v, want recvRegAck", tr.Sends)
+	}
+	// Registry: a writeback releases only self-registered words.
+	tr = wantTuple(t, a, "denovo.Registry", "roSelf", "recvWB")
+	if !hasStr(tr.Actions, "release") {
+		t.Errorf("(roSelf recvWB) actions = %v, want release", tr.Actions)
+	}
+	tr = wantTuple(t, a, "denovo.Registry", "roOther", "recvWB")
+	if hasStr(tr.Actions, "release") {
+		t.Errorf("(roOther recvWB) actions = %v, want no release", tr.Actions)
+	}
+	// Registry: data reads forward without stealing registration.
+	tr = wantTuple(t, a, "denovo.Registry", "roOther", "recvDataRead")
+	if !hasStr(tr.Sends, "recvFwdDataRead") {
+		t.Errorf("(roOther recvDataRead) sends = %v, want recvFwdDataRead", tr.Sends)
+	}
+
+	// L1: a data store transitions to Registered immediately at issue.
+	tr = wantTuple(t, a, "denovo.L1", "wi", "access:DataStore")
+	if !hasStr(tr.Next, "wr") || !hasStr(tr.Actions, "sendReg") {
+		t.Errorf("(wi access:DataStore) = next %v actions %v, want wr / sendReg", tr.Next, tr.Actions)
+	}
+	// L1: sync loads register (single-reader rule) — a miss from Valid too.
+	wantTuple(t, a, "denovo.L1", "wv", "access:SyncLoad")
+	tr = wantTuple(t, a, "denovo.L1", "wr", "access:SyncLoad")
+	if !hasStr(tr.Actions, "Touch") {
+		t.Errorf("(wr access:SyncLoad) actions = %v, want Touch (hit)", tr.Actions)
+	}
+	// L1: a forwarded sync read downgrades R to Valid; writes invalidate.
+	tr = wantTuple(t, a, "denovo.L1", "*", "serviceFwd:SyncLoad")
+	if !hasStr(tr.Next, "wv") || !hasStr(tr.Actions, "noteRemoteSyncRead") {
+		t.Errorf("(* serviceFwd:SyncLoad) = next %v actions %v, want wv / noteRemoteSyncRead", tr.Next, tr.Actions)
+	}
+	tr = wantTuple(t, a, "denovo.L1", "*", "serviceFwd:SyncStore")
+	if !hasStr(tr.Next, "wi") {
+		t.Errorf("(* serviceFwd:SyncStore) next = %v, want wi", tr.Next)
+	}
+	// L1: fills never overwrite Registered words.
+	tr = wantTuple(t, a, "denovo.L1", "wr", "recvDataFill")
+	if hasStr(tr.Next, "wv") {
+		t.Errorf("(wr recvDataFill) next = %v, want no wv (registered words survive fills)", tr.Next)
+	}
+	tr = wantTuple(t, a, "denovo.L1", "wi", "recvDataFill")
+	if !hasStr(tr.Next, "wv") {
+		t.Errorf("(wi recvDataFill) next = %v, want wv", tr.Next)
+	}
+	// L1: only registered words write back on eviction.
+	tr = wantTuple(t, a, "denovo.L1", "wr", "evict")
+	if !hasStr(tr.Sends, "recvWB") {
+		t.Errorf("(wr evict) sends = %v, want recvWB", tr.Sends)
+	}
+
+	assertWellFormed(t, a)
+}
+
+// assertWellFormed checks atlas-wide invariants: every tuple's state is
+// declared (or "*"), every event's base is a known handler, every next
+// state is declared for its controller.
+func assertWellFormed(t *testing.T, a *Atlas) {
+	t.Helper()
+	for _, tr := range a.Transitions {
+		states, ok := a.States[tr.Controller]
+		if !ok {
+			t.Errorf("tuple %s: unknown controller", tr.Key())
+			continue
+		}
+		if tr.State != "*" && !hasStr(states, tr.State) {
+			t.Errorf("tuple %s: undeclared state", tr.Key())
+		}
+		for _, n := range tr.Next {
+			if !hasStr(states, n) {
+				t.Errorf("tuple %s: undeclared next state %s", tr.Key(), n)
+			}
+		}
+		if tr.Pos == "" {
+			t.Errorf("tuple %s: missing position", tr.Key())
+		}
+	}
+}
+
+// TestCoversMatching pins the hit-matching rules the runtime gate uses.
+func TestCoversMatching(t *testing.T) {
+	tr := &Transition{Controller: "denovo.L1", State: "*", Event: "recvFwdReg"}
+	if !tr.Covers(Hit{"denovo.L1", "wr", "recvFwdReg:SyncLoad"}) {
+		t.Error("base event must cover kind-qualified hit")
+	}
+	if tr.Covers(Hit{"denovo.Registry", "wr", "recvFwdReg:SyncLoad"}) {
+		t.Error("controller mismatch must not cover")
+	}
+	tr2 := &Transition{Controller: "mesi.L1", State: "li", Event: "access:DataLoad"}
+	if !tr2.Covers(Hit{"mesi.L1", "li", "access:DataLoad"}) {
+		t.Error("exact match must cover")
+	}
+	if tr2.Covers(Hit{"mesi.L1", "ls", "access:DataLoad"}) {
+		t.Error("state mismatch must not cover")
+	}
+	if tr2.Covers(Hit{"mesi.L1", "li", "access:DataStore"}) {
+		t.Error("kind mismatch must not cover")
+	}
+}

@@ -1,0 +1,69 @@
+package atlas
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"denovosync/internal/lint/loader"
+)
+
+// ModulePath reads the module path from moduleDir/go.mod.
+func ModulePath(moduleDir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(moduleDir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("atlas: no module line in %s/go.mod", moduleDir)
+}
+
+// ExtractDir loads one protocol package from a module tree (via the
+// simlint loader — source-only, offline) and extracts its atlas.
+// pkgPath is the import path (e.g. "denovosync/internal/mesi").
+func ExtractDir(moduleDir, pkgPath string) (*Atlas, error) {
+	modPath, err := ModulePath(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ld := loader.New(fset, func(p string) (string, bool) {
+		if p == modPath {
+			return moduleDir, true
+		}
+		if rest, ok := strings.CutPrefix(p, modPath+"/"); ok {
+			return filepath.Join(moduleDir, filepath.FromSlash(rest)), true
+		}
+		return "", false
+	})
+	pkg, err := ld.Load(pkgPath)
+	if err != nil {
+		return nil, err
+	}
+	return Extract(fset, pkg.Files, pkg.Types, pkg.Info)
+}
+
+// FindModuleDir walks up from dir to the enclosing go.mod.
+func FindModuleDir(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("atlas: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

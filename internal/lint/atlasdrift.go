@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"path"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"denovosync/internal/lint/analysis"
+	"denovosync/internal/lint/atlas"
+)
+
+// AtlasDrift checks a protocol package against its checked-in golden
+// transition atlas (docs/atlas/<protocol>.json): a handler case arm that
+// implements a (controller, state, event) tuple the golden does not
+// know, a tuple whose content (next states, sends, actions) changed, or
+// a golden tuple with no implementation left, fails lint pointing at
+// `make atlas`. This keeps the golden — the artifact reviewers diff and
+// the coverage gate trusts — from silently lagging the code.
+//
+// Comparison is semantic (tuple keys and content); source positions are
+// ignored, so pure line shifts do not fail lint. Byte-exact golden
+// freshness, positions included, is cmd/protocov -mode check's job.
+var AtlasDrift = &analysis.Analyzer{
+	Name: "atlasdrift",
+	Doc: "protocol handler transitions must match the checked-in golden " +
+		"atlas (docs/atlas/<protocol>.json); on drift, regenerate with " +
+		"`make atlas` so the diff shows up in review",
+	Run: runAtlasDrift,
+}
+
+// GoldenAtlasDir overrides where atlasdrift looks for golden atlas JSON
+// files (tests point it at doctored goldens). Empty means the default:
+// <module root>/docs/atlas, found by walking up from the analyzed
+// package's directory.
+var GoldenAtlasDir string
+
+func runAtlasDrift(pass *analysis.Pass) (interface{}, error) {
+	// Engage only on the real protocol packages — matching by full import
+	// path, not base name, so test-fixture packages that mirror the repo
+	// layout (e.g. demo/internal/mesi in the driver acceptance tests) are
+	// not dragged through extraction they cannot satisfy.
+	switch pass.Pkg.Path() {
+	case "denovosync/internal/mesi", "denovosync/internal/denovo":
+	default:
+		return nil, nil
+	}
+	protocol := path.Base(pass.Pkg.Path())
+	fresh, err := atlas.Extract(pass.Fset, pass.Files, pass.Pkg, pass.TypesInfo)
+	if err != nil {
+		return nil, err
+	}
+	dir := GoldenAtlasDir
+	if dir == "" {
+		pkgDir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+		modDir, err := atlas.FindModuleDir(pkgDir)
+		if err != nil {
+			return nil, err
+		}
+		dir = filepath.Join(modDir, "docs", "atlas")
+	}
+	golden, err := atlas.ReadFile(filepath.Join(dir, protocol+".json"))
+	if err != nil {
+		return nil, err
+	}
+
+	goldenByKey := map[string]*atlas.Transition{}
+	for _, t := range golden.Transitions {
+		goldenByKey[t.Key()] = t
+	}
+	seen := map[string]bool{}
+	for _, t := range fresh.Transitions {
+		seen[t.Key()] = true
+		pos := tuplePos(pass, t.Pos)
+		g, ok := goldenByKey[t.Key()]
+		switch {
+		case !ok:
+			pass.Reportf(pos,
+				"transition (%s) is not in the golden atlas docs/atlas/%s.json — run `make atlas` and review the diff",
+				t.Key(), protocol)
+		case !sameContent(g, t):
+			pass.Reportf(pos,
+				"transition (%s) drifted from the golden atlas docs/atlas/%s.json — run `make atlas` and review the diff",
+				t.Key(), protocol)
+		}
+	}
+	var gone []string
+	for key := range goldenByKey {
+		if !seen[key] {
+			gone = append(gone, key)
+		}
+	}
+	sort.Strings(gone)
+	for _, key := range gone {
+		pass.Reportf(pass.Files[0].Pos(),
+			"golden atlas tuple (%s) has no implementation left in this package — run `make atlas` and review the diff",
+			key)
+	}
+	return nil, nil
+}
+
+// sameContent compares the semantic content of two tuples: next states,
+// sends, actions, and the unreachability annotation (positions excluded).
+func sameContent(a, b *atlas.Transition) bool {
+	type content struct {
+		Next, Sends, Actions []string
+		Unreachable          string
+	}
+	ca, _ := json.Marshal(content{a.Next, a.Sends, a.Actions, a.Unreachable})
+	cb, _ := json.Marshal(content{b.Next, b.Sends, b.Actions, b.Unreachable})
+	return string(ca) == string(cb)
+}
+
+// tuplePos resolves a tuple's "file.go:123" anchor back to a token.Pos
+// in the pass's file set (the package's first file when unresolvable).
+func tuplePos(pass *analysis.Pass, posStr string) token.Pos {
+	i := strings.LastIndexByte(posStr, ':')
+	if i < 0 {
+		return pass.Files[0].Pos()
+	}
+	line, err := strconv.Atoi(posStr[i+1:])
+	if err != nil {
+		return pass.Files[0].Pos()
+	}
+	base := posStr[:i]
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if tf == nil || filepath.Base(tf.Name()) != base {
+			continue
+		}
+		if line >= 1 && line <= tf.LineCount() {
+			return tf.LineStart(line)
+		}
+	}
+	return pass.Files[0].Pos()
+}

@@ -1,0 +1,130 @@
+package lint_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"denovosync/internal/lint"
+	"denovosync/internal/lint/analysis"
+	"denovosync/internal/lint/atlas"
+	"denovosync/internal/lint/driver"
+	"denovosync/internal/lint/loader"
+)
+
+// loadRealPkg loads a package of this repo's own module through the
+// simlint loader (source-only, offline).
+func loadRealPkg(t *testing.T, rel string) (*token.FileSet, *loader.Package) {
+	t.Helper()
+	moduleDir, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	modPath, err := driver.ModulePath(moduleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	ld := loader.New(fset, func(p string) (string, bool) {
+		if p == modPath {
+			return moduleDir, true
+		}
+		if rest, ok := strings.CutPrefix(p, modPath+"/"); ok {
+			dir := filepath.Join(moduleDir, filepath.FromSlash(rest))
+			if st, err := os.Stat(dir); err == nil && st.IsDir() {
+				return dir, true
+			}
+		}
+		return "", false
+	})
+	pkg, err := ld.Load(modPath + "/" + rel)
+	if err != nil {
+		t.Fatalf("loading %s: %v", rel, err)
+	}
+	return fset, pkg
+}
+
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, pkg *loader.Package) []analysis.Diagnostic {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	return diags
+}
+
+// TestAtlasDriftFresh runs atlasdrift on the real protocol packages
+// against the checked-in goldens: no drift findings expected.
+func TestAtlasDriftFresh(t *testing.T) {
+	for _, rel := range []string{"internal/mesi", "internal/denovo"} {
+		fset, pkg := loadRealPkg(t, rel)
+		for _, d := range runAnalyzer(t, lint.AtlasDrift, fset, pkg) {
+			t.Errorf("%s: unexpected drift finding: %s", rel, d.Message)
+		}
+	}
+}
+
+// TestAtlasDriftDoctored points atlasdrift at a golden with one tuple
+// removed, one tuple's content altered, and one fabricated tuple added:
+// all three drift directions must be reported.
+func TestAtlasDriftDoctored(t *testing.T) {
+	fset, pkg := loadRealPkg(t, "internal/mesi")
+	g, err := atlas.ReadFile("../../docs/atlas/mesi.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Transitions) < 2 {
+		t.Fatal("golden atlas implausibly small")
+	}
+	removed := g.Transitions[0].Key()
+	g.Transitions = g.Transitions[1:]
+	altered := g.Transitions[0]
+	altered.Next = append(altered.Next, "bogus")
+	g.Transitions = append(g.Transitions, &atlas.Transition{
+		Controller: "mesi.L1", State: "li", Event: "recvPhantom", Pos: "mesi.go:1",
+	})
+	dir := t.TempDir()
+	if err := g.WriteFile(filepath.Join(dir, "mesi.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	lint.GoldenAtlasDir = dir
+	defer func() { lint.GoldenAtlasDir = "" }()
+	diags := runAnalyzer(t, lint.AtlasDrift, fset, pkg)
+
+	want := map[string]string{
+		"removed tuple":    "(" + removed + ") is not in the golden atlas",
+		"altered tuple":    "(" + altered.Key() + ") drifted from the golden atlas",
+		"fabricated tuple": "(mesi.L1 li recvPhantom) has no implementation left",
+	}
+	for what, substr := range want {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s not reported (want message containing %q); got %d findings", what, substr, len(diags))
+			for _, d := range diags {
+				t.Logf("  finding: %s", d.Message)
+			}
+		}
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "make atlas") {
+			t.Errorf("finding does not point at `make atlas`: %s", d.Message)
+		}
+	}
+}

@@ -19,10 +19,20 @@ import (
 // union of constants of that type declared in the type's defining package
 // and in the analyzed package (protocol packages declare their own
 // constants of cache-owned types, e.g. mesi's li/ls/le/lm).
+//
+// The same rule applies to map-keyed transition tables: a composite
+// literal of type map[SomeState]V must list an entry for every declared
+// constant of the state type. A handler refactored from a switch into a
+// table lookup stays in scope, and a newly added state can no more be
+// silently absent from the table than fall through a switch. Tables
+// that deliberately cover a subset carry a per-site //simlint:allow
+// with a reason (there is no map analog of a panicking default — a
+// missing key is a silent zero value, the exact hazard).
 var ExhaustState = &analysis.Analyzer{
 	Name: "exhauststate",
 	Doc: "switches over protocol state types must cover every declared " +
-		"constant or panic in an explicit default, so a newly added state " +
+		"constant or panic in an explicit default, and map literals keyed " +
+		"by a state type must list every constant, so a newly added state " +
 		"can never silently fall through a transition",
 	Run: runExhaustState,
 }
@@ -30,6 +40,10 @@ var ExhaustState = &analysis.Analyzer{
 func runExhaustState(pass *analysis.Pass) (interface{}, error) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.CompositeLit); ok {
+				checkStateMapLit(pass, lit)
+				return true
+			}
 			sw, ok := n.(*ast.SwitchStmt)
 			if !ok || sw.Tag == nil {
 				return true
@@ -84,6 +98,50 @@ func runExhaustState(pass *analysis.Pass) (interface{}, error) {
 		})
 	}
 	return nil, nil
+}
+
+// checkStateMapLit applies the exhaustiveness rule to a composite
+// literal whose type is a map keyed by a protocol state type.
+func checkStateMapLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return
+	}
+	named := stateType(m.Key())
+	if named == nil {
+		return
+	}
+	required := stateConstants(named, pass.Pkg)
+	if len(required) == 0 {
+		return
+	}
+	covered := map[string]bool{}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if tv, ok := pass.TypesInfo.Types[kv.Key]; ok && tv.Value != nil {
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+	var missing []string
+	for val, names := range required { //simlint:allow determinism: names are sorted before reporting
+		if !covered[val] {
+			missing = append(missing, strings.Join(names, "/"))
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(lit.Pos(),
+		"map literal keyed by %s misses constants %s (a missing key is a silent zero value — add the entries or suppress with a reason)",
+		typeString(named, pass.Pkg), strings.Join(missing, ", "))
 }
 
 // stateType returns t as a defined type whose name marks it a protocol

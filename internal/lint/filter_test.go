@@ -1,0 +1,135 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"denovosync/internal/lint"
+	"denovosync/internal/lint/analysis"
+)
+
+// filterFixture parses srcs (filename -> source) and returns the fset,
+// files, and a helper that builds a diagnostic at (filename, line).
+func filterFixture(t *testing.T, srcs map[string]string) (*token.FileSet, []*ast.File, func(name string, line int) analysis.Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for name, src := range srcs {
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	at := func(name string, line int) analysis.Diagnostic {
+		for _, f := range files {
+			tf := fset.File(f.Pos())
+			if tf.Name() == name {
+				return analysis.Diagnostic{Pos: tf.LineStart(line), Message: "finding"}
+			}
+		}
+		t.Fatalf("no parsed file %s", name)
+		return analysis.Diagnostic{}
+	}
+	return fset, files, at
+}
+
+func TestFilterSuppressionPlacement(t *testing.T) {
+	fset, files, at := filterFixture(t, map[string]string{
+		"a.go": `package p
+
+func f() {
+	//simlint:allow determinism: line-above directive
+	_ = 1
+	_ = 2 //simlint:allow determinism: end-of-line directive
+	_ = 3
+}
+`,
+	})
+	det := lint.Determinism
+	diags := []analysis.Diagnostic{
+		at("a.go", 5), // line below a standalone directive: suppressed
+		at("a.go", 6), // end-of-line directive: suppressed
+		at("a.go", 7), // below an end-of-line directive: NOT blessed — survives
+		at("a.go", 4), // the standalone directive's own line also counts
+	}
+	got := lint.Filter(fset, files, det, diags)
+	if len(got) != 1 || fset.Position(got[0].Pos).Line != 7 {
+		t.Fatalf("want only the line-7 finding to survive, got %v", positions(fset, got))
+	}
+}
+
+func TestFilterRequiresReason(t *testing.T) {
+	fset, files, at := filterFixture(t, map[string]string{
+		"a.go": `package p
+
+func f() {
+	//simlint:allow determinism:
+	_ = 1
+	//simlint:allow determinism
+	_ = 2
+}
+`,
+	})
+	diags := []analysis.Diagnostic{at("a.go", 5), at("a.go", 7)}
+	got := lint.Filter(fset, files, lint.Determinism, diags)
+	if len(got) != 2 {
+		t.Fatalf("reason-less directives must not suppress; got %v", positions(fset, got))
+	}
+}
+
+func TestFilterAnalyzerSpecific(t *testing.T) {
+	fset, files, at := filterFixture(t, map[string]string{
+		"a.go": `package p
+
+func f() {
+	//simlint:allow cyclehygiene: wrong analyzer for this finding
+	_ = 1
+}
+`,
+	})
+	diags := []analysis.Diagnostic{at("a.go", 5)}
+	if got := lint.Filter(fset, files, lint.Determinism, diags); len(got) != 1 {
+		t.Fatalf("directive for another analyzer suppressed a determinism finding")
+	}
+	if got := lint.Filter(fset, files, lint.CycleHygiene, diags); len(got) != 0 {
+		t.Fatalf("directive did not suppress its own analyzer's finding")
+	}
+}
+
+// TestFilterPerFile pins the suppression to the file that carries it: a
+// directive in one file of a package must not swallow a finding at the
+// same line number of a sibling file.
+func TestFilterPerFile(t *testing.T) {
+	fset, files, at := filterFixture(t, map[string]string{
+		"a.go": `package p
+
+func f() {
+	//simlint:allow determinism: only file a is excused
+	_ = 1
+}
+`,
+		"b.go": `package p
+
+func g() {
+	_ = 1
+	_ = 2
+}
+`,
+	})
+	diags := []analysis.Diagnostic{at("a.go", 5), at("b.go", 5)}
+	got := lint.Filter(fset, files, lint.Determinism, diags)
+	if len(got) != 1 || fset.Position(got[0].Pos).Filename != "b.go" {
+		t.Fatalf("want only b.go's finding to survive, got %v", positions(fset, got))
+	}
+}
+
+func positions(fset *token.FileSet, diags []analysis.Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, fset.Position(d.Pos).String())
+	}
+	return out
+}

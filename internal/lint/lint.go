@@ -1,9 +1,10 @@
-// Package lint hosts simlint: four custom analyzers that statically
+// Package lint hosts simlint: six custom analyzers that statically
 // enforce invariants the simulator otherwise only checks at runtime
 // (cycle-exact determinism, exhaustive protocol transitions, workload
-// thread discipline, centralized latency constants), plus the shared
-// registry, package-scope table, and //simlint:allow suppression filter
-// used by cmd/simlint and the tests.
+// thread discipline, centralized latency constants, read-only observer
+// hooks, golden-atlas freshness), plus the shared registry,
+// package-scope table, and //simlint:allow suppression filter used by
+// cmd/simlint and the tests.
 package lint
 
 import (
@@ -17,17 +18,34 @@ import (
 
 // Analyzers returns the full simlint suite in reporting order.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{ExhaustState, Determinism, ThreadDiscipline, CycleHygiene}
+	return []*analysis.Analyzer{
+		ExhaustState, Determinism, ThreadDiscipline, CycleHygiene,
+		ObserverPurity, AtlasDrift,
+	}
 }
 
-// ByName returns the analyzer with the given name, or nil.
+// ByName returns the analyzer with the given name, or nil. Names are
+// matched case-insensitively: analyzer names are all-lowercase by
+// convention, and a capitalized spelling ("ExhaustState") used to fall
+// through to nil as silently as a typo, making -analyzer filters
+// no-ops.
 func ByName(name string) *analysis.Analyzer {
 	for _, a := range Analyzers() {
-		if a.Name == name {
+		if strings.EqualFold(a.Name, name) {
 			return a
 		}
 	}
 	return nil
+}
+
+// Names returns the analyzer names in reporting order (for error
+// messages listing the valid values).
+func Names() []string {
+	var out []string
+	for _, a := range Analyzers() {
+		out = append(out, a.Name)
+	}
+	return out
 }
 
 // scopes maps each analyzer to the repo-relative package paths it runs
@@ -65,6 +83,18 @@ var scopes = map[string][]string{
 		"internal/kernels", "internal/apps", "internal/locks",
 		"internal/barrier", "internal/lockfree",
 	},
+	// observerpurity guards the read-only hook surfaces: the coverage
+	// observers living inside the protocol packages and the invariant
+	// monitor in chaos (it further narrows to observe.go / coverage.go /
+	// monitor.go by file name).
+	ObserverPurity.Name: {
+		"internal/mesi", "internal/denovo", "internal/chaos",
+	},
+	// atlasdrift compares the protocol packages against their checked-in
+	// golden transition atlases.
+	AtlasDrift.Name: {
+		"internal/mesi", "internal/denovo",
+	},
 }
 
 // InScope reports whether analyzer a applies to the package at the
@@ -90,11 +120,16 @@ func InScope(a *analysis.Analyzer, relPath string) bool {
 var allowRE = regexp.MustCompile(`//simlint:allow\s+([a-z]+)\s*:\s*(\S.*)`)
 
 // Filter drops diagnostics suppressed by a //simlint:allow directive for
-// the analyzer, located on the diagnostic's line or the line above it.
-// Files must have been parsed with parser.ParseComments.
+// the analyzer: an end-of-line directive suppresses its own line; a
+// standalone directive comment suppresses its own line and the line
+// below it. (A trailing directive deliberately does NOT bless the next
+// line — it used to, and one suppression silently swallowed unrelated
+// findings on the following statement.) Files must have been parsed with
+// parser.ParseComments.
 func Filter(fset *token.FileSet, files []*ast.File, a *analysis.Analyzer, diags []analysis.Diagnostic) []analysis.Diagnostic {
-	allowed := map[string]map[int]bool{} // filename -> lines with a directive for a
+	allowed := map[string]map[int]bool{} // filename -> lines a directive blesses
 	for _, f := range files {
+		code := codeLines(fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := allowRE.FindStringSubmatch(c.Text)
@@ -106,17 +141,34 @@ func Filter(fset *token.FileSet, files []*ast.File, a *analysis.Analyzer, diags 
 					allowed[pos.Filename] = map[int]bool{}
 				}
 				allowed[pos.Filename][pos.Line] = true
+				if !code[pos.Line] { // standalone comment: bless the next line
+					allowed[pos.Filename][pos.Line+1] = true
+				}
 			}
 		}
 	}
 	var out []analysis.Diagnostic
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
-		lines := allowed[pos.Filename]
-		if lines != nil && (lines[pos.Line] || lines[pos.Line-1]) {
+		if allowed[pos.Filename][pos.Line] {
 			continue
 		}
 		out = append(out, d)
 	}
 	return out
+}
+
+// codeLines marks the lines of f on which non-comment code starts (used
+// to tell an end-of-line directive from a standalone directive comment).
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		return true
+	})
+	return lines
 }

@@ -8,7 +8,7 @@ import (
 )
 
 func TestExhaustState(t *testing.T) {
-	linttest.Run(t, "testdata", lint.ExhaustState, "exhaust", "exhaustx")
+	linttest.Run(t, "testdata", lint.ExhaustState, "exhaust", "exhaustx", "exhaustmap")
 }
 
 func TestDeterminism(t *testing.T) {
@@ -23,14 +23,29 @@ func TestCycleHygiene(t *testing.T) {
 	linttest.Run(t, "testdata", lint.CycleHygiene, "cycles")
 }
 
+func TestObserverPurity(t *testing.T) {
+	linttest.Run(t, "testdata", lint.ObserverPurity, "observer")
+}
+
 func TestByName(t *testing.T) {
 	for _, a := range lint.Analyzers() {
 		if lint.ByName(a.Name) != a {
 			t.Errorf("ByName(%q) does not round-trip", a.Name)
 		}
 	}
+	// Case variants must resolve too: a capitalized spelling used to be
+	// silently treated as "no such analyzer".
+	if lint.ByName("ExhaustState") != lint.ExhaustState {
+		t.Errorf("ByName is case-sensitive: ExhaustState not found")
+	}
+	if lint.ByName("OBSERVERPURITY") != lint.ObserverPurity {
+		t.Errorf("ByName is case-sensitive: OBSERVERPURITY not found")
+	}
 	if lint.ByName("nosuch") != nil {
 		t.Errorf("ByName of an unknown analyzer returned non-nil")
+	}
+	if len(lint.Names()) != len(lint.Analyzers()) {
+		t.Errorf("Names() length mismatch")
 	}
 }
 

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"path/filepath"
+	"strings"
+
+	"denovosync/internal/lint/analysis"
+)
+
+// ObserverPurity checks that observer and monitor hooks are read-only
+// views of simulator state. The invariant monitor and the coverage
+// observers run on the engine goroutine between protocol events; a hook
+// that mutates a controller silently changes the simulation it claims to
+// merely watch (and does so only when observation is attached, making
+// the heisenbug unreproducible without it).
+//
+// Scope is by file convention: observe.go, coverage.go, and monitor.go
+// are the hook surfaces. Within them, any assignment, increment, or
+// delete whose target is reached through a pointer to a type defined in
+// a simulator-state package (sim, cache, noc, mem, cpu, mesi, denovo,
+// machine) is a finding. Writes to the hook owner's own bookkeeping
+// (e.g. a chaos.Monitor appending a violation) and to locals are fine —
+// they do not alias simulator state. Methods named Set* are exempt:
+// attaching/detaching an observer is wiring performed at setup, not an
+// observation.
+var ObserverPurity = &analysis.Analyzer{
+	Name: "observerpurity",
+	Doc: "observer and monitor hooks (observe.go, coverage.go, monitor.go) " +
+		"must not mutate simulator state: no writes through controller, " +
+		"cache, or engine pointers — observers are read-only views",
+	Run: runObserverPurity,
+}
+
+// hookFiles are the file base names that carry observer/monitor hooks.
+var hookFiles = map[string]bool{
+	"observe.go":  true,
+	"coverage.go": true,
+	"monitor.go":  true,
+}
+
+// statePkgs are the package base names whose types constitute simulator
+// state. Matching is by base name so fixture packages under testdata
+// stand in for the real tree.
+var statePkgs = map[string]bool{
+	"sim": true, "cache": true, "noc": true, "mem": true,
+	"cpu": true, "mesi": true, "denovo": true, "machine": true,
+}
+
+func runObserverPurity(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if !hookFiles[name] {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || strings.HasPrefix(fn.Name.Name, "Set") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range s.Lhs {
+						checkPurity(pass, lhs, "assigns")
+					}
+				case *ast.IncDecStmt:
+					checkPurity(pass, s.X, "updates")
+				case *ast.CallExpr:
+					if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "delete" && len(s.Args) > 0 {
+						checkPurity(pass, s.Args[0], "deletes from")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// checkPurity reports target if writing it mutates state reached through
+// a simulator-state pointer.
+func checkPurity(pass *analysis.Pass, target ast.Expr, verb string) {
+	if owner := stateRoot(pass, target); owner != "" {
+		pass.Reportf(target.Pos(),
+			"observer hook %s simulator state through *%s — hooks are read-only views (move the mutation out of the observer path)",
+			verb, owner)
+	}
+}
+
+// stateRoot walks a write target inward (selectors, indexes, derefs) and
+// returns the type name of the first simulator-state pointer the write
+// traverses, or "". A plain local identifier has no such prefix; a local
+// *cache.Line or a captured *mesi.L1 does.
+func stateRoot(pass *analysis.Pass, e ast.Expr) string {
+	for {
+		var base ast.Expr
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+			continue
+		case *ast.SelectorExpr:
+			base = v.X
+		case *ast.IndexExpr:
+			base = v.X
+		case *ast.StarExpr:
+			base = v.X
+		default:
+			return ""
+		}
+		if name := statePointee(pass, base); name != "" {
+			return name
+		}
+		e = base
+	}
+}
+
+// statePointee returns "pkg.Type" if e's type is a pointer to a named
+// type defined in a simulator-state package.
+func statePointee(pass *analysis.Pass, e ast.Expr) string {
+	ptr, ok := pass.TypesInfo.TypeOf(e).(*types.Pointer)
+	if !ok {
+		return ""
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	pkg := named.Obj().Pkg()
+	if !statePkgs[path.Base(pkg.Path())] {
+		return ""
+	}
+	return pkg.Name() + "." + named.Obj().Name()
+}

@@ -1,0 +1,27 @@
+// Package cache is a stand-in for denovosync/internal/cache in
+// observerpurity fixtures (the analyzer matches simulator-state types by
+// their defining package's base name).
+package cache
+
+// Line mimics a cache line observers may inspect.
+type Line struct {
+	LRU  uint64
+	Vals [4]uint64
+}
+
+// Stats mimics a controller's counter block.
+type Stats struct {
+	WB int
+}
+
+// Ctrl mimics a coherence controller.
+type Ctrl struct {
+	N     int
+	Obs   func()
+	M     map[int]bool
+	Stats Stats
+	Lines []*Line
+}
+
+// Lookup returns a line observers may read.
+func (c *Ctrl) Lookup(i int) *Line { return c.Lines[i] }

@@ -1,0 +1,49 @@
+// Package exhaustmap is an exhauststate fixture for map-keyed transition
+// tables: a map literal keyed by a state type must list every constant.
+package exhaustmap
+
+import "states"
+
+type DirState int
+
+const (
+	DI DirState = iota
+	DS
+	DM
+)
+
+// full lists every DirState constant.
+var full = map[DirState]string{
+	DI: "I",
+	DS: "S",
+	DM: "M",
+}
+
+// missing omits DM.
+var missing = map[DirState]string{ // want `map literal keyed by DirState misses constants DM`
+	DI: "I",
+	DS: "S",
+}
+
+// crossPkg exercises a state type owned by another package with local
+// constants (mirrors protocol packages keying tables by cache types).
+const extra states.WordState = 2
+
+var crossPkg = map[states.WordState]int{ // want `map literal keyed by states.WordState misses constants Valid, extra`
+	states.Invalid: 0,
+}
+
+// valueTyped maps are unconstrained: the state type is the value.
+var valueTyped = map[string]DirState{
+	"I": DI,
+}
+
+// allowed carries a justified suppression.
+//
+//simlint:allow exhauststate: table deliberately covers the stable subset
+var allowed = map[DirState]string{
+	DI: "I",
+}
+
+// lookup keeps the fixtures referenced.
+func lookup(s DirState) string { return full[s] + missing[s] + allowed[s] }

@@ -1,0 +1,9 @@
+package observer
+
+import "cache"
+
+// MutateElsewhere lives outside the hook files (observe.go, coverage.go,
+// monitor.go), so observerpurity does not constrain it.
+func MutateElsewhere(c *cache.Ctrl) {
+	c.N = 9
+}

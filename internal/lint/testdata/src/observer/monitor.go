@@ -1,0 +1,23 @@
+package observer
+
+import "cache"
+
+// Monitor mimics the chaos invariant monitor: its own bookkeeping is not
+// simulator state, but the machine it watches is.
+type Monitor struct {
+	violations []string
+	samples    int
+	m          *cache.Ctrl
+}
+
+// sample records a violation — writes to the monitor's own fields are
+// fine (the Monitor type is not defined in a simulator-state package).
+func (mo *Monitor) sample() {
+	mo.samples++
+	mo.violations = append(mo.violations, "v")
+}
+
+// corrupt reaches through the monitor into the watched controller.
+func (mo *Monitor) corrupt() {
+	mo.m.N = 4 // want `observer hook assigns simulator state through \*cache.Ctrl`
+}

@@ -1,0 +1,65 @@
+// Package observer is an observerpurity fixture: hook files (observe.go,
+// coverage.go, monitor.go) must not write through simulator-state
+// pointers; other files and the hooks' own bookkeeping are unconstrained.
+package observer
+
+import "cache"
+
+// ReadN is a pure view: reads are always fine.
+func ReadN(c *cache.Ctrl) int { return c.N }
+
+// Snapshot builds a local result — appends to locals are fine.
+func Snapshot(c *cache.Ctrl) []int {
+	out := make([]int, 0, 2)
+	out = append(out, c.N, int(c.Stats.WB))
+	return out
+}
+
+// LocalCopy mutates a by-value copy, which aliases nothing.
+func LocalCopy(c cache.Ctrl) int {
+	c.N = 2
+	return c.N
+}
+
+// Mutate writes through the controller pointer.
+func Mutate(c *cache.Ctrl) {
+	c.N = 1 // want `observer hook assigns simulator state through \*cache.Ctrl`
+}
+
+// MutateNested writes a nested counter through the controller pointer.
+func MutateNested(c *cache.Ctrl) {
+	c.Stats.WB++ // want `observer hook updates simulator state through \*cache.Ctrl`
+}
+
+// Bump writes through a line pointer obtained from a read.
+func Bump(c *cache.Ctrl) {
+	l := c.Lookup(0)
+	l.LRU++ // want `observer hook updates simulator state through \*cache.Line`
+}
+
+// Drop deletes from a controller-owned map.
+func Drop(c *cache.Ctrl) {
+	delete(c.M, 1) // want `observer hook deletes from simulator state through \*cache.Ctrl`
+}
+
+// Captured mutates through a captured controller pointer inside a
+// closure — exactly the aliasing the analyzer exists for.
+func Captured(c *cache.Ctrl) func() {
+	return func() {
+		c.N = 3 // want `observer hook assigns simulator state through \*cache.Ctrl`
+	}
+}
+
+// Indexed writes through a pointer element of a slice.
+func Indexed(cs []*cache.Ctrl) {
+	cs[0].N = 1 // want `observer hook assigns simulator state through \*cache.Ctrl`
+}
+
+// SetObs attaches an observer: Set* methods are wiring, not hooks.
+func SetObs(c *cache.Ctrl, f func()) { c.Obs = f }
+
+// Allowed carries a justified suppression.
+func Allowed(c *cache.Ctrl) {
+	//simlint:allow observerpurity: fixture exercises the directive
+	c.N = 4
+}

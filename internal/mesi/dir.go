@@ -40,6 +40,10 @@ type Directory struct {
 	cfg     *Config
 	tiles   int
 	entries map[proto.Addr]*dirEntry
+
+	// obs, when set, receives one (controller, state, event) hit per
+	// handler activation (see coverage.go).
+	obs TransitionObserver
 }
 
 // NewDirectory creates the directory for a tiles-tile system.
@@ -94,43 +98,56 @@ func (d *Directory) maybeStart(line proto.Addr, e *dirEntry) {
 	})
 }
 
+// service dispatches the transaction at the head of the line's queue to
+// the per-event handler (the state/event transition nests the atlas
+// extractor walks; see internal/lint/atlas).
 func (d *Directory) service(line proto.Addr, e *dirEntry, p dirPending) {
-	node := d.NodeFor(line)
-	req := p.req
-	if !p.wantM {
-		switch e.state {
-		case di:
-			// Exclusive grant (the E state of MESI). Reads serviced from
-			// the directory involve no ownership transfer and no pending
-			// invalidations, so they complete without blocking the line.
-			e.state = dm
-			e.owner = req
-			e.busy = false
-			d.cfg.Net.Send(node, req.node, proto.ClassLD, proto.LineDataFlits, func() {
-				req.recvData(line, 0, true, false)
-			})
-			d.maybeStart(line, e)
-			return
-		case ds:
-			e.sharers[req] = true
-			e.busy = false
-			d.cfg.Net.Send(node, req.node, proto.ClassLD, proto.LineDataFlits, func() {
-				req.recvData(line, 0, false, false)
-			})
-			d.maybeStart(line, e)
-			return
-		case dm:
-			owner := e.owner
-			e.state = ds
-			e.sharers = map[*L1]bool{owner: true, req: true}
-			e.owner = nil
-			e.needAcks = 2 // owner's writeback/ack + requestor's Unblock
-			d.cfg.Net.Send(node, owner.node, proto.ClassLD, proto.CtrlFlits, func() {
-				owner.recvFwdGetS(line, req)
-			})
-		}
-		return
+	if p.wantM {
+		d.serviceGetM(line, e, p.req)
+	} else {
+		d.serviceGetS(line, e, p.req)
 	}
+}
+
+// serviceGetS handles a read request at the directory.
+func (d *Directory) serviceGetS(line proto.Addr, e *dirEntry, req *L1) {
+	node := d.NodeFor(line)
+	d.observe(e.state, "serviceGetS")
+	switch e.state {
+	case di:
+		// Exclusive grant (the E state of MESI). Reads serviced from
+		// the directory involve no ownership transfer and no pending
+		// invalidations, so they complete without blocking the line.
+		e.state = dm
+		e.owner = req
+		e.busy = false
+		d.cfg.Net.Send(node, req.node, proto.ClassLD, proto.LineDataFlits, func() {
+			req.recvData(line, 0, true, false)
+		})
+		d.maybeStart(line, e)
+	case ds:
+		e.sharers[req] = true
+		e.busy = false
+		d.cfg.Net.Send(node, req.node, proto.ClassLD, proto.LineDataFlits, func() {
+			req.recvData(line, 0, false, false)
+		})
+		d.maybeStart(line, e)
+	case dm:
+		owner := e.owner
+		e.state = ds
+		e.sharers = map[*L1]bool{owner: true, req: true}
+		e.owner = nil
+		e.needAcks = 2 // owner's writeback/ack + requestor's Unblock
+		d.cfg.Net.Send(node, owner.node, proto.ClassLD, proto.CtrlFlits, func() {
+			owner.recvFwdGetS(line, req)
+		})
+	}
+}
+
+// serviceGetM handles a write/upgrade request at the directory.
+func (d *Directory) serviceGetM(line proto.Addr, e *dirEntry, req *L1) {
+	node := d.NodeFor(line)
+	d.observe(e.state, "serviceGetM")
 	switch e.state {
 	case di:
 		e.state = dm
@@ -193,6 +210,7 @@ func (d *Directory) complete(line proto.Addr) {
 	if !e.busy {
 		panic("mesi: completion for idle directory entry")
 	}
+	d.observe(e.state, "complete")
 	e.needAcks--
 	if e.needAcks > 0 {
 		return
@@ -206,6 +224,7 @@ func (d *Directory) complete(line proto.Addr) {
 // without touching state.
 func (d *Directory) recvPut(line proto.Addr, from *L1, dirty bool) {
 	e := d.entry(line)
+	d.observe(e.state, "recvPut")
 	if !e.busy && e.state == dm && e.owner == from {
 		e.state = di
 		e.owner = nil

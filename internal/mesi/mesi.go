@@ -61,6 +61,17 @@ type txn struct {
 	acksNeed int  // -1 until the Data/AckCount message announces the count
 	acksGot  int
 	waiters  []func()
+
+	// cap bounds the state a delayed grant may still install (li < ls <
+	// lm). Non-blocking GetS grants (directory E/S grants served from
+	// I/S, which reopen the line immediately) can be overtaken by an
+	// invalidation or an owner-forward from a transaction the directory
+	// serialized *after* the grant — message classes only preserve
+	// per-class point-to-point order. The classic IS_D-receives-Inv
+	// race: the core must ack (and respond to forwards) right away, and
+	// its late fill must then complete the stalled loads without
+	// re-installing the ownership the later transaction already took.
+	cap cache.LineState
 }
 
 // L1 is one core's private MESI cache controller.
@@ -86,6 +97,10 @@ type L1 struct {
 
 	epochs   map[proto.Addr]uint64 // per line
 	disturbs map[proto.Addr][]func()
+
+	// obs, when set, receives one (controller, state, event) hit per
+	// handler activation (see coverage.go).
+	obs TransitionObserver
 
 	stats proto.L1Stats
 }
@@ -211,6 +226,7 @@ func (c *L1) access(req *proto.Request, commit func(uint64), first bool) {
 	if line != nil {
 		state = line.LineState
 	}
+	c.observeAccess(state, req.Kind)
 	wi := req.Addr.WordIndex()
 
 	finish := func(v uint64) {
@@ -275,7 +291,7 @@ func (c *L1) access(req *proto.Request, commit func(uint64), first bool) {
 		t.waiters = append(t.waiters, retry)
 		return
 	}
-	t := &txn{line: req.Addr.Line(), wantM: wantM, acksNeed: -1}
+	t := &txn{line: req.Addr.Line(), wantM: wantM, acksNeed: -1, cap: lm}
 	t.waiters = append(t.waiters, retry)
 	c.txns[t.line] = t
 	class := proto.ClassLD
@@ -300,6 +316,7 @@ func (c *L1) recvData(line proto.Addr, acks int, excl, unblock bool) {
 	if t == nil {
 		panic("mesi: data for absent transaction")
 	}
+	c.observe(c.lineState(line), "recvData")
 	t.dataRecv = true
 	t.excl = excl
 	t.unblock = unblock
@@ -313,14 +330,18 @@ func (c *L1) recvInvAck(line proto.Addr) {
 	if t == nil {
 		panic("mesi: inv-ack for absent transaction")
 	}
+	c.observe(c.lineState(line), "recvInvAck")
 	t.acksGot++
 	c.maybeComplete(t)
 }
 
+//atlas:unreachable mesi.L1 le maybeComplete: a resident E line never has a miss transaction outstanding — misses issue only from I or S
+//atlas:unreachable mesi.L1 lm maybeComplete: a resident M line never has a miss transaction outstanding — misses issue only from I or S
 func (c *L1) maybeComplete(t *txn) {
 	if !t.dataRecv || t.acksNeed < 0 || t.acksGot < t.acksNeed {
 		return
 	}
+	c.observe(c.lineState(t.line), "maybeComplete")
 	delete(c.txns, t.line)
 
 	// Install, reusing the resident line on an S→M upgrade, otherwise
@@ -335,14 +356,26 @@ func (c *L1) maybeComplete(t *txn) {
 	} else {
 		c.cache.Touch(v)
 	}
+	st := ls
 	switch {
 	case t.wantM:
-		v.LineState = lm
+		st = lm
 	case t.excl:
-		v.LineState = le
-	default:
-		v.LineState = ls
+		st = le
 	}
+	// A grant overtaken by a later-serialized invalidation or forward
+	// (see txn.cap) must not re-install the state that transaction took
+	// away. A cap of li still installs Shared for the duration of this
+	// event so the stalled loads below hit the fill once; the line is
+	// dropped before any other event can observe it.
+	useOnce := false
+	if !t.wantM && t.cap < st {
+		st = t.cap
+		if st == li {
+			st, useOnce = ls, true
+		}
+	}
+	v.LineState = st
 	vals := c.cfg.Store.ReadLine(t.line)
 	v.Values = vals
 
@@ -360,12 +393,21 @@ func (c *L1) maybeComplete(t *txn) {
 	for _, w := range t.waiters {
 		w()
 	}
+	if useOnce {
+		if l := c.cache.Lookup(t.line); l != nil && l.LineState == ls {
+			c.cache.Evict(l)
+			c.disturb(t.line)
+		}
+	}
 }
 
 // evict removes a victim line, writing back M (data) or E (clean notice).
+//
+//atlas:unreachable mesi.L1 li evict: present victims are never Invalid — invalidations and downgrades remove the line outright, so capacity victims are always S/E/M
 func (c *L1) evict(v *cache.Line) {
 	line := v.Addr
 	state := v.LineState
+	c.observe(state, "evict")
 	c.cache.Evict(v)
 	c.stats.Evicted++
 	c.disturb(line)
@@ -384,9 +426,18 @@ func (c *L1) evict(v *cache.Line) {
 // recvInv handles a directory invalidation on behalf of requestor req:
 // drop the line (if present) and ack directly to the requestor.
 func (c *L1) recvInv(line proto.Addr, req *L1) {
+	c.observe(c.lineState(line), "recvInv")
 	if l := c.cache.Lookup(line); l != nil {
 		c.cache.Evict(l)
 		c.disturb(line)
+	}
+	// An invalidation overlapping our own read miss kills the in-flight
+	// grant (see txn.cap). Write misses are exempt: the directory blocks
+	// on GetM, so an overlapping invalidation can only stem from an
+	// *earlier* write that targeted our stale Shared copy — our own
+	// grant, serialized later, stays good.
+	if t := c.txns[line]; t != nil && !t.wantM {
+		t.cap = li
 	}
 	c.cfg.Net.Send(c.node, req.node, proto.ClassInv, proto.CtrlFlits, func() {
 		req.recvInvAck(line)
@@ -397,14 +448,22 @@ func (c *L1) recvInv(line proto.Addr, req *L1) {
 // send data to the requestor and the writeback/ack to the directory. If the
 // line is gone (eviction raced the forward) respond from the committed
 // image; the directory's later PutM from us will be recognized as stale.
+//
+//atlas:unreachable mesi.L1 ls recvFwdGetS: the directory forwards GetS only to the pending exclusive owner and blocks until the handoff acks, so the target is E, M, or already evicted — never observed in S
 func (c *L1) recvFwdGetS(line proto.Addr, req *L1) {
 	c.cfg.Eng.Schedule(c.cfg.RemoteL1Lat, func() {
+		c.observe(c.lineState(line), "recvFwdGetS")
 		wbFlits := proto.CtrlFlits
 		if l := c.cache.Lookup(line); l != nil && (l.LineState == lm || l.LineState == le) {
 			if l.LineState == lm {
 				wbFlits = proto.LineDataFlits
 			}
 			l.LineState = ls
+		}
+		// The forward chases an exclusive grant whose fill is still in
+		// flight: the late fill may install at most Shared (txn.cap).
+		if t := c.txns[line]; t != nil && !t.wantM && t.cap > ls {
+			t.cap = ls
 		}
 		c.cfg.Net.Send(c.node, req.node, proto.ClassLD, proto.LineDataFlits, func() {
 			req.recvData(line, 0, false, true)
@@ -419,9 +478,16 @@ func (c *L1) recvFwdGetS(line proto.Addr, req *L1) {
 // send data to the requestor.
 func (c *L1) recvFwdGetM(line proto.Addr, req *L1) {
 	c.cfg.Eng.Schedule(c.cfg.RemoteL1Lat, func() {
+		c.observe(c.lineState(line), "recvFwdGetM")
 		if l := c.cache.Lookup(line); l != nil {
 			c.cache.Evict(l)
 			c.disturb(line)
+		}
+		// The forward chases an exclusive grant whose fill is still in
+		// flight: the new writer owns the line now, so the late fill
+		// must not install at all (txn.cap).
+		if t := c.txns[line]; t != nil && !t.wantM {
+			t.cap = li
 		}
 		c.cfg.Net.Send(c.node, req.node, proto.ClassST, proto.LineDataFlits, func() {
 			req.recvData(line, 0, false, true)

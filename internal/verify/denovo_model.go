@@ -129,6 +129,7 @@ type dnModel struct {
 	cores, maxOps int
 	extended      bool // evictions + data reads (beyond the MESI model's ops)
 	table         map[string]*dnState
+	rec           TransitionRecorder // optional; see transitions.go
 }
 
 // NewDeNovoModel explores the full DeNovoSync model: sync reads/writes,
@@ -180,6 +181,7 @@ func (d *dnModel) successors(enc string) []string {
 			continue
 		}
 		for _, op := range []byte{'r', 'w'} {
+			d.record("core", byte(c.state), "issue:"+string(rune(op)))
 			n := s.clone()
 			nc := &n.cores[i]
 			if nc.state == 'R' {
@@ -192,6 +194,7 @@ func (d *dnModel) successors(enc string) []string {
 		}
 		// Data read: hits on V or R; otherwise a non-registering request.
 		if d.extended {
+			d.record("core", byte(c.state), "issue:d")
 			n := s.clone()
 			nc := &n.cores[i]
 			if nc.state == 'V' || nc.state == 'R' {
@@ -211,6 +214,7 @@ func (d *dnModel) successors(enc string) []string {
 		if !d.extended || s.cores[i].state != 'R' || s.cores[i].pending != 0 || s.cores[i].wbPending {
 			continue
 		}
+		d.record("core", 'R', "evict")
 		n := s.clone()
 		n.cores[i].state = 'I'
 		n.cores[i].wbPending = true
@@ -237,6 +241,7 @@ func (d *dnModel) successors(enc string) []string {
 		switch msg.kind {
 		case "reg":
 			prev := n.owner
+			d.recordOwner(prev, msg.core, "reg")
 			n.owner = msg.core
 			if prev == -1 || prev == msg.core {
 				n.msgs = append(n.msgs, dnMsg{kind: "ack", src: -1, core: msg.core, to: msg.core, op: msg.op})
@@ -245,6 +250,7 @@ func (d *dnModel) successors(enc string) []string {
 			}
 		case "fwd":
 			c := &n.cores[msg.to]
+			d.record("core", byte(c.state), "fwd:"+string(rune(msg.op)))
 			switch {
 			case c.pending != 0:
 				c.parked = append(c.parked, msg)
@@ -260,6 +266,7 @@ func (d *dnModel) successors(enc string) []string {
 				n.msgs = append(n.msgs, dnMsg{kind: "ack", src: msg.to, core: msg.core, to: msg.core, op: msg.op})
 			}
 		case "read":
+			d.recordOwner(n.owner, msg.core, "read")
 			if n.owner == -1 || n.owner == msg.core {
 				// Registry-owned (or stale self-pointer): respond directly.
 				n.msgs = append(n.msgs, dnMsg{kind: "rresp", src: -1, core: msg.core, to: msg.core})
@@ -269,9 +276,11 @@ func (d *dnModel) successors(enc string) []string {
 		case "rfwd":
 			// Owner responds from its (or the committed) copy and stays
 			// Registered; no state change either way.
+			d.record("core", byte(n.cores[msg.to].state), "rfwd")
 			n.msgs = append(n.msgs, dnMsg{kind: "rresp", src: msg.to, core: msg.core, to: msg.core})
 		case "rresp":
 			c := &n.cores[msg.to]
+			d.record("core", byte(c.state), "rresp")
 			if c.state == 'I' {
 				c.state = 'V'
 			}
@@ -280,10 +289,12 @@ func (d *dnModel) successors(enc string) []string {
 			// A parked registration forward can be waiting behind a data
 			// read; service it from the stale path (we are not Registered).
 			for _, p := range c.parked {
+				d.record("core", byte(c.state), "fwd:"+string(rune(p.op)))
 				n.msgs = append(n.msgs, dnMsg{kind: "ack", src: msg.to, core: p.core, to: p.core, op: p.op})
 			}
 			c.parked = nil
 		case "wb":
+			d.recordOwner(n.owner, msg.core, "wb")
 			if n.owner == msg.core {
 				n.owner = -1
 			}
@@ -291,15 +302,18 @@ func (d *dnModel) successors(enc string) []string {
 			// Either way the evictor gets an ack so it may re-register.
 			n.msgs = append(n.msgs, dnMsg{kind: "wback", src: -1, core: msg.core, to: msg.core})
 		case "wback":
+			d.record("core", byte(n.cores[msg.to].state), "wback")
 			n.cores[msg.to].wbPending = false
 		case "ack":
 			c := &n.cores[msg.to]
+			d.record("core", byte(c.state), "ack:"+string(rune(msg.op)))
 			c.state = 'R'
 			c.pending = 0
 			c.opsLeft--
 			// Service parked forwards in arrival order: the distributed
 			// registration queue hand-off.
 			for _, p := range c.parked {
+				d.record("core", byte(c.state), "fwd:"+string(rune(p.op)))
 				if c.state == 'R' {
 					if p.op == 'r' {
 						c.state = 'V'

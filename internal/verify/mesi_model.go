@@ -154,6 +154,7 @@ type meModel struct {
 	cores, maxOps int
 	extended      bool // evictions/writebacks beyond the base op set
 	table         map[string]*meState
+	rec           TransitionRecorder // optional; see transitions.go
 }
 
 // NewMESIModel explores the full MESI model including evictions and
@@ -200,6 +201,7 @@ func (d *meModel) dirServiceOne(n *meState) {
 	n.queue = n.queue[1:]
 	req := p.core
 	if !p.wantM {
+		d.record("dir", byte(n.dirState), "gets")
 		switch n.dirState {
 		case 'I':
 			n.dirState = 'M'
@@ -220,6 +222,7 @@ func (d *meModel) dirServiceOne(n *meState) {
 		}
 		return
 	}
+	d.record("dir", byte(n.dirState), "getm")
 	switch n.dirState {
 	case 'I':
 		n.dirState = 'M'
@@ -257,6 +260,7 @@ func (d *meModel) maybeComplete(n *meState, core int) {
 	if t == nil || !t.dataRecv || t.acksNeed < 0 || t.acksGot < t.acksNeed {
 		return
 	}
+	d.record("core", byte(c.state), "complete")
 	switch {
 	case t.wantM:
 		c.state = 'M'
@@ -287,6 +291,7 @@ func (d *meModel) successors(enc string) []string {
 		}
 		// Read.
 		{
+			d.record("core", byte(c.state), "read")
 			n := s.clone()
 			nc := &n.cores[i]
 			if nc.state != 'I' {
@@ -299,6 +304,7 @@ func (d *meModel) successors(enc string) []string {
 		}
 		// Write.
 		{
+			d.record("core", byte(c.state), "write")
 			n := s.clone()
 			nc := &n.cores[i]
 			if nc.state == 'M' || nc.state == 'E' {
@@ -321,10 +327,12 @@ func (d *meModel) successors(enc string) []string {
 		}
 		switch c.state {
 		case 'S':
+			d.record("core", 'S', "evict")
 			n := s.clone()
 			n.cores[i].state = 'I'
 			out = append(out, d.intern(n))
 		case 'M', 'E':
+			d.record("core", byte(c.state), "evict")
 			n := s.clone()
 			n.cores[i].state = 'I'
 			n.msgs = append(n.msgs, meMsg{kind: "putm", src: i, to: -1, req: i})
@@ -360,6 +368,7 @@ func (d *meModel) successors(enc string) []string {
 		case "data":
 			c := &n.cores[msg.to]
 			if c.txn != nil {
+				d.record("core", byte(c.state), "data")
 				c.txn.dataRecv = true
 				c.txn.excl = msg.excl
 				c.txn.unblock = c.txn.unblock || msg.unbl
@@ -368,6 +377,7 @@ func (d *meModel) successors(enc string) []string {
 			}
 		case "inv":
 			c := &n.cores[msg.to]
+			d.record("core", byte(c.state), "inv")
 			if c.state == 'S' {
 				c.state = 'I'
 			}
@@ -375,11 +385,13 @@ func (d *meModel) successors(enc string) []string {
 		case "invack":
 			c := &n.cores[msg.to]
 			if c.txn != nil {
+				d.record("core", byte(c.state), "invack")
 				c.txn.acksGot++
 				d.maybeComplete(n, msg.to)
 			}
 		case "fwds":
 			c := &n.cores[msg.to]
+			d.record("core", byte(c.state), "fwds")
 			if c.state == 'M' || c.state == 'E' {
 				c.state = 'S'
 			}
@@ -388,16 +400,19 @@ func (d *meModel) successors(enc string) []string {
 				meMsg{kind: "ownerack", src: msg.to, to: -1})
 		case "fwdm":
 			c := &n.cores[msg.to]
+			d.record("core", byte(c.state), "fwdm")
 			c.state = 'I'
 			n.msgs = append(n.msgs, meMsg{kind: "data", src: msg.to, to: msg.req, req: msg.req, unbl: true})
 		case "putm":
 			// Mirrors mesi.Directory.recvPut: only a current, unblocked
 			// owner's writeback clears the entry; anything else is stale.
+			d.record("dir", byte(n.dirState), "putm")
 			if !n.busy && n.dirState == 'M' && n.owner == msg.req {
 				n.dirState = 'I'
 				n.owner = -1
 			}
 		case "unblock", "ownerack":
+			d.record("dir", byte(n.dirState), "complete")
 			n.needAcks--
 			if n.needAcks <= 0 {
 				n.busy = false

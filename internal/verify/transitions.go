@@ -1,0 +1,57 @@
+package verify
+
+// TransitionRecorder receives one (component, state, event) record each
+// time the abstract model applies a transition during exploration. The
+// atlas cross-check (internal/lint/atlas, cmd/protocov -mode crosscheck)
+// aggregates these into the model's reachable transition set and compares
+// it — through the docs/atlas/absmap.json abstraction map — against the
+// implementation's static transition atlas.
+//
+// Components: "core" (the per-core L1 word/line state machine), "dir"
+// (the MESI directory), "registry" (the DeNovo registry). States are the
+// model's stable-state letters ("I","S","E","M"; "I","V","R") or the
+// registry's owner classification ("L2","Self","Other"). Events mirror
+// the model's message kinds ("gets", "fwd:r", "issue:w", ...).
+type TransitionRecorder func(component, state, event string)
+
+// NewMESIModelRecorded explores the full MESI model with a transition
+// recorder attached.
+func NewMESIModelRecorded(cores, maxOps int, rec TransitionRecorder) *Result {
+	m := &meModel{cores: cores, maxOps: maxOps, extended: true, table: map[string]*meState{}, rec: rec}
+	return explore(m, "MESI", cores, maxOps, 4_000_000)
+}
+
+// NewDeNovoModelRecorded explores the full DeNovoSync model with a
+// transition recorder attached.
+func NewDeNovoModelRecorded(cores, maxOps int, rec TransitionRecorder) *Result {
+	m := &dnModel{cores: cores, maxOps: maxOps, extended: true, table: map[string]*dnState{}, rec: rec}
+	return explore(m, "DeNovoSync", cores, maxOps, 4_000_000)
+}
+
+func (d *meModel) record(component string, state byte, event string) {
+	if d.rec != nil {
+		d.rec(component, string(rune(state)), event)
+	}
+}
+
+func (d *dnModel) record(component string, state byte, event string) {
+	if d.rec != nil {
+		d.rec(component, string(rune(state)), event)
+	}
+}
+
+// recordOwner classifies the registry pointer relative to requester core
+// (mirroring denovo.regLine.ownerState) and records the event.
+func (d *dnModel) recordOwner(owner, core int, event string) {
+	if d.rec == nil {
+		return
+	}
+	cls := "Other"
+	switch owner {
+	case -1:
+		cls = "L2"
+	case core:
+		cls = "Self"
+	}
+	d.rec("registry", cls, event)
+}
