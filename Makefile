@@ -6,7 +6,7 @@ GO ?= go
 all: check
 
 .PHONY: check
-check: vet lint build race golden atlas-check
+check: vet lint build race golden atlas-check fuzz-smoke
 
 .PHONY: vet
 vet:
@@ -122,9 +122,51 @@ bench-baseline:
 	$(GO) test ./internal/sim ./internal/cpu -run '^$$' -bench 'BenchmarkEngine|BenchmarkHandshake' -count=5
 	$(GO) test . -run '^$$' -bench BenchmarkEngineThroughput -count=5
 
+# fuzz-smoke is the scenario-fuzzer CI gate (~seconds): replay the
+# checked-in corpus (testdata/corpus), require every entry to reproduce
+# its recorded result digest exactly, and require the corpus alone to
+# re-reach every atlas tuple the tree covers (everything not annotated
+# //atlas:unreachable). A digest drift means simulator behavior changed
+# without the corpus being re-recorded; an uncovered tuple means the
+# corpus lost a race window.
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	$(GO) run ./cmd/scenfuzz cover
+
+# scenfuzz-smoke drives the fuzzer end to end through the real CLI: a
+# tiny seeded campaign from the checked-in corpus, interrupted with
+# -stop-after and resumed with the identical command (the journal dedups
+# completed scenarios by run key), then compared byte-for-byte against
+# an uninterrupted run of the same campaign.
+.PHONY: scenfuzz-smoke
+scenfuzz-smoke:
+	rm -rf /tmp/denovosync-scenfuzz-smoke && mkdir -p /tmp/denovosync-scenfuzz-smoke
+	$(GO) build -o /tmp/denovosync-scenfuzz-smoke/scenfuzz ./cmd/scenfuzz
+	/tmp/denovosync-scenfuzz-smoke/scenfuzz run -seed 1 -batches 2 -batch-size 4 \
+		-out /tmp/denovosync-scenfuzz-smoke/killed -stop-after 10 -quiet || true
+	/tmp/denovosync-scenfuzz-smoke/scenfuzz run -seed 1 -batches 2 -batch-size 4 \
+		-out /tmp/denovosync-scenfuzz-smoke/killed -quiet
+	/tmp/denovosync-scenfuzz-smoke/scenfuzz run -seed 1 -batches 2 -batch-size 4 \
+		-out /tmp/denovosync-scenfuzz-smoke/full -quiet
+	mkdir -p /tmp/denovosync-scenfuzz-smoke/killed/corpus /tmp/denovosync-scenfuzz-smoke/full/corpus \
+		/tmp/denovosync-scenfuzz-smoke/killed/findings /tmp/denovosync-scenfuzz-smoke/full/findings
+	diff -r /tmp/denovosync-scenfuzz-smoke/killed/corpus /tmp/denovosync-scenfuzz-smoke/full/corpus
+	diff -r /tmp/denovosync-scenfuzz-smoke/killed/findings /tmp/denovosync-scenfuzz-smoke/full/findings
+	@echo "scenfuzz-smoke: killed-and-resumed campaign outputs are byte-identical to the uninterrupted run"
+
+# nightly-fuzz is the scheduled long-budget campaign (also runnable
+# locally): seeds from the checked-in corpus, writes accepted candidates
+# and findings under ./scenfuzz.out for triage.
+.PHONY: nightly-fuzz
+nightly-fuzz:
+	$(GO) run ./cmd/scenfuzz run -seed 1 -batches 24 -batch-size 32 -out scenfuzz.out
+
 # Short fuzzing passes over the DeNovoSync backoff-counter and MSHR
-# parking properties (seed corpus always runs under `make test`).
+# parking properties, plus the scenario/trace decoder trust boundaries
+# (seed corpus always runs under `make test`).
 .PHONY: fuzz
 fuzz:
 	$(GO) test ./internal/denovo -fuzz FuzzBackoffCounterWrap -fuzztime 30s
 	$(GO) test ./internal/denovo -fuzz FuzzMSHRSyncParking -fuzztime 30s
+	$(GO) test ./internal/fuzz -fuzz FuzzScenarioDecode -fuzztime 30s
+	$(GO) test ./internal/trace -fuzz FuzzTraceIngest -fuzztime 30s

@@ -8,8 +8,10 @@
 //	                 Table-1-style complexity summary)
 //	-mode check      fail if the checked-in goldens drift from the source
 //	-mode cover      run every kernel under every protocol config with
-//	                 transition observers attached; every atlas tuple must
-//	                 be covered or annotated //atlas:unreachable
+//	                 transition observers attached, then replay the
+//	                 checked-in scenario corpus (testdata/corpus, owned by
+//	                 cmd/scenfuzz); every atlas tuple must be covered or
+//	                 annotated //atlas:unreachable
 //	-mode crosscheck map the atlas onto the internal/verify abstract
 //	                 models through docs/atlas/absmap.json; implemented-
 //	                 but-unmodeled (and vice versa) transitions fail
@@ -25,6 +27,7 @@ import (
 	"denovosync/internal/alloc"
 	"denovosync/internal/chaos"
 	"denovosync/internal/denovo"
+	"denovosync/internal/fuzz"
 	"denovosync/internal/kernels"
 	"denovosync/internal/lint/atlas"
 	"denovosync/internal/machine"
@@ -57,12 +60,12 @@ func main() {
 	case "check":
 		ok = check(moduleDir, atlasDir)
 	case "cover":
-		ok = cover(atlasDir)
+		ok = cover(moduleDir, atlasDir)
 	case "crosscheck":
 		ok = crosscheck(atlasDir)
 	case "all":
 		ok = check(moduleDir, atlasDir)
-		ok = cover(atlasDir) && ok
+		ok = cover(moduleDir, atlasDir) && ok
 		ok = crosscheck(atlasDir) && ok
 	default:
 		fatal(fmt.Errorf("unknown -mode %q", *mode))
@@ -127,8 +130,12 @@ func check(moduleDir, atlasDir string) bool {
 }
 
 // cover runs the full kernel grid (every kernel × every protocol config)
-// with transition observers attached and gates the goldens on coverage.
-func cover(atlasDir string) bool {
+// with transition observers attached, replays the checked-in scenario
+// corpus, and gates the goldens on coverage. The corpus entries carry the
+// eviction-race workloads that used to be compiled in here — they now
+// live as replayable JSON owned by cmd/scenfuzz, so the fuzzer can grow
+// them and this gate picks the growth up without a rebuild.
+func cover(moduleDir, atlasDir string) bool {
 	goldens := map[string]*atlas.Atlas{}
 	for _, proto := range protocols {
 		a, err := atlas.ReadFile(filepath.Join(atlasDir, proto+".json"))
@@ -167,27 +174,42 @@ func cover(atlasDir string) bool {
 			}
 			runs++
 		}
-		for _, seed := range stressSeeds {
-			if err := stressRun(cfg, seed, obs); err != nil {
-				fmt.Printf("protocov: stress seed %d under %s failed: %v\n", seed, cfg.Name, err)
+	}
+
+	corpusDir := filepath.Join(moduleDir, "testdata", "corpus")
+	entries, err := fuzz.LoadCorpus(corpusDir)
+	if err != nil {
+		fmt.Printf("protocov: %v\n", err)
+		return false
+	}
+	if len(entries) == 0 {
+		fmt.Printf("protocov: no corpus entries in %s — run `scenfuzz seed-stress` and `scenfuzz seed-kernels`\n", corpusDir)
+		return false
+	}
+	for _, e := range entries {
+		res, reproduced := fuzz.Replay(e)
+		if !res.OK() {
+			fmt.Printf("protocov: corpus entry %s (%s) failed: %s: %s\n", e.Name(), e.Scenario, res.Verdict, res.Detail)
+			return false
+		}
+		if !reproduced {
+			fmt.Printf("protocov: corpus entry %s (%s) drifted: recorded result digest %s, live %s — re-record with `scenfuzz seed-stress`/`seed-kernels` or investigate\n",
+				e.Name(), e.Scenario, e.Result.Digest(), res.Digest())
+			return false
+		}
+		family := "denovo"
+		if e.Scenario.Config == "M" {
+			family = "mesi"
+		}
+		for _, h := range res.Hits {
+			c, s, ev, good := fuzz.HitTuple(h)
+			if !good {
+				fmt.Printf("protocov: corpus entry %s reported a malformed hit %q\n", e.Name(), h)
 				return false
 			}
-			runs++
+			hits[family][atlas.Hit{Controller: c, State: s, Event: ev}]++
 		}
-		for _, seed := range raceSeeds {
-			if err := raceRun(cfg, seed, obs); err != nil {
-				fmt.Printf("protocov: race seed %d under %s failed: %v\n", seed, cfg.Name, err)
-				return false
-			}
-			runs++
-		}
-		for _, seed := range wbRaceSeeds {
-			if err := wbRace(cfg, seed, obs); err != nil {
-				fmt.Printf("protocov: wb-race seed %d under %s failed: %v\n", seed, cfg.Name, err)
-				return false
-			}
-			runs++
-		}
+		runs++
 	}
 
 	ok := true
@@ -211,7 +233,8 @@ func cover(atlasDir string) bool {
 				proto, h.Controller, h.State, h.Event)
 		}
 	}
-	fmt.Printf("protocov: coverage grid: %d kernel runs across %d configs\n", runs, len(chaos.Configs()))
+	fmt.Printf("protocov: coverage grid: %d runs (%d-config kernel grid + %d corpus entries)\n",
+		runs, len(chaos.Configs()), len(entries))
 	return ok
 }
 

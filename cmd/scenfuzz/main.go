@@ -1,0 +1,476 @@
+// Command scenfuzz drives the coverage-guided scenario fuzzer
+// (internal/fuzz): seeded mutation campaigns over program and kernel
+// scenarios, deterministic corpus replay, atlas-coverage gating of the
+// checked-in corpus, failure minimization, corpus pruning, and external
+// trace ingestion.
+//
+// Usage:
+//
+//	scenfuzz run -seed 1 -batches 8 -batch-size 32 \
+//	    -corpus testdata/corpus -out /tmp/campaign      # fuzz campaign
+//	scenfuzz replay testdata/corpus/<fp>.json           # reproduce one entry
+//	scenfuzz cover -corpus testdata/corpus              # the fuzz-smoke gate
+//	scenfuzz minimize findings/<fp>.json -o repro.json  # shrink a failure
+//	scenfuzz seed-stress -o testdata/corpus             # translated batteries
+//	scenfuzz seed-kernels -o testdata/corpus            # kernel-grid entries
+//	scenfuzz prune -corpus testdata/corpus              # greedy set cover
+//	scenfuzz ingest trace.jsonl -config DS -o corpus    # external trace
+//
+// Every command is deterministic: the same flags and inputs always
+// produce the same scenarios, verdicts, and corpus bytes. Campaigns are
+// resumable — interrupt one (^C or -stop-after) and re-run the identical
+// command; journaled executions replay from disk and the final corpus is
+// byte-identical to an uninterrupted run.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+
+	"denovosync/internal/fuzz"
+	"denovosync/internal/kernels"
+	"denovosync/internal/lint/atlas"
+	"denovosync/internal/sim"
+	"denovosync/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "run":
+		cmdRun(os.Args[2:])
+	case "replay":
+		cmdReplay(os.Args[2:])
+	case "cover":
+		cmdCover(os.Args[2:])
+	case "minimize":
+		cmdMinimize(os.Args[2:])
+	case "seed-stress":
+		cmdSeedStress(os.Args[2:])
+	case "seed-kernels":
+		cmdSeedKernels(os.Args[2:])
+	case "prune":
+		cmdPrune(os.Args[2:])
+	case "ingest":
+		cmdIngest(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "scenfuzz: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: scenfuzz <command> [flags]
+
+commands:
+  run           coverage-guided mutation campaign (resumable, journaled)
+  replay        re-run corpus entries and verify the recorded results
+  cover         replay a corpus and gate full atlas-tuple coverage
+  minimize      bisect a failing scenario to a minimal reproducer
+  seed-stress   write the translated protocov stress batteries as entries
+  seed-kernels  write kernel-grid coverage scenarios as entries
+  prune         reduce a corpus to a minimal covering subset (set cover)
+  ingest        convert an external trace (trace.v1 JSONL) into an entry
+
+run 'scenfuzz <command> -h' for the command's flags
+`)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scenfuzz:", err)
+	os.Exit(1)
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("scenfuzz run", flag.ExitOnError)
+	var (
+		seed      = fs.Uint64("seed", 1, "campaign seed (drives candidate generation)")
+		batches   = fs.Int("batches", 8, "mutation batches after the seed replay")
+		batchSize = fs.Int("batch-size", 32, "candidates per batch")
+		corpus    = fs.String("corpus", "testdata/corpus", "read-only seed corpus (empty or missing = from scratch)")
+		out       = fs.String("out", "scenfuzz.out", "output dir (corpus/, findings/, journal.jsonl)")
+		journal   = fs.String("journal", "", "journal path override (default <out>/journal.jsonl)")
+		workers   = fs.Int("workers", 0, "concurrent executions; 0 = GOMAXPROCS")
+		stopAfter = fs.Int("stop-after", 0, "stop after N executions this session (0 = no limit)")
+		targets   = fs.String("targets", "", "comma-separated controller/state/event tuples: stop early once all are covered")
+		quiet     = fs.Bool("quiet", false, "suppress progress output")
+	)
+	fs.Parse(args)
+
+	cfg := fuzz.CampaignConfig{
+		Seed:      *seed,
+		Batches:   *batches,
+		BatchSize: *batchSize,
+		CorpusDir: *corpus,
+		OutDir:    *out,
+		Journal:   *journal,
+		Workers:   *workers,
+		StopAfter: *stopAfter,
+		Targets:   splitCSV(*targets),
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+	report, err := fuzz.RunCampaign(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scenfuzz: %d batches, %d executed, %d replayed from journal\n",
+		report.Batches, report.Executed, report.Resumed)
+	fmt.Printf("scenfuzz: %d tuples covered, %d entries accepted into %s\n",
+		len(report.Covered), report.Accepted, filepath.Join(*out, "corpus"))
+	if report.TargetsMet {
+		fmt.Println("scenfuzz: all targets covered")
+	}
+	if report.Stopped {
+		fmt.Println("scenfuzz: stopped early — re-run the identical command to resume")
+	}
+	if report.Findings > 0 {
+		// A finding is the campaign succeeding at its job; surface it
+		// loudly so CI and nightly runs flag the scenario for triage.
+		fmt.Fprintf(os.Stderr, "scenfuzz: %d non-ok scenarios written to %s — minimize with 'scenfuzz minimize'\n",
+			report.Findings, filepath.Join(*out, "findings"))
+		os.Exit(1)
+	}
+}
+
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("scenfuzz replay", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "print the full live result")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fatal(errors.New("usage: scenfuzz replay <entry.json> [more...]"))
+	}
+	ok := true
+	for _, path := range fs.Args() {
+		e, err := fuzz.LoadEntry(path)
+		if err != nil {
+			fatal(err)
+		}
+		res, match := fuzz.Replay(e)
+		status := "reproduced"
+		if !match {
+			status = fmt.Sprintf("DRIFTED (recorded digest %s, live %s)", e.Result.Digest(), res.Digest())
+			ok = false
+		}
+		fmt.Printf("%s: %s: verdict %s: %s\n", path, e.Scenario, res.Verdict, status)
+		if *verbose {
+			fmt.Printf("  hits=%d messages=%d events=%d summary=%q detail=%q\n",
+				len(res.Hits), res.Messages, res.Events, res.Summary, res.Detail)
+		}
+	}
+	if !ok {
+		fatal(errors.New("one or more entries did not reproduce their recorded result"))
+	}
+}
+
+// cmdCover is the fuzz-smoke gate: replay every corpus entry, verify
+// each reproduces its recorded result digest-for-digest, and require the
+// union of their hits to cover every reachable atlas tuple — proving the
+// checked-in corpus alone re-reaches everything the retired compiled-in
+// batteries and the kernel grid covered.
+func cmdCover(args []string) {
+	fs := flag.NewFlagSet("scenfuzz cover", flag.ExitOnError)
+	var (
+		corpusDir = fs.String("corpus", "testdata/corpus", "corpus to replay")
+		atlasDir  = fs.String("atlas", "docs/atlas", "golden atlas dir")
+		workers   = fs.Int("workers", 0, "concurrent replays; 0 = GOMAXPROCS")
+		report    = fs.Bool("report", false, "report coverage without gating (for rediscovery measurements)")
+	)
+	fs.Parse(args)
+
+	entries, err := fuzz.LoadCorpus(*corpusDir)
+	if err != nil {
+		fatal(err)
+	}
+	if len(entries) == 0 {
+		fatal(fmt.Errorf("no corpus entries in %s", *corpusDir))
+	}
+	results := executeAll(entries, *workers)
+
+	ok := true
+	hits := map[string]map[atlas.Hit]uint64{"mesi": {}, "denovo": {}}
+	for i, e := range entries {
+		res := results[i]
+		if e.Result.Verdict != "" && res.Digest() != e.Result.Digest() {
+			fmt.Printf("scenfuzz: DRIFT: %s (%s) recorded digest %s, live %s\n",
+				e.Name(), e.Scenario, e.Result.Digest(), res.Digest())
+			ok = false
+		}
+		family := "denovo"
+		if e.Scenario.Config == "M" {
+			family = "mesi"
+		}
+		for _, h := range res.Hits {
+			c, s, ev, good := fuzz.HitTuple(h)
+			if !good {
+				fatal(fmt.Errorf("malformed hit %q in %s", h, e.Name()))
+			}
+			hits[family][atlas.Hit{Controller: c, State: s, Event: ev}]++
+		}
+	}
+
+	for _, proto := range []string{"mesi", "denovo"} {
+		golden, err := atlas.ReadFile(filepath.Join(*atlasDir, proto+".json"))
+		if err != nil {
+			fatal(fmt.Errorf("%v (run `make atlas` first)", err))
+		}
+		cov := atlas.Match(golden, hits[proto])
+		fmt.Printf("scenfuzz: %s coverage from corpus alone: %d/%d tuples covered, %d annotated unreachable\n",
+			proto, len(cov.Covered), len(golden.Transitions), len(cov.Unreachable))
+		if *report {
+			continue
+		}
+		for _, t := range cov.Uncovered {
+			fmt.Printf("scenfuzz: %s UNCOVERED tuple (%s) at %s — the corpus lost it; re-seed or fuzz it back\n",
+				proto, t.Key(), t.Pos)
+			ok = false
+		}
+		for _, t := range cov.Stale {
+			fmt.Printf("scenfuzz: %s STALE annotation: tuple (%s) at %s fired but is marked unreachable (%s)\n",
+				proto, t.Key(), t.Pos, t.Unreachable)
+			ok = false
+		}
+	}
+	fmt.Printf("scenfuzz: replayed %d corpus entries\n", len(entries))
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func cmdMinimize(args []string) {
+	fs := flag.NewFlagSet("scenfuzz minimize", flag.ExitOnError)
+	out := fs.String("o", "minimized.json", "reduced reproducer output path")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(errors.New("usage: scenfuzz minimize [-o out.json] <entry-or-scenario.json>"))
+	}
+	s, err := loadScenario(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "scenfuzz: minimizing %s\n", s)
+	m, err := fuzz.Minimize(s, fuzz.Execute)
+	if err != nil {
+		fatal(err)
+	}
+	if err := fuzz.WriteMinimized(*out, m); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "scenfuzz: %d trials -> %s (verdict %s, %d messages)\n",
+		len(m.Trials), *out, m.Verdict, m.Messages)
+}
+
+// loadScenario accepts either a corpus entry or a bare scenario file.
+func loadScenario(path string) (fuzz.Scenario, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fuzz.Scenario{}, err
+	}
+	if e, err := fuzz.DecodeEntry(b); err == nil {
+		return e.Scenario, nil
+	}
+	s, err := fuzz.DecodeScenario(b)
+	if err != nil {
+		return fuzz.Scenario{}, fmt.Errorf("%s: neither a corpus entry nor a scenario: %w", path, err)
+	}
+	return s, nil
+}
+
+func cmdSeedStress(args []string) {
+	fs := flag.NewFlagSet("scenfuzz seed-stress", flag.ExitOnError)
+	out := fs.String("o", "testdata/corpus", "corpus dir to write entries into")
+	workers := fs.Int("workers", 0, "concurrent executions; 0 = GOMAXPROCS")
+	fs.Parse(args)
+	writeRecorded(fuzz.StressSeeds(), *out, *workers)
+}
+
+func cmdSeedKernels(args []string) {
+	fs := flag.NewFlagSet("scenfuzz seed-kernels", flag.ExitOnError)
+	var (
+		out       = fs.String("o", "testdata/corpus", "corpus dir to write entries into")
+		iters     = fs.Int("iters", 4, "iterations per core (0 = kernel default)")
+		seed      = fs.Uint64("seed", 1, "jitter seed")
+		configCSV = fs.String("configs", "M,DS0,DS,DSsig", "comma-separated protocol configs")
+		kernelCSV = fs.String("kernels", "", "comma-separated kernel IDs (empty = all)")
+		workers   = fs.Int("workers", 0, "concurrent executions; 0 = GOMAXPROCS")
+	)
+	fs.Parse(args)
+
+	ids := splitCSV(*kernelCSV)
+	if len(ids) == 0 {
+		for _, k := range kernels.All() {
+			ids = append(ids, k.ID)
+		}
+	}
+	var entries []fuzz.Entry
+	for _, cfg := range splitCSV(*configCSV) {
+		for _, id := range ids {
+			entries = append(entries, fuzz.Entry{
+				Note: fmt.Sprintf("seed-kernels: steady-state grid coverage, kernel %s under %s (iters %d)", id, cfg, *iters),
+				Scenario: fuzz.Scenario{
+					Schema: fuzz.Schema, Kind: fuzz.KindKernel, Config: cfg,
+					Cores: 16, Kernel: id, Iters: *iters, Seed: *seed,
+				},
+			})
+		}
+	}
+	writeRecorded(entries, *out, *workers)
+}
+
+// writeRecorded executes every entry's scenario, records the result, and
+// writes the entries content-addressed into dir. Non-ok verdicts are
+// surfaced (and still written — they are reproducers).
+func writeRecorded(entries []fuzz.Entry, dir string, workers int) {
+	for _, e := range entries {
+		if err := e.Scenario.Validate(); err != nil {
+			fatal(err)
+		}
+	}
+	results := executeAll(entries, workers)
+	nonOK := 0
+	for i := range entries {
+		entries[i].Result = results[i]
+		if !results[i].OK() {
+			nonOK++
+			fmt.Fprintf(os.Stderr, "scenfuzz: %s: verdict %s: %s\n",
+				entries[i].Scenario, results[i].Verdict, results[i].Detail)
+		}
+		if _, err := fuzz.WriteEntry(dir, entries[i]); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("scenfuzz: wrote %d recorded entries to %s\n", len(entries), dir)
+	if nonOK > 0 {
+		fatal(fmt.Errorf("%d entries recorded a non-ok verdict — the tree has a live failure", nonOK))
+	}
+}
+
+// executeAll runs every entry's scenario on a worker pool and returns
+// the results in entry order. Each execution is independent and
+// deterministic, so parallelism cannot change any result.
+func executeAll(entries []fuzz.Entry, workers int) []fuzz.Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]fuzz.Result, len(entries))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = fuzz.Execute(entries[i].Scenario)
+			}
+		}()
+	}
+	for i := range entries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+func cmdPrune(args []string) {
+	fs := flag.NewFlagSet("scenfuzz prune", flag.ExitOnError)
+	corpusDir := fs.String("corpus", "testdata/corpus", "corpus dir to prune in place")
+	dryRun := fs.Bool("n", false, "print what would be dropped without deleting")
+	fs.Parse(args)
+
+	entries, err := fuzz.LoadCorpus(*corpusDir)
+	if err != nil {
+		fatal(err)
+	}
+	keep := fuzz.Prune(entries)
+	kept := map[string]bool{}
+	for _, e := range keep {
+		kept[e.Name()] = true
+	}
+	dropped := 0
+	for _, e := range entries {
+		if kept[e.Name()] {
+			continue
+		}
+		dropped++
+		if *dryRun {
+			fmt.Printf("scenfuzz: would drop %s (%s)\n", e.Name(), e.Scenario)
+			continue
+		}
+		if err := os.Remove(filepath.Join(*corpusDir, e.Name())); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("scenfuzz: kept %d of %d entries (%d dropped); coverage union preserved\n",
+		len(keep), len(entries), dropped)
+}
+
+func cmdIngest(args []string) {
+	fs := flag.NewFlagSet("scenfuzz ingest", flag.ExitOnError)
+	var (
+		config = fs.String("config", "DS", "protocol config for the replay (M, DS0, DS, DSsig)")
+		seed   = fs.Uint64("seed", 1, "jitter seed")
+		jitter = fs.Int64("jitter", 0, "per-message jitter bound in cycles (0 = none)")
+		out    = fs.String("o", "testdata/corpus", "corpus dir to write the entry into")
+		note   = fs.String("note", "", "provenance note (default names the trace file)")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(errors.New("usage: scenfuzz ingest [flags] <trace.jsonl | ->"))
+	}
+
+	var r io.Reader = os.Stdin
+	name := "stdin"
+	if path := fs.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r, name = f, filepath.Base(path)
+	}
+	prog, err := trace.Ingest(r)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := fuzz.FromTrace(prog, *config, *seed, sim.Cycle(*jitter))
+	if err != nil {
+		fatal(err)
+	}
+	e := fuzz.Entry{Note: *note, Scenario: s, Result: fuzz.Execute(s)}
+	if e.Note == "" {
+		e.Note = fmt.Sprintf("ingest: %s replayed under %s seed %d", name, *config, *seed)
+	}
+	path, err := fuzz.WriteEntry(*out, e)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scenfuzz: %s -> %s (verdict %s, %d tuples hit)\n", name, path, e.Result.Verdict, len(e.Result.Hits))
+	if !e.Result.OK() {
+		fatal(fmt.Errorf("ingested trace fails: %s — minimize with 'scenfuzz minimize %s'", e.Result.Detail, path))
+	}
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

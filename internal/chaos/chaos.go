@@ -72,6 +72,14 @@ type Spec struct {
 	// Fault optionally plants a deliberately illegal fault; see Fault.
 	Fault *Fault `json:"fault,omitempty"`
 
+	// L1Ways / L1KB override the L1 cache geometry (0 = the Table 1
+	// defaults: 8 ways, 32 KiB). The scenario fuzzer's geometry axis:
+	// direct-mapped or tiny caches force capacity and conflict evictions
+	// of contended lines, opening the eviction races the steady-state
+	// kernel grid never reaches.
+	L1Ways int `json:"l1_ways,omitempty"`
+	L1KB   int `json:"l1_kb,omitempty"`
+
 	// WatchdogCycles (0 = default 2_000_000), SampleEvery (0 = default
 	// 10_000), StuckCycles (0 = default 5_000_000) tune the watchdog and
 	// the live monitor.
@@ -185,6 +193,13 @@ type outcome struct {
 // check: final memory state and retired-op results must be
 // schedule-invariant, so the two functional summaries must match.
 func RunSpec(spec Spec) Result {
+	return RunSpecObserved(spec, nil)
+}
+
+// RunSpecObserved executes like RunSpec with a transition observer wired
+// into every controller of both runs (the scenario fuzzer's coverage
+// signal). obs may be nil.
+func RunSpecObserved(spec Spec, obs func(controller, state, event string)) Result {
 	cfg, ok := ConfigByName(spec.Config)
 	if !ok {
 		return Result{Verdict: VerdictError, Detail: fmt.Sprintf("unknown protocol config %q (want M, DS0, DS or DSsig)", spec.Config)}
@@ -196,8 +211,11 @@ func RunSpec(spec Spec) Result {
 	if c := spec.cores(); c != 16 && c != 64 {
 		return Result{Verdict: VerdictError, Detail: fmt.Sprintf("unsupported core count %d (want 16 or 64)", c)}
 	}
+	if err := checkGeometry(spec.L1Ways, spec.L1KB); err != nil {
+		return Result{Verdict: VerdictError, Detail: err.Error()}
+	}
 
-	pr := runOnce(spec, cfg, k, true)
+	pr := runOnce(spec, cfg, k, true, obs)
 	res := Result{Messages: pr.sent, PerturbedSummary: pr.summary}
 	if vs := pr.mon.Violations(); len(vs) > 0 {
 		res.Verdict = VerdictViolation
@@ -218,7 +236,7 @@ func RunSpec(spec Spec) Result {
 		return res
 	}
 
-	ba := runOnce(spec, cfg, k, false)
+	ba := runOnce(spec, cfg, k, false, obs)
 	res.BaselineSummary = ba.summary
 	if vs := ba.mon.Violations(); len(vs) > 0 {
 		res.Verdict = VerdictViolation
@@ -241,10 +259,36 @@ func RunSpec(spec Spec) Result {
 	return res
 }
 
+// checkGeometry validates an L1 geometry override: ways and size must
+// keep the set count a positive power of two.
+func checkGeometry(ways, kb int) error {
+	switch ways {
+	case 0, 1, 2, 4, 8, 16:
+	default:
+		return fmt.Errorf("chaos: unsupported L1 ways %d (want a power of two <= 16)", ways)
+	}
+	switch kb {
+	case 0, 4, 8, 16, 32, 64:
+	default:
+		return fmt.Errorf("chaos: unsupported L1 size %d KiB (want 4, 8, 16, 32 or 64)", kb)
+	}
+	return nil
+}
+
+// applyGeometry overlays the spec's cache-geometry overrides on p.
+func applyGeometry(p *machine.Params, ways, kb int) {
+	if ways > 0 {
+		p.L1Ways = ways
+	}
+	if kb > 0 {
+		p.L1Size = kb * 1024
+	}
+}
+
 // runOnce builds a fresh machine for spec and runs the kernel once,
 // monitored; perturbed selects whether the policy (and any fault) is
 // attached.
-func runOnce(spec Spec, cfg ProtoConfig, k kernels.Kernel, perturbed bool) outcome {
+func runOnce(spec Spec, cfg ProtoConfig, k kernels.Kernel, perturbed bool, obs func(controller, state, event string)) outcome {
 	var p machine.Params
 	if spec.cores() == 64 {
 		p = machine.Params64()
@@ -253,10 +297,12 @@ func runOnce(spec Spec, cfg ProtoConfig, k kernels.Kernel, perturbed bool) outco
 	}
 	p.Signatures = cfg.Signatures
 	p.WatchdogCycles = spec.watchdogCycles()
+	applyGeometry(&p, spec.L1Ways, spec.L1KB)
 	// p.Seed stays at the preset default: the workload stream must be
 	// identical across the baseline and every jitter seed.
 
 	m := machine.New(p, cfg.Protocol, alloc.New())
+	AttachTransitionObservers(m, obs)
 	mo := NewMonitor(m, MonitorConfig{SampleEvery: spec.SampleEvery, StuckCycles: spec.StuckCycles})
 	var pb *Perturber
 	if perturbed {
@@ -285,6 +331,29 @@ func runOnce(spec Spec, cfg ProtoConfig, k kernels.Kernel, perturbed bool) outco
 		o.sent = pb.Sent()
 	}
 	return o
+}
+
+// AttachTransitionObservers wires a (controller, state, event) coverage
+// observer into every controller of m — the atlas coverage signal the
+// scenario fuzzer and cmd/protocov feed on. obs == nil is a no-op.
+func AttachTransitionObservers(m *machine.Machine, obs func(controller, state, event string)) {
+	if obs == nil {
+		return
+	}
+	for _, l1 := range m.L1s {
+		switch c := l1.(type) {
+		case *mesi.L1:
+			c.SetTransitionObserver(mesi.TransitionObserver(obs))
+		case *denovo.L1:
+			c.SetTransitionObserver(denovo.TransitionObserver(obs))
+		}
+	}
+	if m.MESIDir != nil {
+		m.MESIDir.SetTransitionObserver(mesi.TransitionObserver(obs))
+	}
+	if m.Registry != nil {
+		m.Registry.SetTransitionObserver(denovo.TransitionObserver(obs))
+	}
 }
 
 // armRogue schedules the broken toy controller: starting at f.Cycle (0 =

@@ -27,6 +27,25 @@ type Repro struct {
 	Trials   []Trial `json:"trials,omitempty"`
 }
 
+// BisectMin returns the smallest v in [lo, hi] for which fails(v)
+// holds, under the usual shrinking monotonicity assumption (if v fails,
+// larger values keep failing; a non-monotone predicate merely yields a
+// larger-than-minimal answer). ok is false when no probed value failed.
+// This is the shared reduction kernel of the chaos shrinker and the
+// scenario fuzzer's minimizer.
+func BisectMin(lo, hi int, fails func(int) bool) (best int, ok bool) {
+	for lo <= hi {
+		mid := lo + (hi-lo)/2
+		if fails(mid) {
+			best, ok = mid, true
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	return best, ok
+}
+
 // Shrink reduces a failing spec to a minimal reproducer: it first
 // bisects the workload-op prefix (kernel iterations), then the
 // perturbation prefix (the jitter message limit), keeping each reduction
@@ -54,18 +73,13 @@ func Shrink(spec Spec, run func(Spec) Result) (*Repro, error) {
 		}
 	}
 	if iters > 1 {
-		lo, hi := 1, iters // invariant: hi fails (or is the original), lo-1 region unknown
-		best := iters
-		for lo <= hi {
-			mid := lo + (hi-lo)/2
+		best, ok := BisectMin(1, iters, func(mid int) bool {
 			s := spec
 			s.Iters = mid
-			if probe(s) {
-				best = mid
-				hi = mid - 1
-			} else {
-				lo = mid + 1
-			}
+			return probe(s)
+		})
+		if !ok {
+			best = iters // keep the original count (r0 proved it fails)
 		}
 		spec.Iters = best
 	} else if iters == 1 {
@@ -85,18 +99,13 @@ func Shrink(spec Spec, run func(Spec) Result) (*Repro, error) {
 		hiLimit = cur
 	}
 	bestLimit := spec.policyLimit()
-	lo, hi := 0, hiLimit
-	for lo <= hi {
-		mid := lo + (hi-lo)/2
+	if best, ok := BisectMin(0, hiLimit, func(mid int) bool {
 		s := spec
 		lim := mid
 		s.Limit = &lim
-		if probe(s) {
-			bestLimit = mid
-			hi = mid - 1
-		} else {
-			lo = mid + 1
-		}
+		return probe(s)
+	}); ok {
+		bestLimit = best
 	}
 	if bestLimit >= 0 {
 		lim := bestLimit

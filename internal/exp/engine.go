@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -56,8 +57,12 @@ type Engine struct {
 	Progress      io.Writer
 	ProgressEvery time.Duration
 
-	// execute overrides the run executor (tests). nil = Execute.
-	execute func(Run) (*stats.RunStats, error)
+	// Executor overrides how a run executes (nil = Execute). The aux
+	// payload, if any, is journaled on the record (Record.Aux) so a
+	// resumed session recovers executor-specific results — the fuzz
+	// campaign's coverage verdicts — without re-running. Required for
+	// KindScenario runs, which Execute cannot build on its own.
+	Executor func(Run) (*stats.RunStats, json.RawMessage, error)
 }
 
 // Summary describes one Execute call's outcome.
@@ -235,19 +240,22 @@ func (e *Engine) progressf(format string, args ...interface{}) {
 // runOne executes one grid point with bounded retry, converting panics
 // and timeouts into a failed record rather than a dead process.
 func (e *Engine) runOne(r Run, fig string) *Record {
-	exec := e.execute
+	exec := e.Executor
 	if exec == nil {
-		exec = Execute
+		exec = func(r Run) (*stats.RunStats, json.RawMessage, error) {
+			rs, err := Execute(r)
+			return rs, nil, err
+		}
 	}
 	rec := &Record{Key: r.Key(), Fig: fig, Run: r}
 	for attempt := 1; ; attempt++ {
 		rec.Attempts = attempt
-		rs, err := e.isolated(exec, r)
+		rs, aux, err := e.isolated(exec, r)
 		if err == nil {
-			rec.Status, rec.Error, rec.Stats = StatusOK, "", sanitizeStats(rs)
+			rec.Status, rec.Error, rec.Stats, rec.Aux = StatusOK, "", sanitizeStats(rs), aux
 			return rec
 		}
-		rec.Status, rec.Error, rec.Stats = StatusFailed, err.Error(), nil
+		rec.Status, rec.Error, rec.Stats, rec.Aux = StatusFailed, err.Error(), nil, nil
 		if attempt > e.Retries {
 			return rec
 		}
@@ -257,31 +265,32 @@ func (e *Engine) runOne(r Run, fig string) *Record {
 // isolated runs one attempt in its own goroutine so a panicking kernel
 // configuration fails one grid point, not the whole grid, and so an
 // attempt can be abandoned on timeout.
-func (e *Engine) isolated(exec func(Run) (*stats.RunStats, error), r Run) (*stats.RunStats, error) {
+func (e *Engine) isolated(exec func(Run) (*stats.RunStats, json.RawMessage, error), r Run) (*stats.RunStats, json.RawMessage, error) {
 	type outcome struct {
 		rs  *stats.RunStats
+		aux json.RawMessage
 		err error
 	}
 	ch := make(chan outcome, 1) // buffered: an abandoned attempt must not block
 	go func() {
 		defer func() {
 			if p := recover(); p != nil {
-				ch <- outcome{nil, fmt.Errorf("panic: %v\n%s", p, debug.Stack())}
+				ch <- outcome{nil, nil, fmt.Errorf("panic: %v\n%s", p, debug.Stack())}
 			}
 		}()
-		rs, err := exec(r)
-		ch <- outcome{rs, err}
+		rs, aux, err := exec(r)
+		ch <- outcome{rs, aux, err}
 	}()
 	if e.Timeout <= 0 {
 		o := <-ch
-		return o.rs, o.err
+		return o.rs, o.aux, o.err
 	}
 	t := time.NewTimer(e.Timeout)
 	defer t.Stop()
 	select {
 	case o := <-ch:
-		return o.rs, o.err
+		return o.rs, o.aux, o.err
 	case <-t.C:
-		return nil, fmt.Errorf("run exceeded the %v timeout (attempt abandoned)", e.Timeout)
+		return nil, nil, fmt.Errorf("run exceeded the %v timeout (attempt abandoned)", e.Timeout)
 	}
 }

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -35,11 +36,11 @@ type fakeExec struct {
 
 func newFakeExec() *fakeExec { return &fakeExec{count: map[string]int{}} }
 
-func (f *fakeExec) exec(r Run) (*stats.RunStats, error) {
+func (f *fakeExec) exec(r Run) (*stats.RunStats, json.RawMessage, error) {
 	f.mu.Lock()
 	f.count[r.Key()]++
 	f.mu.Unlock()
-	return &stats.RunStats{ExecTime: sim.Cycle(1000 + r.Iters), TotalTraffic: uint64(10 * r.Iters)}, nil
+	return &stats.RunStats{ExecTime: sim.Cycle(1000 + r.Iters), TotalTraffic: uint64(10 * r.Iters)}, nil, nil
 }
 
 func (f *fakeExec) executions() int {
@@ -61,7 +62,7 @@ func TestEngineStopAfterAndResumeExecutesNothingTwice(t *testing.T) {
 		t.Fatal(err)
 	}
 	fake := newFakeExec()
-	eng := &Engine{Workers: 4, Journal: j, Prior: prior, StopAfter: 3, execute: fake.exec}
+	eng := &Engine{Workers: 4, Journal: j, Prior: prior, StopAfter: 3, Executor: fake.exec}
 	_, sum, err := eng.Execute(plan)
 	if !errors.Is(err, ErrStopped) {
 		t.Fatalf("interrupted Execute: err=%v, want ErrStopped", err)
@@ -88,7 +89,7 @@ func TestEngineStopAfterAndResumeExecutesNothingTwice(t *testing.T) {
 		t.Fatalf("journal has %d records, want %d", len(prior), firstBatch)
 	}
 	fake2 := newFakeExec()
-	eng2 := &Engine{Workers: 4, Journal: j, Prior: prior, execute: fake2.exec}
+	eng2 := &Engine{Workers: 4, Journal: j, Prior: prior, Executor: fake2.exec}
 	records, sum2, err := eng2.Execute(plan)
 	if err != nil {
 		t.Fatalf("resumed Execute: %v", err)
@@ -123,7 +124,7 @@ func TestEngineDeduplicatesIdenticalRuns(t *testing.T) {
 	dup.Label = "DS/paper" // cosmetic: same key
 	plan := Plan{ID: "dup", Runs: []Run{r, dup}}
 	fake := newFakeExec()
-	_, sum, err := (&Engine{execute: fake.exec}).Execute(plan)
+	_, sum, err := (&Engine{Executor: fake.exec}).Execute(plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,11 +145,11 @@ func TestEnginePanicIsolation(t *testing.T) {
 	eng := &Engine{
 		Workers: 2,
 		Retries: 1,
-		execute: func(r Run) (*stats.RunStats, error) {
+		Executor: func(r Run) (*stats.RunStats, json.RawMessage, error) {
 			if r.Key() == bad {
 				panic("injected kernel bug")
 			}
-			return &stats.RunStats{ExecTime: 1}, nil
+			return &stats.RunStats{ExecTime: 1}, nil, nil
 		},
 	}
 	records, sum, err := eng.Execute(plan)
@@ -180,12 +181,12 @@ func TestEngineRetryRecovers(t *testing.T) {
 	calls := 0
 	eng := &Engine{
 		Retries: 2,
-		execute: func(r Run) (*stats.RunStats, error) {
+		Executor: func(r Run) (*stats.RunStats, json.RawMessage, error) {
 			calls++
 			if calls < 3 {
-				return nil, fmt.Errorf("transient %d", calls)
+				return nil, nil, fmt.Errorf("transient %d", calls)
 			}
-			return &stats.RunStats{ExecTime: 7}, nil
+			return &stats.RunStats{ExecTime: 7}, nil, nil
 		},
 	}
 	records, _, err := eng.Execute(plan)
@@ -202,9 +203,9 @@ func TestEngineTimeout(t *testing.T) {
 	plan := fakePlan(1)
 	eng := &Engine{
 		Timeout: 20 * time.Millisecond,
-		execute: func(r Run) (*stats.RunStats, error) {
+		Executor: func(r Run) (*stats.RunStats, json.RawMessage, error) {
 			time.Sleep(5 * time.Second)
-			return &stats.RunStats{}, nil
+			return &stats.RunStats{}, nil, nil
 		},
 	}
 	records, _, err := eng.Execute(plan)
@@ -226,7 +227,7 @@ func TestEngineRetryFailed(t *testing.T) {
 	fake := newFakeExec()
 
 	// Default: journaled failures are skipped.
-	eng := &Engine{Prior: prior, execute: fake.exec}
+	eng := &Engine{Prior: prior, Executor: fake.exec}
 	records, sum, err := eng.Execute(plan)
 	if err != nil {
 		t.Fatal(err)
@@ -236,7 +237,7 @@ func TestEngineRetryFailed(t *testing.T) {
 	}
 
 	// RetryFailed re-runs them.
-	eng = &Engine{Prior: prior, RetryFailed: true, execute: fake.exec}
+	eng = &Engine{Prior: prior, RetryFailed: true, Executor: fake.exec}
 	records, sum, err = eng.Execute(plan)
 	if err != nil {
 		t.Fatal(err)
@@ -253,10 +254,10 @@ func TestEngineStopChannel(t *testing.T) {
 	eng := &Engine{
 		Workers: 1,
 		Stop:    stop,
-		execute: func(r Run) (*stats.RunStats, error) {
+		Executor: func(r Run) (*stats.RunStats, json.RawMessage, error) {
 			started <- struct{}{}
 			time.Sleep(time.Millisecond)
-			return &stats.RunStats{}, nil
+			return &stats.RunStats{}, nil, nil
 		},
 	}
 	go func() {
@@ -276,7 +277,7 @@ func TestEngineProgressReporting(t *testing.T) {
 	plan := fakePlan(4)
 	fake := newFakeExec()
 	var buf bytes.Buffer
-	eng := &Engine{Progress: &buf, ProgressEvery: time.Nanosecond, execute: fake.exec}
+	eng := &Engine{Progress: &buf, ProgressEvery: time.Nanosecond, Executor: fake.exec}
 	if _, _, err := eng.Execute(plan); err != nil {
 		t.Fatal(err)
 	}

@@ -26,6 +26,14 @@ type Record struct {
 	Attempts int             `json:"attempts"`
 	Error    string          `json:"error,omitempty"`
 	Stats    *stats.RunStats `json:"stats,omitempty"`
+
+	// Aux is an opaque executor-defined payload (Engine.Executor) that
+	// round-trips through the journal. The fuzz campaign stores each
+	// scenario's coverage result here, so a corpus-accepted run journaled
+	// mid-campaign is deduplicated on resume by run key *with* its
+	// result — the campaign replays its acceptance decisions from the
+	// journal instead of re-simulating.
+	Aux json.RawMessage `json:"aux,omitempty"`
 }
 
 // sanitizeStats copies rs without its host-dependent diagnostics

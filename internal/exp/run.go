@@ -38,6 +38,11 @@ const (
 	// Protocol field holds the chaos protocol-config abbreviation
 	// (M/DS0/DS/DSsig) rather than a plain protocol.
 	KindChaos = "chaos"
+	// KindScenario is one fuzz-scenario execution: the Scenario field
+	// carries the canonical scenario JSON (internal/fuzz) and Workload
+	// its content fingerprint. Scenario runs need an Engine.Executor —
+	// the exp layer cannot execute them itself without an import cycle.
+	KindScenario = "scenario"
 )
 
 // Run is one point of an experiment grid: everything needed to rebuild
@@ -81,6 +86,12 @@ type Run struct {
 	ChaosSeed     uint64    `json:"chaos_seed,omitempty"`
 	ChaosJitter   sim.Cycle `json:"chaos_jitter,omitempty"`
 	ChaosWatchdog sim.Cycle `json:"chaos_watchdog,omitempty"`
+
+	// Scenario carries the canonical scenario JSON for KindScenario runs
+	// (internal/fuzz emits it; Workload holds its fingerprint). It is
+	// keyed: two runs of different scenarios never collide. Adding the
+	// field left every pre-existing run key unchanged (omitempty).
+	Scenario json.RawMessage `json:"scenario,omitempty"`
 
 	// Machine parameter overrides (zero = the Table 1 value for Cores).
 	BackoffBits     uint      `json:"backoff_bits,omitempty"`
@@ -224,6 +235,9 @@ func Execute(r Run) (*stats.RunStats, error) {
 			return nil, err
 		}
 		return res.Stats, nil
+	}
+	if r.Kind == KindScenario {
+		return nil, fmt.Errorf("exp: scenario runs need an Engine.Executor (internal/fuzz provides one)")
 	}
 	prot, err := ParseProtocol(r.Protocol)
 	if err != nil {

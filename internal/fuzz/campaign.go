@@ -1,0 +1,338 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"denovosync/internal/chaos"
+	"denovosync/internal/exp"
+	"denovosync/internal/stats"
+)
+
+// CampaignConfig describes one coverage-guided fuzzing campaign.
+//
+// A campaign is byte-reproducible: candidate generation, acceptance, and
+// corpus contents are a pure function of (Seed, Batches, BatchSize,
+// seed-corpus contents). Parallelism, interruption, and resume only
+// change *when* scenarios execute, never which are accepted — executions
+// land in an exp journal keyed by scenario fingerprint, and on resume
+// the campaign replays its acceptance decisions from the journaled
+// results (Record.Aux) instead of re-simulating.
+type CampaignConfig struct {
+	// Seed drives the mutator (candidate generation order).
+	Seed uint64
+	// Batches of BatchSize candidates follow the seed-replay batch 0.
+	// Acceptance is processed between batches, so batch N mutates a pool
+	// that already contains batch N-1's discoveries.
+	Batches   int
+	BatchSize int
+
+	// CorpusDir is the read-only seed corpus (testdata/corpus); it is
+	// replayed as batch 0 and never written. Empty or missing = start
+	// from scratch.
+	CorpusDir string
+
+	// OutDir receives the campaign outputs: OutDir/corpus (accepted
+	// entries), OutDir/findings (non-ok scenarios), OutDir/journal.jsonl
+	// (the resumable execution journal, unless Journal overrides it).
+	OutDir  string
+	Journal string
+
+	// Workers bounds parallel scenario executions (<= 0 = GOMAXPROCS).
+	Workers int
+
+	// StopAfter stops the campaign after this many executions in this
+	// session (0 = no limit) — the deterministic stand-in for ^C that
+	// the kill-and-resume test uses.
+	StopAfter int
+
+	// Targets, when non-empty, ends the campaign early once every listed
+	// atlas tuple ("controller/state/event") is covered — the fuzz-smoke
+	// gate's budget guard.
+	Targets []string
+
+	// Progress receives live engine progress lines.
+	Progress io.Writer
+}
+
+// CampaignReport summarizes one RunCampaign call.
+type CampaignReport struct {
+	Covered    []string // sorted atlas tuples covered by seeds + accepted entries
+	Accepted   int      // entries written to OutDir/corpus
+	Findings   int      // non-ok scenarios written to OutDir/findings
+	Executed   int      // simulations run this session
+	Resumed    int      // results replayed from the journal
+	Batches    int      // batches fully processed (seed replay included)
+	Stopped    bool     // interrupted by StopAfter before completing
+	TargetsMet bool     // all Targets covered
+}
+
+// candidate is one scheduled scenario with its acceptance provenance.
+type candidate struct {
+	s    Scenario
+	seed *Entry // non-nil for batch-0 seed-corpus replays
+}
+
+// campaignState is the deterministic acceptance state, evolved strictly
+// in candidate order.
+type campaignState struct {
+	covered     map[string]bool
+	pool        []Scenario
+	maxMessages int
+	maxEvents   uint64
+}
+
+// ScenarioRun wraps a scenario as a content-addressed exp run: the
+// fingerprint is the workload slug and the canonical JSON rides along so
+// the journal is self-describing and the run key changes iff the
+// scenario does.
+func ScenarioRun(s Scenario) exp.Run {
+	return exp.Run{
+		Kind:     exp.KindScenario,
+		Workload: s.Fingerprint(),
+		Protocol: s.Config,
+		Cores:    s.Cores,
+		Scenario: json.RawMessage(s.Canonical()),
+	}
+}
+
+// Executor is the exp.Engine executor for scenario runs. A non-ok
+// verdict is a successful fuzzing outcome, not an execution failure — it
+// travels in the Aux payload so the engine neither retries it nor marks
+// the record failed.
+func Executor(r exp.Run) (*stats.RunStats, json.RawMessage, error) {
+	s, err := DecodeScenario(r.Scenario)
+	if err != nil {
+		return nil, nil, err
+	}
+	aux, err := json.Marshal(Execute(s))
+	if err != nil {
+		return nil, nil, err
+	}
+	return nil, aux, nil
+}
+
+// resultOf recovers a scenario Result from its journal record. Failed
+// records (panic, bad scenario JSON) degrade to an error verdict.
+func resultOf(rec *exp.Record) (Result, error) {
+	if rec.Status != exp.StatusOK {
+		return Result{Verdict: chaos.VerdictError, Detail: rec.Error}, nil
+	}
+	var r Result
+	if err := json.Unmarshal(rec.Aux, &r); err != nil {
+		return Result{}, fmt.Errorf("fuzz: journal record %s has an unreadable result payload: %w", rec.Key, err)
+	}
+	return r, nil
+}
+
+// RunCampaign executes a coverage-guided campaign. See CampaignConfig
+// for the determinism contract. The returned report is valid even when
+// err is non-nil wherever possible (a StopAfter interruption is Stopped,
+// not an error).
+func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) {
+	seeds, err := LoadCorpus(cfg.CorpusDir)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+		return nil, fmt.Errorf("fuzz: creating campaign out dir: %w", err)
+	}
+	journalPath := cfg.Journal
+	if journalPath == "" {
+		journalPath = filepath.Join(cfg.OutDir, "journal.jsonl")
+	}
+	j, prior, err := exp.OpenJournal(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+
+	mu := NewMutator(cfg.Seed)
+	st := &campaignState{covered: map[string]bool{}}
+	report := &CampaignReport{}
+	budget := cfg.StopAfter
+
+	for b := 0; b <= cfg.Batches; b++ {
+		var cands []candidate
+		if b == 0 {
+			for i := range seeds {
+				cands = append(cands, candidate{s: seeds[i].Scenario, seed: &seeds[i]})
+			}
+		} else {
+			for i := 0; i < cfg.BatchSize; i++ {
+				cands = append(cands, candidate{s: mu.Candidate(st.pool)})
+			}
+		}
+		if len(cands) == 0 {
+			report.Batches++
+			continue
+		}
+		if cfg.StopAfter > 0 && budget <= 0 {
+			report.Stopped = true
+			break
+		}
+
+		plan := exp.Plan{ID: fmt.Sprintf("scenfuzz/seed=%d/batch=%d", cfg.Seed, b)}
+		for _, c := range cands {
+			plan.Runs = append(plan.Runs, ScenarioRun(c.s))
+		}
+		eng := &exp.Engine{
+			Workers:   cfg.Workers,
+			Journal:   j,
+			Prior:     prior,
+			StopAfter: budget,
+			Progress:  cfg.Progress,
+			Executor:  Executor,
+		}
+		records, sum, err := eng.Execute(plan)
+		report.Executed += sum.Executed
+		report.Resumed += sum.Resumed
+		if cfg.StopAfter > 0 {
+			budget -= sum.Executed
+		}
+		stopped := err == exp.ErrStopped
+		if err != nil && !stopped {
+			return report, err
+		}
+		for k, rec := range records { //simlint:allow determinism: map-to-map merge, order-insensitive
+			prior[k] = rec // later batches dedup against this one
+		}
+
+		// Acceptance: strictly in candidate order, over the contiguous
+		// prefix that has results. On interruption the suffix is missing;
+		// resume regenerates the identical batch, recovers the prefix from
+		// the journal, executes the rest, and replays this loop — so the
+		// accepted set never depends on when the interruption happened.
+		complete := true
+		for i, c := range cands {
+			rec, ok := records[ScenarioRun(c.s).Key()]
+			if !ok {
+				complete = false
+				break
+			}
+			res, err := resultOf(rec)
+			if err != nil {
+				return report, err
+			}
+			if err := st.accept(cfg, b, i, c, res, report); err != nil {
+				return report, err
+			}
+		}
+		if complete && !stopped {
+			report.Batches++
+		}
+		if stopped {
+			report.Stopped = true
+			break
+		}
+		if len(cfg.Targets) > 0 && st.allCovered(cfg.Targets) {
+			report.TargetsMet = true
+			break
+		}
+	}
+
+	report.Covered = sortedKeys(st.covered)
+	if len(cfg.Targets) > 0 {
+		report.TargetsMet = st.allCovered(cfg.Targets)
+	}
+	return report, nil
+}
+
+// accept applies the deterministic acceptance rule to one candidate.
+func (st *campaignState) accept(cfg CampaignConfig, batch, idx int, c candidate, res Result, report *CampaignReport) error {
+	if c.seed != nil {
+		// Seed replay doubles as the determinism gate: a checked-in entry
+		// whose live result digest differs from the recorded one means the
+		// simulator's behavior drifted without the corpus being re-recorded.
+		if c.seed.Result.Verdict != "" && c.seed.Result.Digest() != res.Digest() {
+			return fmt.Errorf("fuzz: corpus entry %s drifted: recorded result digest %s, live %s — re-record with `scenfuzz run` or investigate the behavior change", c.s.Fingerprint(), c.seed.Result.Digest(), res.Digest())
+		}
+		for _, h := range res.Hits {
+			st.covered[h] = true
+		}
+		st.pool = append(st.pool, c.s)
+		st.bump(res)
+		return nil
+	}
+
+	if !res.OK() {
+		report.Findings++
+		_, err := WriteEntry(filepath.Join(cfg.OutDir, "findings"), Entry{
+			Note:     fmt.Sprintf("campaign seed=%d batch=%d cand=%d: verdict %s", cfg.Seed, batch, idx, res.Verdict),
+			Scenario: c.s,
+			Result:   res,
+		})
+		return err
+	}
+
+	newTuples := 0
+	for _, h := range res.Hits {
+		if !st.covered[h] {
+			newTuples++
+		}
+	}
+	reason := ""
+	switch {
+	case newTuples > 0:
+		reason = fmt.Sprintf("+%d new atlas tuples", newTuples)
+	case res.Messages > st.maxMessages:
+		reason = fmt.Sprintf("new message-count maximum (%d)", res.Messages)
+	case res.Events > st.maxEvents:
+		reason = fmt.Sprintf("new event-count maximum (%d)", res.Events)
+	}
+	st.bump(res)
+	if reason == "" {
+		return nil
+	}
+	report.Accepted++
+	for _, h := range res.Hits {
+		st.covered[h] = true
+	}
+	st.pool = append(st.pool, c.s)
+	_, err := WriteEntry(filepath.Join(cfg.OutDir, "corpus"), Entry{
+		Note:     fmt.Sprintf("campaign seed=%d batch=%d cand=%d: %s", cfg.Seed, batch, idx, reason),
+		Scenario: c.s,
+		Result:   res,
+	})
+	return err
+}
+
+// bump advances the boundary maxima (in candidate order, so the
+// "first scenario to push the boundary" is deterministic).
+func (st *campaignState) bump(res Result) {
+	if res.Messages > st.maxMessages {
+		st.maxMessages = res.Messages
+	}
+	if res.Events > st.maxEvents {
+		st.maxEvents = res.Events
+	}
+}
+
+func (st *campaignState) allCovered(targets []string) bool {
+	for _, t := range targets {
+		if !st.covered[t] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { //simlint:allow determinism: keys are sorted below
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Replay executes an entry's scenario and reports whether the live
+// result matches the recorded one digest-for-digest.
+func Replay(e Entry) (Result, bool) {
+	res := Execute(e.Scenario)
+	return res, e.Result.Verdict == "" || res.Digest() == e.Result.Digest()
+}

@@ -1,0 +1,211 @@
+package fuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"denovosync/internal/exp"
+)
+
+// seedDir writes a small seed corpus (results unrecorded, so no drift
+// gate) and returns its path.
+func seedDir(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "seeds")
+	for _, s := range []Scenario{tinyScenario(1, "DS"), tinyScenario(2, "M")} {
+		if _, err := WriteEntry(dir, Entry{Note: "test seed", Scenario: s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// treeBytes flattens a directory into sorted (name, content) pairs.
+func treeBytes(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	des, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return out
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		b, err := os.ReadFile(filepath.Join(dir, de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[de.Name()] = b
+	}
+	return out
+}
+
+func sameTree(t *testing.T, label string, a, b map[string][]byte) {
+	t.Helper()
+	var names []string
+	for n := range a {
+		names = append(names, n)
+	}
+	for n := range b {
+		if _, ok := a[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		av, aok := a[n]
+		bv, bok := b[n]
+		if !aok || !bok {
+			t.Fatalf("%s: entry %s present in only one run (full=%v resumed=%v)", label, n, aok, bok)
+		}
+		if !bytes.Equal(av, bv) {
+			t.Fatalf("%s: entry %s differs between the full and the killed-and-resumed campaign", label, n)
+		}
+	}
+}
+
+// TestCampaignKillResumeByteIdentical: a campaign interrupted by
+// StopAfter and resumed with the identical command produces the exact
+// corpus and findings bytes of an uninterrupted campaign, and the resume
+// deduplicates every already-journaled execution by run key instead of
+// re-simulating it. The engine's StopAfter is best-effort under worker
+// parallelism (in-flight runs complete), so the assertions are the
+// determinism identities that hold wherever the cut lands, not exact
+// per-session counts.
+func TestCampaignKillResumeByteIdentical(t *testing.T) {
+	seeds := seedDir(t)
+	base := CampaignConfig{
+		Seed: 5, Batches: 2, BatchSize: 3,
+		CorpusDir: seeds, Workers: 2,
+	}
+
+	// Reference: one uninterrupted campaign.
+	full := base
+	full.OutDir = filepath.Join(t.TempDir(), "full")
+	fullRep, err := RunCampaign(full)
+	if err != nil {
+		t.Fatalf("full campaign: %v", err)
+	}
+	if fullRep.Stopped {
+		t.Fatal("uninterrupted campaign reported Stopped")
+	}
+	if fullRep.Executed < 5 { // 2 seeds + 2x3 candidates, minus engine dedup
+		t.Fatalf("full campaign executed %d scenarios, want >= 5", fullRep.Executed)
+	}
+
+	// Kill after ~3 executions (the cut may land mid-batch or at the
+	// batch boundary), then resume to completion.
+	killed := base
+	killed.OutDir = filepath.Join(t.TempDir(), "killed")
+	killed.StopAfter = 3
+	rep1, err := RunCampaign(killed)
+	if err != nil {
+		t.Fatalf("interrupted campaign: %v", err)
+	}
+	if !rep1.Stopped {
+		t.Fatalf("interrupted campaign not Stopped (executed %d)", rep1.Executed)
+	}
+	if rep1.Executed >= fullRep.Executed {
+		t.Fatalf("interrupted campaign executed everything (%d)", rep1.Executed)
+	}
+
+	resumed := killed
+	resumed.StopAfter = 0
+	rep2, err := RunCampaign(resumed)
+	if err != nil {
+		t.Fatalf("resumed campaign: %v", err)
+	}
+	if rep2.Stopped {
+		t.Fatal("resumed campaign did not run to completion")
+	}
+	if rep2.Resumed != rep1.Executed {
+		t.Fatalf("resume replayed %d journaled results, want %d (journal dedup by run key)", rep2.Resumed, rep1.Executed)
+	}
+	if rep1.Executed+rep2.Executed != fullRep.Executed {
+		t.Fatalf("kill+resume executed %d+%d scenarios, full campaign %d — something re-ran or was skipped",
+			rep1.Executed, rep2.Executed, fullRep.Executed)
+	}
+
+	sameTree(t, "corpus",
+		treeBytes(t, filepath.Join(full.OutDir, "corpus")),
+		treeBytes(t, filepath.Join(killed.OutDir, "corpus")))
+	sameTree(t, "findings",
+		treeBytes(t, filepath.Join(full.OutDir, "findings")),
+		treeBytes(t, filepath.Join(killed.OutDir, "findings")))
+
+	// Covered sets agree too.
+	if got, want := fullRep.Covered, rep2.Covered; len(got) != len(want) {
+		t.Fatalf("covered-set size differs: full %d, resumed %d", len(got), len(want))
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("covered tuple %d differs: %s vs %s", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScenarioRunAuxRoundTrip: a scenario's journaled record carries its
+// coverage result in Aux, survives a journal reopen byte-for-byte, and
+// resultOf recovers it — the mechanism that lets a resumed campaign
+// replay acceptance without re-simulating.
+func TestScenarioRunAuxRoundTrip(t *testing.T) {
+	s := tinyScenario(3, "DS0")
+	run := ScenarioRun(s)
+	if run.Kind != exp.KindScenario || run.Workload != s.Fingerprint() {
+		t.Fatalf("ScenarioRun key fields: kind=%q workload=%q", run.Kind, run.Workload)
+	}
+	if ScenarioRun(tinyScenario(4, "DS0")).Key() == run.Key() {
+		t.Fatal("different scenarios share a run key")
+	}
+
+	_, aux, err := Executor(run)
+	if err != nil {
+		t.Fatalf("Executor: %v", err)
+	}
+	var direct Result
+	if err := json.Unmarshal(aux, &direct); err != nil {
+		t.Fatalf("unmarshaling executor aux: %v", err)
+	}
+	if want := Execute(s); direct.Digest() != want.Digest() {
+		t.Fatalf("executor aux digest %s, direct Execute digest %s", direct.Digest(), want.Digest())
+	}
+
+	// Through the journal: write one OK record with the aux, reopen,
+	// recover the result.
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, prior, err := exp.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prior) != 0 {
+		t.Fatalf("fresh journal has %d records", len(prior))
+	}
+	rec := &exp.Record{Key: run.Key(), Run: run, Status: exp.StatusOK, Attempts: 1, Aux: aux}
+	if err := j.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, prior, err = exp.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := prior[run.Key()]
+	if !ok {
+		t.Fatal("journaled scenario record not recovered by run key")
+	}
+	res, err := resultOf(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digest() != direct.Digest() {
+		t.Fatalf("journal round-trip changed the result digest: %s vs %s", res.Digest(), direct.Digest())
+	}
+}

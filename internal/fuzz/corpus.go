@@ -1,0 +1,128 @@
+package fuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// EntrySchema versions the corpus-entry format.
+const EntrySchema = "scenfuzz.entry.v1"
+
+// Entry is one corpus artifact: a scenario plus the recorded outcome of
+// running it. Checked-in entries are executable documentation — `scenfuzz
+// replay` re-runs the scenario and compares the live result digest
+// against the recorded one, so any protocol change that shifts a
+// covered transition, a verdict, or a functional summary shows up as a
+// corpus diff instead of silent drift.
+type Entry struct {
+	Schema string `json:"schema"`
+	// Note records provenance: which battery or campaign produced the
+	// entry and why it was kept (new tuples, boundary push, failure).
+	Note     string   `json:"note,omitempty"`
+	Scenario Scenario `json:"scenario"`
+	Result   Result   `json:"result"`
+}
+
+// Name is the entry's content-addressed filename: the scenario
+// fingerprint, so a corpus directory can never hold two entries for the
+// same scenario and renames are detectable.
+func (e Entry) Name() string {
+	return e.Scenario.Fingerprint() + ".json"
+}
+
+// DecodeEntry strictly parses a corpus entry: unknown fields, trailing
+// data, schema mismatches, and invalid scenarios are errors, never
+// panics (FuzzScenarioDecode's other target).
+func DecodeEntry(data []byte) (Entry, error) {
+	var e Entry
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&e); err != nil {
+		return Entry{}, fmt.Errorf("fuzz: parsing corpus entry: %w", err)
+	}
+	if dec.More() {
+		return Entry{}, fmt.Errorf("fuzz: trailing data after corpus entry JSON")
+	}
+	if e.Schema != EntrySchema {
+		return Entry{}, fmt.Errorf("fuzz: corpus entry schema %q, want %q", e.Schema, EntrySchema)
+	}
+	if err := e.Scenario.Validate(); err != nil {
+		return Entry{}, err
+	}
+	return e, nil
+}
+
+// LoadEntry reads and strictly decodes one corpus entry file.
+func LoadEntry(path string) (Entry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Entry{}, err
+	}
+	e, err := DecodeEntry(b)
+	if err != nil {
+		return Entry{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return e, nil
+}
+
+// WriteEntry writes e into dir under its content-addressed name,
+// creating dir if needed, and returns the path. Rewriting an existing
+// entry is fine (same scenario ⇒ same name ⇒ same content unless the
+// recorded result changed, which is exactly the diff we want to see).
+func WriteEntry(dir string, e Entry) (string, error) {
+	e.Schema = EntrySchema
+	if err := e.Scenario.Validate(); err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("fuzz: creating corpus dir: %w", err)
+	}
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("fuzz: marshaling corpus entry: %w", err)
+	}
+	path := filepath.Join(dir, e.Name())
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadCorpus loads every *.json entry of dir in sorted filename order
+// (deterministic iteration is load-bearing: campaign seeds replay in
+// this order). A filename that does not match its scenario fingerprint
+// is an error — it means the file was edited without re-recording.
+// A missing directory is an empty corpus, not an error.
+func LoadCorpus(dir string) ([]Entry, error) {
+	names, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, de := range names {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".json") {
+			files = append(files, de.Name())
+		}
+	}
+	sort.Strings(files)
+	var out []Entry
+	for _, name := range files {
+		e, err := LoadEntry(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if want := e.Name(); name != want {
+			return nil, fmt.Errorf("fuzz: corpus entry %s is named for a different scenario (fingerprint says %s) — edited without re-recording?", filepath.Join(dir, name), want)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package fuzz
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCheckedInCorpusReplaysGreen replays every checked-in corpus entry
+// and requires an OK verdict and an exact recorded-result digest match:
+// the corpus is executable documentation, and a digest drift means the
+// simulator's behavior changed without the corpus being re-recorded.
+func TestCheckedInCorpusReplaysGreen(t *testing.T) {
+	entries, err := LoadCorpus(filepath.Join("..", "..", "testdata", "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("checked-in corpus is empty — run `scenfuzz seed-stress` and `scenfuzz seed-kernels`")
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Scenario.Fingerprint(), func(t *testing.T) {
+			t.Parallel()
+			if e.Result.Verdict == "" {
+				t.Fatal("checked-in entry has no recorded result")
+			}
+			res, reproduced := Replay(e)
+			if !res.OK() {
+				t.Fatalf("%s (%s): verdict %s: %s", e.Name(), e.Scenario, res.Verdict, res.Detail)
+			}
+			if !reproduced {
+				t.Fatalf("%s (%s): recorded digest %s, live %s — re-record or investigate the behavior change",
+					e.Name(), e.Scenario, e.Result.Digest(), res.Digest())
+			}
+		})
+	}
+}
+
+func TestEntryRoundTripAndNaming(t *testing.T) {
+	dir := t.TempDir()
+	e := Entry{Note: "round trip", Scenario: tinyScenario(9, "M")}
+	path, err := WriteEntry(dir, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != e.Name() {
+		t.Fatalf("entry written as %s, want content-addressed name %s", filepath.Base(path), e.Name())
+	}
+	got, err := LoadEntry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scenario.Fingerprint() != e.Scenario.Fingerprint() || got.Note != e.Note {
+		t.Fatal("entry did not round-trip")
+	}
+
+	// A file whose name does not match its scenario fingerprint is a
+	// corpus error (edited without re-recording).
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "0000000000000000.json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(dir); err == nil || !strings.Contains(err.Error(), "named for a different scenario") {
+		t.Fatalf("mis-named corpus entry accepted (err=%v)", err)
+	}
+}
+
+func TestLoadCorpusMissingDirIsEmpty(t *testing.T) {
+	entries, err := LoadCorpus(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("missing corpus dir: entries=%d err=%v, want empty/nil", len(entries), err)
+	}
+}

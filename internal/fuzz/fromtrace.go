@@ -1,0 +1,66 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"denovosync/internal/sim"
+	"denovosync/internal/trace"
+)
+
+// FromTrace converts an ingested trace.v1 program into a replayable
+// scenario: each captured stream becomes one core's Rounds=1 program,
+// the core count rounds up to the nearest machine size, and the caller
+// chooses the protocol config and perturbation. The conversion is where
+// an external trace enters the fuzzer's world — from here it can be
+// executed, minimized, mutated, and kept in the corpus like any other
+// scenario.
+//
+// A trace whose plain stores (st) race stores from another core fails
+// validation: replay does not reproduce the original program's
+// synchronization (a lock acquired in the capture run may be lost in
+// replay), so cross-core plain-store sharing cannot be proven DRF, and
+// non-DRF data accesses are outside DeNovo's contract (see
+// validateStoreOwnership). Re-capture with those accesses marked sync.
+func FromTrace(p *trace.Program, config string, seed uint64, maxJitter sim.Cycle) (Scenario, error) {
+	cores := 0
+	for _, c := range []int{1, 2, 4, 8, 16} {
+		if p.Cores <= c {
+			cores = c
+			break
+		}
+	}
+	if cores == 0 {
+		return Scenario{}, fmt.Errorf("fuzz: trace uses %d cores; the largest machine has 16", p.Cores)
+	}
+	s := Scenario{
+		Schema:     Schema,
+		Kind:       KindProgram,
+		Config:     config,
+		Cores:      cores,
+		ArenaWords: p.ArenaWords,
+		Seed:       seed,
+		MaxJitter:  maxJitter,
+	}
+	for core, stream := range p.Streams {
+		prog := Prog{}
+		for _, op := range stream {
+			prog.Ops = append(prog.Ops, Op{
+				Kind: op.Op, // trace op vocabulary is a subset of the scenario's
+				Addr: op.Addr,
+				Val:  op.Val,
+				Old:  op.Old,
+			})
+		}
+		if len(prog.Ops) > 0 {
+			prog.Rounds = 1
+		}
+		if len(prog.Ops) > MaxProgOps {
+			return Scenario{}, fmt.Errorf("fuzz: trace core %d has %d ops; a program scenario holds at most %d", core, len(prog.Ops), MaxProgOps)
+		}
+		s.Progs = append(s.Progs, prog)
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}

@@ -1,0 +1,139 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"denovosync/internal/chaos"
+	"denovosync/internal/kernels"
+)
+
+// MinTrial records one minimization probe.
+type MinTrial struct {
+	Work    int    `json:"work"`  // rounds cap (programs) or iters (kernels)
+	Limit   int    `json:"limit"` // jitter message limit; -1 = unlimited
+	Verdict string `json:"verdict"`
+}
+
+// Minimized is the replayable reduced failure the minimizer emits:
+// `scenfuzz replay` on the embedded scenario re-derives the identical
+// verdict.
+type Minimized struct {
+	Scenario Scenario   `json:"scenario"`
+	Verdict  string     `json:"verdict"`
+	Detail   string     `json:"detail,omitempty"`
+	Messages int        `json:"messages"`
+	Trials   []MinTrial `json:"trials,omitempty"`
+}
+
+// Minimize reduces a failing scenario along the same two axes as the
+// chaos shrinker, via the shared chaos.BisectMin kernel: first the
+// workload prefix (a global cap on per-core rounds, or kernel
+// iterations), then the perturbation prefix (the jitter message limit).
+// run is the executor (normally Execute; tests substitute predicates).
+func Minimize(s Scenario, run func(Scenario) Result) (*Minimized, error) {
+	r0 := run(s)
+	if r0.OK() {
+		return nil, fmt.Errorf("fuzz: %s does not fail — nothing to minimize", s.String())
+	}
+	target := r0.Verdict
+	out := &Minimized{}
+	probe := func(cand Scenario, work int) bool {
+		r := run(cand)
+		out.Trials = append(out.Trials, MinTrial{Work: work, Limit: jitterLimit(cand.JitterLimit), Verdict: r.Verdict})
+		return r.Verdict == target
+	}
+
+	// Phase 1: smallest workload prefix that still fails.
+	hiWork := s.workUpperBound()
+	if hiWork > 1 {
+		if best, ok := chaos.BisectMin(1, hiWork, func(mid int) bool {
+			return probe(s.capWork(mid), mid)
+		}); ok {
+			s = s.capWork(best)
+		}
+	}
+
+	// Phase 2: smallest jitter prefix that still fails. The upper bound
+	// is the failing run's message count; converging to 0 proves jitter
+	// is irrelevant to the failure.
+	r1 := run(s)
+	if r1.Verdict != target {
+		return nil, fmt.Errorf("fuzz: minimize lost the failure re-running %s (got %q, want %q)", s.String(), r1.Verdict, target)
+	}
+	hiLimit := r1.Messages
+	if cur := jitterLimit(s.JitterLimit); cur >= 0 && cur < hiLimit {
+		hiLimit = cur
+	}
+	if best, ok := chaos.BisectMin(0, hiLimit, func(mid int) bool {
+		cand := clone(s)
+		lim := mid
+		cand.JitterLimit = &lim
+		return probe(cand, s.workUpperBound())
+	}); ok {
+		lim := best
+		s = clone(s)
+		s.JitterLimit = &lim
+	}
+
+	// Final verification of the reduced scenario.
+	rf := run(s)
+	if rf.Verdict != target {
+		return nil, fmt.Errorf("fuzz: minimized scenario %s does not reproduce (got %q, want %q)", s.String(), rf.Verdict, target)
+	}
+	out.Scenario = s
+	out.Verdict = rf.Verdict
+	out.Detail = rf.Detail
+	out.Messages = rf.Messages
+	return out, nil
+}
+
+// workUpperBound is the phase-1 bisection ceiling: the largest per-core
+// round count (programs) or the effective iteration count (kernels).
+func (s Scenario) workUpperBound() int {
+	if s.Kind == KindKernel {
+		if s.Iters > 0 {
+			return s.Iters
+		}
+		if k, ok := kernels.ByID(s.Kernel); ok {
+			return k.DefaultIters
+		}
+		return 1
+	}
+	hi := 0
+	for _, p := range s.Progs {
+		if p.Rounds > hi {
+			hi = p.Rounds
+		}
+	}
+	return hi
+}
+
+// capWork returns a copy of s with its workload prefix capped at v:
+// kernel iterations, or every program's rounds clamped to min(orig, v).
+// Relative round ratios below the cap are preserved — a reader thread
+// doing 3x the writer's rounds keeps doing proportionally more until the
+// cap bites it too.
+func (s Scenario) capWork(v int) Scenario {
+	out := clone(s)
+	if out.Kind == KindKernel {
+		out.Iters = v
+		return out
+	}
+	for i := range out.Progs {
+		if out.Progs[i].Rounds > v {
+			out.Progs[i].Rounds = v
+		}
+	}
+	return out
+}
+
+// WriteMinimized writes the reduced reproducer as indented JSON.
+func WriteMinimized(path string, m *Minimized) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("fuzz: marshaling minimized repro: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,402 @@
+package fuzz
+
+import (
+	"math/bits"
+
+	"denovosync/internal/kernels"
+	"denovosync/internal/proto"
+	"denovosync/internal/sim"
+)
+
+// Mutator generates and mutates scenarios deterministically: a Mutator
+// built from a seed emits one fixed sequence of scenarios regardless of
+// host or call site, which is what makes a campaign resumable — on
+// resume the same candidates regenerate and their journaled results
+// short-circuit execution.
+type Mutator struct {
+	rng     *sim.RNG
+	kernels []string
+}
+
+// NewMutator returns a mutator whose output sequence is a pure function
+// of seed.
+func NewMutator(seed uint64) *Mutator {
+	var ids []string
+	for _, k := range kernels.All() {
+		ids = append(ids, k.ID)
+	}
+	return &Mutator{
+		rng:     sim.NewRNG(seed ^ 0xda3e39cb94b95bdb), // decorrelate from jitter/workload seeds
+		kernels: ids,
+	}
+}
+
+// Choice tables. Arena sizes stay far below the schema ceiling so a
+// campaign's simulated footprint stays small; conflict sweeps only need
+// (ways+1) x sets lines, which fits in the largest entry for every
+// geometry.
+var (
+	genConfigs = []string{"M", "DS0", "DS", "DSsig"}
+	genCores   = []int{2, 2, 4, 4, 8, 16} // skew small: races need few cores
+	genWays    = []int{0, 0, 1, 1, 2, 4, 8, 16}
+	genKB      = []int{0, 0, 4, 8, 16, 32}
+	genArenas  = []int{64, 256, 1024, 4096, 16384}
+	genJitters = []sim.Cycle{0, 16, 32, 64, 256, 2000}
+	genRounds  = []int{1, 2, 4, 6, 10, 25, 50, 100, 200, 300}
+)
+
+func (mu *Mutator) pickInt(xs []int) int             { return xs[mu.rng.Intn(len(xs))] }
+func (mu *Mutator) pickStr(xs []string) string       { return xs[mu.rng.Intn(len(xs))] }
+func (mu *Mutator) pickCyc(xs []sim.Cycle) sim.Cycle { return xs[mu.rng.Intn(len(xs))] }
+
+// Generate produces a fresh random scenario (no parent). Roughly one in
+// four is a kernel scenario; the rest are synthetic programs, the shapes
+// the kernel grid cannot express.
+func (mu *Mutator) Generate() Scenario {
+	if mu.rng.Intn(4) == 0 {
+		return mu.generateKernel()
+	}
+	return mu.generateProgram()
+}
+
+func (mu *Mutator) generateKernel() Scenario {
+	s := Scenario{
+		Schema:    Schema,
+		Kind:      KindKernel,
+		Config:    mu.pickStr(genConfigs),
+		Cores:     16,
+		Kernel:    mu.pickStr(mu.kernels),
+		Iters:     1 + mu.rng.Intn(8),
+		Seed:      mu.rng.Uint64(),
+		MaxJitter: mu.pickCyc(genJitters),
+	}
+	mu.mutateGeometry(&s)
+	return s
+}
+
+func (mu *Mutator) generateProgram() Scenario {
+	s := Scenario{
+		Schema:     Schema,
+		Kind:       KindProgram,
+		Config:     mu.pickStr(genConfigs),
+		Cores:      mu.pickInt(genCores),
+		ArenaWords: mu.pickInt(genArenas),
+		Seed:       mu.rng.Uint64(),
+		MaxJitter:  mu.pickCyc(genJitters),
+	}
+	mu.mutateGeometry(&s)
+	nprogs := 1 + mu.rng.Intn(s.Cores)
+	for i := 0; i < nprogs; i++ {
+		p := Prog{Rounds: mu.pickInt(genRounds)}
+		nops := 1 + mu.rng.Intn(10)
+		for j := 0; j < nops; j++ {
+			p.Ops = append(p.Ops, mu.randOp(&s))
+		}
+		s.Progs = append(s.Progs, p)
+	}
+	repairStores(&s)
+	mu.clampBudget(&s)
+	return s
+}
+
+// randOp draws one random operation valid for s's arena and geometry.
+func (mu *Mutator) randOp(s *Scenario) Op {
+	kinds := []string{
+		OpLoad, OpLoad, OpStore, OpSyncLoad, OpSyncStore,
+		OpFetchAdd, OpCAS, OpTAS, OpExchange, OpCompute, OpSweep,
+	}
+	op := Op{Kind: kinds[mu.rng.Intn(len(kinds))]}
+	switch op.Kind {
+	case OpCompute:
+		op.Lo = 0
+		op.Hi = mu.pickCyc([]sim.Cycle{50, 100, 200, 1000})
+		return op
+	case OpSweep:
+		return mu.randSweep(s)
+	}
+	// Contended addresses: skew heavily toward the first line so cores
+	// collide; occasionally aim anywhere in the arena.
+	if mu.rng.Intn(4) == 0 {
+		op.Addr = mu.rng.Intn(s.ArenaWords)
+	} else {
+		op.Addr = mu.rng.Intn(min(proto.WordsPerLine, s.ArenaWords))
+	}
+	switch op.Kind {
+	case OpStore, OpSyncStore, OpFetchAdd, OpExchange:
+		op.Val = uint64(1 + mu.rng.Intn(255))
+	case OpCAS:
+		op.Old = uint64(mu.rng.Intn(4))
+		op.Val = uint64(1 + mu.rng.Intn(255))
+	}
+	return op
+}
+
+// randSweep draws an eviction sweep: half the time a conflict-set sweep
+// (stride = set count, ways+1 lines — evicts exactly the contended set),
+// otherwise a contiguous capacity thrash.
+func (mu *Mutator) randSweep(s *Scenario) Op {
+	ways, _, sets := s.Geometry()
+	op := Op{Kind: OpSweep, Addr: 0}
+	if mu.rng.Intn(2) == 0 {
+		op.Stride = sets
+		op.Lines = ways + 1 + mu.rng.Intn(2)
+	} else {
+		op.Stride = 1
+		op.Lines = mu.pickInt([]int{8, 32, 128, 512})
+	}
+	// Clamp to the arena.
+	maxLines := (s.ArenaWords/proto.WordsPerLine-op.Addr/proto.WordsPerLine-1)/op.Stride + 1
+	if maxLines < 1 {
+		return Op{Kind: OpLoad, Addr: 0}
+	}
+	if op.Lines > maxLines {
+		op.Lines = maxLines
+	}
+	if op.Lines > MaxSweepLines {
+		op.Lines = MaxSweepLines
+	}
+	if op.Stride > MaxSweepLines {
+		return Op{Kind: OpLoad, Addr: 0}
+	}
+	return op
+}
+
+// mutateGeometry rerolls the cache-geometry axis, rejecting combinations
+// where ways exceed lines (e.g. 16 ways in a 4 KiB cache would leave no
+// sets).
+func (mu *Mutator) mutateGeometry(s *Scenario) {
+	for {
+		s.L1Ways = mu.pickInt(genWays)
+		s.L1KB = mu.pickInt(genKB)
+		ways, size, _ := s.Geometry()
+		if ways <= size/proto.LineBytes {
+			return
+		}
+	}
+}
+
+// Candidate draws the next campaign candidate: a mutation of a pool
+// scenario, or a fresh generation when the pool is empty (and 1 in 8
+// draws regardless, keeping exploration alive once the pool saturates).
+func (mu *Mutator) Candidate(pool []Scenario) Scenario {
+	if len(pool) == 0 || mu.rng.Intn(8) == 0 {
+		return mu.Generate()
+	}
+	return mu.Mutate(pool[mu.rng.Intn(len(pool))])
+}
+
+// Mutate returns a mutated deep copy of s. The result always validates:
+// every mutation preserves the schema bounds by construction, and a
+// final clamp pass repairs op budgets. The parent is never modified.
+func (mu *Mutator) Mutate(s Scenario) Scenario {
+	out := clone(s)
+	if out.Kind == KindKernel {
+		mu.mutateKernel(&out)
+	} else {
+		mu.mutateProgram(&out)
+	}
+	if err := out.Validate(); err != nil {
+		// Defense in depth: a mutation that somehow escaped the bounds is
+		// discarded in favor of the (valid) parent copy.
+		return clone(s)
+	}
+	return out
+}
+
+func (mu *Mutator) mutateKernel(s *Scenario) {
+	switch mu.rng.Intn(6) {
+	case 0:
+		s.Kernel = mu.pickStr(mu.kernels)
+	case 1:
+		s.Config = mu.pickStr(genConfigs)
+	case 2:
+		s.Iters = 1 + mu.rng.Intn(8)
+	case 3:
+		s.Seed = mu.rng.Uint64()
+	case 4:
+		mu.mutateJitter(s)
+	case 5:
+		mu.mutateGeometry(s)
+	}
+}
+
+func (mu *Mutator) mutateProgram(s *Scenario) {
+	switch mu.rng.Intn(10) {
+	case 0:
+		s.Seed = mu.rng.Uint64()
+	case 1:
+		mu.mutateJitter(s)
+	case 2:
+		mu.mutateGeometry(s)
+		mu.repairSweeps(s)
+	case 3:
+		s.Config = mu.pickStr(genConfigs)
+	case 4: // reshape a core's schedule: swap two ops (interleaving axis)
+		p := mu.pickProg(s)
+		if len(p.Ops) >= 2 {
+			i, j := mu.rng.Intn(len(p.Ops)), mu.rng.Intn(len(p.Ops))
+			p.Ops[i], p.Ops[j] = p.Ops[j], p.Ops[i]
+		}
+	case 5: // toggle a sync site: ld <-> syld, st <-> syst
+		p := mu.pickProg(s)
+		if len(p.Ops) == 0 {
+			return
+		}
+		i := mu.rng.Intn(len(p.Ops))
+		switch p.Ops[i].Kind {
+		case OpLoad:
+			p.Ops[i].Kind = OpSyncLoad
+		case OpSyncLoad:
+			p.Ops[i].Kind = OpLoad
+		case OpStore:
+			p.Ops[i].Kind = OpSyncStore
+		case OpSyncStore:
+			p.Ops[i].Kind = OpStore
+		default:
+			p.Ops[i] = mu.randOp(s)
+		}
+	case 6: // insert a random op
+		p := mu.pickProg(s)
+		if len(p.Ops) < MaxProgOps {
+			i := mu.rng.Intn(len(p.Ops) + 1)
+			p.Ops = append(p.Ops[:i], append([]Op{mu.randOp(s)}, p.Ops[i:]...)...)
+			if p.Rounds == 0 {
+				p.Rounds = 1 // an idle placeholder core just gained work
+			}
+		}
+	case 7: // delete an op
+		p := mu.pickProg(s)
+		if len(p.Ops) >= 2 {
+			i := mu.rng.Intn(len(p.Ops))
+			p.Ops = append(p.Ops[:i], p.Ops[i+1:]...)
+		}
+	case 8: // change a core's round count
+		p := mu.pickProg(s)
+		p.Rounds = mu.pickInt(genRounds)
+	case 9: // add or drop a core's program
+		if len(s.Progs) < s.Cores && mu.rng.Intn(2) == 0 {
+			src := s.Progs[mu.rng.Intn(len(s.Progs))]
+			s.Progs = append(s.Progs, cloneProg(src))
+		} else if len(s.Progs) >= 2 {
+			i := mu.rng.Intn(len(s.Progs))
+			s.Progs = append(s.Progs[:i], s.Progs[i+1:]...)
+		}
+	}
+	repairStores(s)
+	mu.clampBudget(s)
+}
+
+func (mu *Mutator) mutateJitter(s *Scenario) {
+	switch mu.rng.Intn(3) {
+	case 0:
+		s.MaxJitter = mu.pickCyc(genJitters)
+	case 1:
+		s.JitterLimit = nil
+	case 2:
+		lim := mu.rng.Intn(10_000)
+		s.JitterLimit = &lim
+	}
+}
+
+// pickProg returns a pointer to a random program of s.
+func (mu *Mutator) pickProg(s *Scenario) *Prog {
+	return &s.Progs[mu.rng.Intn(len(s.Progs))]
+}
+
+// repairStores restores the DeNovo data-access contract after a mutation
+// (see validateStoreOwnership): every word stored by more than one prog
+// has its plain stores promoted to sync stores. Promotion (rather than
+// rejection) keeps racy mutations productive — the race survives, it just
+// moves to the sync path, where it is the paper's supported case.
+func repairStores(s *Scenario) {
+	storers := map[int]uint32{}
+	for ci, p := range s.Progs {
+		for _, op := range p.Ops {
+			if op.stores() {
+				storers[op.Addr] |= 1 << ci
+			}
+		}
+	}
+	for pi := range s.Progs {
+		for oi, op := range s.Progs[pi].Ops {
+			if op.Kind == OpStore && bits.OnesCount32(storers[op.Addr]) > 1 {
+				s.Progs[pi].Ops[oi].Kind = OpSyncStore
+			}
+		}
+	}
+}
+
+// repairSweeps rebuilds conflict-set sweeps after a geometry change: a
+// stride tuned to the old set count no longer evicts anything useful,
+// and may now overrun the arena.
+func (mu *Mutator) repairSweeps(s *Scenario) {
+	for pi := range s.Progs {
+		for oi, op := range s.Progs[pi].Ops {
+			if op.Kind == OpSweep && op.lastWord() >= s.ArenaWords {
+				s.Progs[pi].Ops[oi] = mu.randSweep(s)
+			}
+		}
+	}
+}
+
+// clampBudget scales round counts down until the scenario's total op
+// budget fits, so no mutation can produce an over-budget candidate.
+func (mu *Mutator) clampBudget(s *Scenario) {
+	const target = 400_000 // well under MaxTotalOps: campaign throughput
+	for {
+		total := 0
+		for _, p := range s.Progs {
+			w := 0
+			for _, op := range p.Ops {
+				w += op.weight()
+			}
+			total += w * p.Rounds
+		}
+		if total <= target {
+			return
+		}
+		for pi := range s.Progs {
+			if r := s.Progs[pi].Rounds / 2; r >= 1 {
+				s.Progs[pi].Rounds = r
+			}
+		}
+		// All rounds at 1 and still over budget: drop whole sweeps.
+		if allOne(s.Progs) && total > target {
+			for pi := range s.Progs {
+				for oi, op := range s.Progs[pi].Ops {
+					if op.Kind == OpSweep && op.Lines > 64 {
+						s.Progs[pi].Ops[oi].Lines = 64
+					}
+				}
+			}
+			return
+		}
+	}
+}
+
+func allOne(ps []Prog) bool {
+	for _, p := range ps {
+		if p.Rounds > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// clone deep-copies a scenario (Progs, Ops, JitterLimit).
+func clone(s Scenario) Scenario {
+	out := s
+	if s.JitterLimit != nil {
+		lim := *s.JitterLimit
+		out.JitterLimit = &lim
+	}
+	out.Progs = nil
+	for _, p := range s.Progs {
+		out.Progs = append(out.Progs, cloneProg(p))
+	}
+	return out
+}
+
+func cloneProg(p Prog) Prog {
+	return Prog{Rounds: p.Rounds, Ops: append([]Op(nil), p.Ops...)}
+}

@@ -1,0 +1,108 @@
+package fuzz
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMutatorDeterminism: a mutator is a pure function of its seed — two
+// mutators built from the same seed emit byte-identical scenario
+// sequences through the same call pattern (the property campaign resume
+// rests on), and different seeds diverge.
+func TestMutatorDeterminism(t *testing.T) {
+	const n = 40
+	sequence := func(seed uint64) [][]byte {
+		mu := NewMutator(seed)
+		var pool []Scenario
+		var out [][]byte
+		for i := 0; i < n; i++ {
+			s := mu.Candidate(pool)
+			pool = append(pool, s) // grow the pool exactly as a campaign would
+			out = append(out, s.Canonical())
+		}
+		return out
+	}
+
+	a, b := sequence(42), sequence(42)
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("candidate %d differs between two seed-42 mutators:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+
+	c := sequence(43)
+	same := 0
+	for i := range a {
+		if bytes.Equal(a[i], c[i]) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("seed 42 and seed 43 emitted identical sequences")
+	}
+}
+
+// TestMutateMetamorphic: every mutation of a valid scenario validates
+// (the mutator never emits a candidate the executor would reject), and
+// the parent is never modified.
+func TestMutateMetamorphic(t *testing.T) {
+	mu := NewMutator(7)
+	parents := []Scenario{
+		tinyScenario(1, "DS"),
+		tinyScenario(2, "M"),
+		putRaceScenario(),
+		stressScenario("DSsig", 3),
+	}
+	// Fuzzer-generated parents too, so mutation composes with generation.
+	for i := 0; i < 6; i++ {
+		parents = append(parents, mu.Generate())
+	}
+	for pi, parent := range parents {
+		if err := parent.Validate(); err != nil {
+			t.Fatalf("parent %d invalid before mutation: %v", pi, err)
+		}
+		before := parent.Canonical()
+		for i := 0; i < 50; i++ {
+			child := mu.Mutate(parent)
+			if err := child.Validate(); err != nil {
+				t.Fatalf("parent %d mutation %d invalid: %v\n%s", pi, i, err, child.Canonical())
+			}
+			if !bytes.Equal(parent.Canonical(), before) {
+				t.Fatalf("parent %d modified by mutation %d", pi, i)
+			}
+		}
+	}
+}
+
+// TestGenerateValid: generated candidates always validate, including the
+// store-ownership repair (racing plain stores promoted to sync forms).
+func TestGenerateValid(t *testing.T) {
+	mu := NewMutator(11)
+	for i := 0; i < 100; i++ {
+		s := mu.Generate()
+		if err := s.Validate(); err != nil {
+			t.Fatalf("generated scenario %d invalid: %v\n%s", i, err, s.Canonical())
+		}
+	}
+}
+
+func TestRepairStoresPromotesRaces(t *testing.T) {
+	s := tinyScenario(1, "DS")
+	s.Progs[0].Ops[0] = Op{Kind: OpStore, Addr: 5, Val: 1}
+	s.Progs[1].Ops[0] = Op{Kind: OpStore, Addr: 5, Val: 2}
+	repairStores(&s)
+	if s.Progs[0].Ops[0].Kind != OpSyncStore || s.Progs[1].Ops[0].Kind != OpSyncStore {
+		t.Fatalf("racing plain stores not promoted: %s / %s", s.Progs[0].Ops[0].Kind, s.Progs[1].Ops[0].Kind)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("repaired scenario still invalid: %v", err)
+	}
+
+	// A single storer keeps its plain store (no gratuitous promotion).
+	s = tinyScenario(1, "DS")
+	s.Progs[0].Ops[0] = Op{Kind: OpStore, Addr: 5, Val: 1}
+	repairStores(&s)
+	if s.Progs[0].Ops[0].Kind != OpStore {
+		t.Fatal("lone plain store was promoted")
+	}
+}

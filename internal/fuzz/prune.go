@@ -1,0 +1,55 @@
+package fuzz
+
+import "sort"
+
+// Prune selects a minimal-ish subset of entries that still covers the
+// union of every entry's recorded hits: classic greedy set cover,
+// largest marginal gain first, ties broken by scenario fingerprint so
+// the selection is deterministic. Entries recorded with a non-ok verdict
+// are always kept (they are reproducers, not coverage carriers).
+func Prune(entries []Entry) []Entry {
+	var keep, pool []Entry
+	want := map[string]bool{}
+	for _, e := range entries {
+		if e.Result.Verdict != "" && !e.Result.OK() {
+			keep = append(keep, e)
+			continue
+		}
+		pool = append(pool, e)
+		for _, h := range e.Result.Hits {
+			want[h] = true
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		return pool[i].Scenario.Fingerprint() < pool[j].Scenario.Fingerprint()
+	})
+
+	covered := map[string]bool{}
+	for len(covered) < len(want) {
+		best, bestGain := -1, 0
+		for i, e := range pool {
+			gain := 0
+			for _, h := range e.Result.Hits {
+				if want[h] && !covered[h] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			break // remaining tuples aren't reachable from this pool
+		}
+		e := pool[best]
+		keep = append(keep, e)
+		for _, h := range e.Result.Hits {
+			covered[h] = true
+		}
+		pool = append(pool[:best], pool[best+1:]...)
+	}
+	sort.Slice(keep, func(i, j int) bool {
+		return keep[i].Scenario.Fingerprint() < keep[j].Scenario.Fingerprint()
+	})
+	return keep
+}

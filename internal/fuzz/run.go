@@ -1,0 +1,261 @@
+package fuzz
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"denovosync/internal/alloc"
+	"denovosync/internal/chaos"
+	"denovosync/internal/cpu"
+	"denovosync/internal/machine"
+	"denovosync/internal/proto"
+)
+
+// Result is one scenario execution's outcome: the chaos verdict, the
+// atlas-tuple coverage it produced, and the counters the corpus and
+// minimizer feed on. It is the campaign's journaled Aux payload, so it
+// must round-trip through JSON losslessly.
+type Result struct {
+	Verdict string `json:"verdict"`
+	Detail  string `json:"detail,omitempty"`
+
+	// Hits is the sorted, deduplicated set of atlas transition tuples
+	// ("controller/state/event") the run exercised — the fuzzer's
+	// coverage signal.
+	Hits []string `json:"hits,omitempty"`
+
+	// Messages is the NoC send count (the minimizer's jitter-limit
+	// bound); Events the simulation event count. Both are boundary
+	// signals: a scenario that pushes either to a new maximum is kept.
+	Messages int    `json:"messages"`
+	Events   uint64 `json:"events"`
+
+	// Summary is the functional digest of the run (retired-op results
+	// for programs, the kernel summary for kernels): the replay
+	// determinism check compares it, not just the verdict.
+	Summary string `json:"summary,omitempty"`
+}
+
+// OK reports a fully green verdict.
+func (r Result) OK() bool { return r.Verdict == chaos.VerdictOK }
+
+// Digest is the result's determinism fingerprint: two executions of the
+// same scenario must produce identical digests, on any host, under any
+// campaign parallelism. `scenfuzz replay` and the corpus gate enforce it.
+func (r Result) Digest() string {
+	b, err := json.Marshal(r)
+	if err != nil {
+		panic(fmt.Sprintf("fuzz: marshaling Result: %v", err)) // unreachable: no unmarshalable fields
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// HitTuple splits a Result hit ("controller/state/event") back into its
+// parts for atlas matching. ok is false if h is not a hit string.
+func HitTuple(h string) (controller, state, event string, ok bool) {
+	parts := strings.SplitN(h, "/", 3)
+	if len(parts) != 3 {
+		return "", "", "", false
+	}
+	return parts[0], parts[1], parts[2], true
+}
+
+// hitSet collects transition tuples; safe because the simulator is
+// single-goroutine inside one Execute call.
+type hitSet map[string]bool
+
+func (h hitSet) observer() func(controller, state, event string) {
+	return func(controller, state, event string) {
+		h[controller+"/"+state+"/"+event] = true
+	}
+}
+
+func (h hitSet) sorted() []string {
+	out := make([]string, 0, len(h))
+	for k := range h { //simlint:allow determinism: keys are sorted below
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Execute runs one scenario on a fresh machine and returns its outcome.
+// Invalid scenarios produce a VerdictError result rather than an error:
+// inside a campaign, a bad mutation is a data point, not a crash.
+func Execute(s Scenario) Result {
+	if err := s.Validate(); err != nil {
+		return Result{Verdict: chaos.VerdictError, Detail: err.Error()}
+	}
+	switch s.Kind {
+	case KindKernel:
+		return executeKernel(s)
+	default:
+		return executeProgram(s)
+	}
+}
+
+// executeKernel delegates to the chaos engine: the full oracle applies,
+// including the metamorphic baseline differential (kernels are
+// schedule-invariant by contract, so a mismatch is a real bug).
+func executeKernel(s Scenario) Result {
+	hits := hitSet{}
+	res := chaos.RunSpecObserved(chaos.Spec{
+		Kernel:         s.Kernel,
+		Config:         s.Config,
+		Cores:          s.Cores,
+		Iters:          s.Iters,
+		Seed:           s.Seed,
+		MaxJitter:      s.MaxJitter,
+		Limit:          s.JitterLimit,
+		L1Ways:         s.L1Ways,
+		L1KB:           s.L1KB,
+		WatchdogCycles: s.WatchdogCycles,
+	}, hits.observer())
+	out := Result{
+		Verdict:  res.Verdict,
+		Detail:   res.Detail,
+		Hits:     hits.sorted(),
+		Messages: res.Messages,
+		Summary:  res.PerturbedSummary,
+	}
+	if res.Stats != nil {
+		out.Events = res.Stats.Events
+	}
+	return out
+}
+
+// executeProgram interprets the per-core op streams on a fresh machine
+// under the scenario's jitter policy, with the live invariant monitor
+// and watchdog armed. There is no baseline differential: unlike kernels,
+// raw programs are intentionally racy, so their results are legitimately
+// schedule-dependent — the oracle is the invariant set, not functional
+// equivalence.
+func executeProgram(s Scenario) Result {
+	cfg, _ := chaos.ConfigByName(s.Config) // Validate checked it
+	w, h, err := MeshFor(s.Cores)
+	if err != nil {
+		return Result{Verdict: chaos.VerdictError, Detail: err.Error()}
+	}
+
+	p := machine.Params16()
+	p.Cores, p.MeshW, p.MeshH = s.Cores, w, h
+	p.Signatures = cfg.Signatures
+	ways, size, _ := s.Geometry()
+	p.L1Ways, p.L1Size = ways, size
+	p.WatchdogCycles = s.WatchdogCycles
+	if p.WatchdogCycles == 0 {
+		p.WatchdogCycles = 2_000_000
+	}
+
+	m := machine.New(p, cfg.Protocol, alloc.New())
+	hits := hitSet{}
+	chaos.AttachTransitionObservers(m, hits.observer())
+	pb := chaos.Attach(m.Eng, m.Net, chaos.Policy{
+		Seed:           s.Seed,
+		MaxJitter:      s.MaxJitter,
+		Limit:          jitterLimit(s.JitterLimit),
+		KeepClassOrder: true,
+	})
+	mo := chaos.NewMonitor(m, chaos.MonitorConfig{})
+	mo.Start()
+
+	arena := m.Space.AllocAligned(s.ArenaWords, m.Space.Region("scenfuzz.arena"))
+	digests := make([]uint64, len(s.Progs))
+	st, runErr := m.RunThreads("scenfuzz", func(i int) machine.Workload {
+		if i >= len(s.Progs) {
+			return func(*cpu.Thread) {} // idle core
+		}
+		prog := s.Progs[i]
+		return func(t *cpu.Thread) {
+			digests[i] = runProg(t, arena, prog)
+		}
+	})
+
+	out := Result{Messages: pb.Sent()}
+	if vs := mo.Violations(); len(vs) > 0 {
+		out.Verdict = chaos.VerdictViolation
+		out.Detail = mo.Err().Error()
+	} else {
+		var werr *machine.WatchdogError
+		switch {
+		case errors.As(runErr, &werr):
+			out.Verdict = chaos.VerdictWatchdog
+			out.Detail = fmt.Sprintf("no core retired an operation for %d cycles (stalled at cycle %d)", werr.Budget, werr.Snapshot.Cycle)
+		case runErr != nil:
+			out.Verdict = chaos.VerdictError
+			out.Detail = runErr.Error()
+		default:
+			out.Verdict = chaos.VerdictOK
+		}
+	}
+	out.Hits = hits.sorted()
+	if st != nil {
+		out.Events = st.Events
+	}
+	var parts []string
+	for i, d := range digests {
+		parts = append(parts, fmt.Sprintf("c%d=%016x", i, d))
+	}
+	out.Summary = strings.Join(parts, " ")
+	return out
+}
+
+// jitterLimit maps the scenario's optional limit onto Policy.Limit
+// (nil = unlimited = -1).
+func jitterLimit(l *int) int {
+	if l == nil {
+		return -1
+	}
+	return *l
+}
+
+// runProg interprets one core's program, folding every retired value
+// into an FNV-1a digest so the functional outcome is one word of the
+// run's Summary.
+func runProg(t *cpu.Thread, arena proto.Addr, p Prog) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0x100000001b3
+	}
+	word := func(idx int) proto.Addr { return arena + proto.Addr(idx*proto.WordBytes) }
+	for r := 0; r < p.Rounds; r++ {
+		for _, op := range p.Ops {
+			switch op.Kind {
+			case OpLoad:
+				mix(t.Load(word(op.Addr)))
+			case OpStore:
+				t.Store(word(op.Addr), op.Val)
+			case OpSyncLoad:
+				mix(t.SyncLoad(word(op.Addr)))
+			case OpSyncStore:
+				t.SyncStore(word(op.Addr), op.Val)
+			case OpFetchAdd:
+				mix(t.FetchAdd(word(op.Addr), op.Val))
+			case OpCAS:
+				if t.CAS(word(op.Addr), op.Old, op.Val) {
+					mix(1)
+				} else {
+					mix(0)
+				}
+			case OpTAS:
+				mix(t.TestAndSet(word(op.Addr)))
+			case OpExchange:
+				mix(t.Exchange(word(op.Addr), op.Val))
+			case OpCompute:
+				t.Compute(t.RNG.Cycles(op.Lo, op.Hi))
+			case OpSweep:
+				for l := 0; l < op.Lines; l++ {
+					mix(t.Load(word(op.Addr + l*op.Stride*proto.WordsPerLine)))
+				}
+			}
+		}
+	}
+	return h
+}

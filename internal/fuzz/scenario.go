@@ -1,0 +1,442 @@
+// Package fuzz is the coverage-guided scenario fuzzer: it mutates
+// kernel schedules (per-core op interleavings and sync-site choices),
+// chaos jitter seeds and limits, and cache geometry, runs each candidate
+// through the real machine with atlas transition observers and the chaos
+// invariant monitor attached, and keeps a content-addressed corpus of
+// scenarios that increase atlas-tuple coverage or push invariant
+// boundaries. Campaigns ride internal/exp (parallel, journaled,
+// resumable — a seeded campaign is byte-reproducible), failures hand off
+// to the chaos shrinker's bisection for minimization, and every corpus
+// entry is a replayable JSON artifact (`scenfuzz replay`).
+//
+// Everything here is inside the determinism boundary: scenario
+// execution, mutation, and corpus acceptance depend only on the campaign
+// seed and the journal, never on wall clock or host parallelism.
+package fuzz
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/bits"
+
+	"denovosync/internal/chaos"
+	"denovosync/internal/kernels"
+	"denovosync/internal/proto"
+	"denovosync/internal/sim"
+)
+
+// Schema is the versioned scenario format identifier. Bump it whenever
+// the meaning of a field changes so stale corpus entries fail loudly
+// instead of replaying as something else.
+const Schema = "scen.v1"
+
+// Scenario kinds.
+const (
+	// KindProgram is a synthetic workload: explicit per-core op streams
+	// over one line-aligned arena.
+	KindProgram = "program"
+	// KindKernel wraps one of the paper's 24 kernels (schedule mutation
+	// happens through iteration count, jitter, and cache geometry) and
+	// inherits the chaos engine's full oracle including the metamorphic
+	// baseline differential.
+	KindKernel = "kernel"
+)
+
+// Op kinds of a program scenario. Sync variants are the DeNovoSync
+// "arbitrary synchronization" accesses (registered at L2); the
+// sync-site mutation toggles an op between its plain and sync form.
+const (
+	OpLoad      = "ld"
+	OpStore     = "st"
+	OpSyncLoad  = "syld"
+	OpSyncStore = "syst"
+	OpFetchAdd  = "fa"
+	OpCAS       = "cas"
+	OpTAS       = "tas"
+	OpExchange  = "xchg"
+	OpCompute   = "comp"
+	// OpSweep loads Lines lines starting at Addr with a Stride-line
+	// step: stride 1 is a capacity thrash, stride = set count is a
+	// conflict-set sweep that evicts exactly one set — the two eviction
+	// primitives behind every known eviction race.
+	OpSweep = "sweep"
+)
+
+// Op is one operation of a program scenario. Addr is a word index into
+// the scenario arena; Val/Old are operand values (store/exchange value,
+// fetch-add delta, CAS new/expected); Lo/Hi bound a compute delay drawn
+// from the thread's deterministic RNG; Lines/Stride shape a sweep.
+type Op struct {
+	Kind   string    `json:"op"`
+	Addr   int       `json:"a,omitempty"`
+	Val    uint64    `json:"v,omitempty"`
+	Old    uint64    `json:"old,omitempty"`
+	Lo     sim.Cycle `json:"lo,omitempty"`
+	Hi     sim.Cycle `json:"hi,omitempty"`
+	Lines  int       `json:"n,omitempty"`
+	Stride int       `json:"s,omitempty"`
+}
+
+// Prog is one core's workload: Ops executed Rounds times.
+type Prog struct {
+	Rounds int  `json:"rounds"`
+	Ops    []Op `json:"ops"`
+}
+
+// Scenario is one self-contained fuzz candidate: workload, protocol
+// configuration, cache geometry, and timing perturbation. Its canonical
+// JSON is the content address (Fingerprint) used by the corpus and the
+// campaign journal.
+type Scenario struct {
+	Schema string `json:"schema"`
+	Kind   string `json:"kind"`
+	Config string `json:"config"` // M | DS0 | DS | DSsig
+
+	// Cores is the machine size. Program scenarios may shrink the mesh
+	// (1..16 cores); kernel scenarios run the paper's 16-core machine.
+	Cores int `json:"cores"`
+
+	// Cache geometry (0 = Table 1 defaults: 8 ways, 32 KiB).
+	L1Ways int `json:"l1_ways,omitempty"`
+	L1KB   int `json:"l1_kb,omitempty"`
+
+	// Program payload.
+	ArenaWords int    `json:"arena_words,omitempty"`
+	Progs      []Prog `json:"progs,omitempty"`
+
+	// Kernel payload.
+	Kernel string `json:"kernel,omitempty"`
+	Iters  int    `json:"iters,omitempty"`
+
+	// Timing perturbation (chaos.Policy: per-class FIFO preserved).
+	Seed        uint64    `json:"seed"`
+	MaxJitter   sim.Cycle `json:"max_jitter,omitempty"`
+	JitterLimit *int      `json:"jitter_limit,omitempty"` // nil = unlimited
+
+	// WatchdogCycles overrides the deadlock budget (0 = 2_000_000).
+	WatchdogCycles sim.Cycle `json:"watchdog_cycles,omitempty"`
+}
+
+// Validation bounds: generous enough for every directed race we know,
+// tight enough that no scenario can run away (the op budget bounds
+// simulated work, the arena bounds memory).
+const (
+	MaxArenaWords = 1 << 21 // 8 MiB of simulated words
+	// MaxProgOps is sized for trace ingestion (a captured stream becomes
+	// one Rounds=1 program); the mutator generates far smaller programs.
+	MaxProgOps     = 1 << 16
+	MaxRounds      = 10_000
+	MaxSweepLines  = 4096
+	MaxTotalOps    = 2_000_000 // sum over cores of rounds x op weight
+	MaxJitterBound = 100_000
+	MaxComputeHi   = 100_000
+	MaxKernelIters = 200
+)
+
+// stores reports whether the op can write its target word (CAS counts
+// conservatively even though it only writes on success).
+func (o Op) stores() bool {
+	switch o.Kind {
+	case OpStore, OpSyncStore, OpFetchAdd, OpCAS, OpTAS, OpExchange:
+		return true
+	}
+	return false
+}
+
+// weight is the op's contribution to the total-op budget.
+func (o Op) weight() int {
+	if o.Kind == OpSweep {
+		return o.Lines
+	}
+	return 1
+}
+
+// touchesWord reports the highest arena word index the op can access.
+func (o Op) lastWord() int {
+	if o.Kind == OpSweep {
+		return o.Addr + (o.Lines-1)*o.Stride*proto.WordsPerLine
+	}
+	return o.Addr
+}
+
+func validOpKind(k string) bool {
+	switch k {
+	case OpLoad, OpStore, OpSyncLoad, OpSyncStore, OpFetchAdd, OpCAS,
+		OpTAS, OpExchange, OpCompute, OpSweep:
+		return true
+	}
+	return false
+}
+
+func validCores(c int) bool {
+	switch c {
+	case 1, 2, 4, 8, 16:
+		return true
+	}
+	return false
+}
+
+// MeshFor returns the mesh dimensions for a program-scenario core count.
+func MeshFor(cores int) (w, h int, err error) {
+	switch cores {
+	case 1:
+		return 1, 1, nil
+	case 2:
+		return 2, 1, nil
+	case 4:
+		return 2, 2, nil
+	case 8:
+		return 4, 2, nil
+	case 16:
+		return 4, 4, nil
+	}
+	return 0, 0, fmt.Errorf("fuzz: unsupported core count %d (want 1, 2, 4, 8 or 16)", cores)
+}
+
+func validWays(w int) bool {
+	switch w {
+	case 0, 1, 2, 4, 8, 16:
+		return true
+	}
+	return false
+}
+
+func validL1KB(kb int) bool {
+	switch kb {
+	case 0, 4, 8, 16, 32, 64:
+		return true
+	}
+	return false
+}
+
+// Geometry returns the effective L1 geometry (ways, size in bytes, set
+// count) with the Table 1 defaults filled in.
+func (s Scenario) Geometry() (ways, size, sets int) {
+	ways, size = 8, 32*1024
+	if s.L1Ways > 0 {
+		ways = s.L1Ways
+	}
+	if s.L1KB > 0 {
+		size = s.L1KB * 1024
+	}
+	return ways, size, size / proto.LineBytes / ways
+}
+
+// Validate checks the scenario against the schema bounds. A scenario
+// that validates is safe to execute: bounded memory, bounded simulated
+// work, legal machine configuration.
+func (s Scenario) Validate() error {
+	if s.Schema != Schema {
+		return fmt.Errorf("fuzz: scenario schema %q, want %q", s.Schema, Schema)
+	}
+	if _, ok := chaos.ConfigByName(s.Config); !ok {
+		return fmt.Errorf("fuzz: unknown protocol config %q (want M, DS0, DS or DSsig)", s.Config)
+	}
+	if !validWays(s.L1Ways) {
+		return fmt.Errorf("fuzz: unsupported L1 ways %d", s.L1Ways)
+	}
+	if !validL1KB(s.L1KB) {
+		return fmt.Errorf("fuzz: unsupported L1 size %d KiB", s.L1KB)
+	}
+	ways, size, _ := s.Geometry()
+	if lines := size / proto.LineBytes; ways > lines {
+		return fmt.Errorf("fuzz: %d ways exceed the %d lines of a %d B cache", ways, lines, size)
+	}
+	if s.MaxJitter < 0 || s.MaxJitter > MaxJitterBound {
+		return fmt.Errorf("fuzz: max jitter %d out of range [0, %d]", s.MaxJitter, MaxJitterBound)
+	}
+	if s.JitterLimit != nil && *s.JitterLimit < 0 {
+		return fmt.Errorf("fuzz: negative jitter limit %d (omit for unlimited)", *s.JitterLimit)
+	}
+	if s.WatchdogCycles < 0 {
+		return fmt.Errorf("fuzz: negative watchdog budget")
+	}
+
+	switch s.Kind {
+	case KindProgram:
+		return s.validateProgram()
+	case KindKernel:
+		return s.validateKernel()
+	default:
+		return fmt.Errorf("fuzz: unknown scenario kind %q (want %q or %q)", s.Kind, KindProgram, KindKernel)
+	}
+}
+
+func (s Scenario) validateProgram() error {
+	if !validCores(s.Cores) {
+		return fmt.Errorf("fuzz: unsupported core count %d (want 1, 2, 4, 8 or 16)", s.Cores)
+	}
+	if s.Kernel != "" || s.Iters != 0 {
+		return fmt.Errorf("fuzz: program scenario carries kernel fields")
+	}
+	if s.ArenaWords < 1 || s.ArenaWords > MaxArenaWords {
+		return fmt.Errorf("fuzz: arena %d words out of range [1, %d]", s.ArenaWords, MaxArenaWords)
+	}
+	if len(s.Progs) == 0 {
+		return fmt.Errorf("fuzz: program scenario has no programs")
+	}
+	if len(s.Progs) > s.Cores {
+		return fmt.Errorf("fuzz: %d programs for %d cores", len(s.Progs), s.Cores)
+	}
+	total := 0
+	for ci, p := range s.Progs {
+		if len(p.Ops) > MaxProgOps {
+			return fmt.Errorf("fuzz: core %d has %d ops (max %d)", ci, len(p.Ops), MaxProgOps)
+		}
+		if len(p.Ops) == 0 {
+			if p.Rounds != 0 {
+				return fmt.Errorf("fuzz: core %d has %d rounds but no ops", ci, p.Rounds)
+			}
+			continue
+		}
+		if p.Rounds < 1 || p.Rounds > MaxRounds {
+			return fmt.Errorf("fuzz: core %d rounds %d out of range [1, %d]", ci, p.Rounds, MaxRounds)
+		}
+		w := 0
+		for oi, op := range p.Ops {
+			if err := s.validateOp(op); err != nil {
+				return fmt.Errorf("fuzz: core %d op %d: %w", ci, oi, err)
+			}
+			w += op.weight()
+		}
+		total += w * p.Rounds
+	}
+	if total == 0 {
+		return fmt.Errorf("fuzz: program scenario performs no operations")
+	}
+	if total > MaxTotalOps {
+		return fmt.Errorf("fuzz: %d total ops exceed the %d budget", total, MaxTotalOps)
+	}
+	return s.validateStoreOwnership()
+}
+
+// validateStoreOwnership enforces the DeNovo data-access contract on
+// program scenarios: a word written by a plain store (st) from one core
+// must not be stored by any other core in any form. DeNovo commits plain
+// stores locally at issue ("DRF data makes the local commit safe" —
+// registration establishes locatability in the background), so the
+// committed image records racing plain stores in issue order while the
+// registry serializes them in registration order; the divergence the
+// invariant monitor would then report is the *workload's* data race, not
+// a protocol bug. Racing writes must use their sync forms (syst and the
+// atomics), which is exactly the "arbitrary synchronization" the paper
+// supports — the mutator repairs candidates to this rule rather than
+// generating oracle noise.
+func (s Scenario) validateStoreOwnership() error {
+	plainBy := map[int]uint32{} // word -> bitmask of progs plain-storing it
+	storeBy := map[int]uint32{} // word -> bitmask of progs storing it at all
+	for ci, p := range s.Progs {
+		for _, op := range p.Ops {
+			if !op.stores() {
+				continue
+			}
+			storeBy[op.Addr] |= 1 << ci
+			if op.Kind == OpStore {
+				plainBy[op.Addr] |= 1 << ci
+			}
+		}
+	}
+	bad := -1
+	for w, pb := range plainBy { //simlint:allow determinism: reduced to the minimum key below
+		if pb != 0 && bits.OnesCount32(storeBy[w]) > 1 && (bad < 0 || w < bad) {
+			bad = w
+		}
+	}
+	if bad >= 0 {
+		return fmt.Errorf("fuzz: word %d is plain-stored (st) while another core also stores it — racing writes must use sync forms (DeNovo's data accesses are DRF by contract)", bad)
+	}
+	return nil
+}
+
+func (s Scenario) validateOp(op Op) error {
+	if !validOpKind(op.Kind) {
+		return fmt.Errorf("unknown op kind %q", op.Kind)
+	}
+	if op.Kind == OpCompute {
+		if op.Lo < 0 || op.Hi <= op.Lo || op.Hi > MaxComputeHi {
+			return fmt.Errorf("compute range [%d, %d) invalid (need 0 <= lo < hi <= %d)", op.Lo, op.Hi, MaxComputeHi)
+		}
+		return nil
+	}
+	if op.Addr < 0 || op.Addr >= s.ArenaWords {
+		return fmt.Errorf("address %d outside the %d-word arena", op.Addr, s.ArenaWords)
+	}
+	if op.Kind == OpSweep {
+		if op.Lines < 1 || op.Lines > MaxSweepLines {
+			return fmt.Errorf("sweep of %d lines out of range [1, %d]", op.Lines, MaxSweepLines)
+		}
+		if op.Stride < 1 || op.Stride > MaxSweepLines {
+			return fmt.Errorf("sweep stride %d out of range [1, %d]", op.Stride, MaxSweepLines)
+		}
+		if last := op.lastWord(); last >= s.ArenaWords {
+			return fmt.Errorf("sweep reaches word %d outside the %d-word arena", last, s.ArenaWords)
+		}
+	}
+	return nil
+}
+
+func (s Scenario) validateKernel() error {
+	if s.Cores != 16 {
+		return fmt.Errorf("fuzz: kernel scenarios run the 16-core machine (got %d)", s.Cores)
+	}
+	if s.ArenaWords != 0 || len(s.Progs) != 0 {
+		return fmt.Errorf("fuzz: kernel scenario carries program fields")
+	}
+	if _, ok := kernels.ByID(s.Kernel); !ok {
+		return fmt.Errorf("fuzz: unknown kernel %q", s.Kernel)
+	}
+	if s.Iters < 0 || s.Iters > MaxKernelIters {
+		return fmt.Errorf("fuzz: kernel iters %d out of range [0, %d]", s.Iters, MaxKernelIters)
+	}
+	return nil
+}
+
+// Canonical returns the scenario's canonical encoding: compact JSON in
+// fixed struct-field order. Fingerprints hash exactly these bytes.
+func (s Scenario) Canonical() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(fmt.Sprintf("fuzz: marshaling Scenario: %v", err)) // unreachable: no unmarshalable fields
+	}
+	return b
+}
+
+// Fingerprint is the scenario's content address (16 hex digits over the
+// canonical encoding, domain-separated by the schema version).
+func (s Scenario) Fingerprint() string {
+	sum := sha256.Sum256(append([]byte("scenfuzz:"+Schema+":"), s.Canonical()...))
+	return hex.EncodeToString(sum[:8])
+}
+
+// DecodeScenario strictly parses scenario JSON: unknown fields, trailing
+// garbage, and schema violations are errors, never panics — the decoder
+// is the trust boundary for corpus files and external trace conversions,
+// and FuzzScenarioDecode hammers it with malformed input.
+func DecodeScenario(data []byte) (Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("fuzz: parsing scenario: %w", err)
+	}
+	if dec.More() {
+		return Scenario{}, fmt.Errorf("fuzz: trailing data after scenario JSON")
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// String identifies the scenario for progress lines and errors.
+func (s Scenario) String() string {
+	switch s.Kind {
+	case KindKernel:
+		return fmt.Sprintf("kernel:%s/%s/seed=%d", s.Kernel, s.Config, s.Seed)
+	default:
+		return fmt.Sprintf("program/%s/%dc/seed=%d/fp=%s", s.Config, s.Cores, s.Seed, s.Fingerprint())
+	}
+}

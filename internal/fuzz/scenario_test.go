@@ -1,0 +1,168 @@
+package fuzz
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyScenario is a minimal valid program scenario used across the tests.
+func tinyScenario(seed uint64, config string) Scenario {
+	return Scenario{
+		Schema: Schema, Kind: KindProgram, Config: config, Cores: 2,
+		ArenaWords: 64, Seed: seed, MaxJitter: 16,
+		Progs: []Prog{
+			{Rounds: 2, Ops: []Op{{Kind: OpSyncStore, Addr: 0, Val: 1}, {Kind: OpLoad, Addr: 1}}},
+			{Rounds: 2, Ops: []Op{{Kind: OpSyncLoad, Addr: 0}, {Kind: OpTAS, Addr: 2}}},
+		},
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	lim := -1
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+		want string
+	}{
+		{"bad schema", func(s *Scenario) { s.Schema = "scen.v0" }, "schema"},
+		{"bad config", func(s *Scenario) { s.Config = "MOESI" }, "config"},
+		{"bad cores", func(s *Scenario) { s.Cores = 3 }, "core count"},
+		{"bad ways", func(s *Scenario) { s.L1Ways = 3 }, "ways"},
+		{"bad size", func(s *Scenario) { s.L1KB = 5 }, "L1 size"},
+		{"negative jitter limit", func(s *Scenario) { s.JitterLimit = &lim }, "jitter limit"},
+		{"no programs", func(s *Scenario) { s.Progs = nil }, "no programs"},
+		{"too many programs", func(s *Scenario) { s.Progs = append(s.Progs, s.Progs[0]) }, "programs for"},
+		{"rounds without ops", func(s *Scenario) { s.Progs[0].Ops = nil }, "no ops"},
+		{"unknown op", func(s *Scenario) { s.Progs[0].Ops[0].Kind = "nop" }, "unknown op"},
+		{"address out of arena", func(s *Scenario) { s.Progs[0].Ops[1].Addr = 64 }, "outside"},
+		{"sweep overruns arena", func(s *Scenario) {
+			s.Progs[0].Ops[1] = Op{Kind: OpSweep, Addr: 0, Lines: 10, Stride: 1}
+		}, "sweep reaches"},
+		{"kernel fields on program", func(s *Scenario) { s.Kernel = "bar-central-ub" }, "kernel fields"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tinyScenario(1, "DS")
+			tc.mut(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted a scenario with %s", tc.name)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	if err := tinyScenario(1, "DS").Validate(); err != nil {
+		t.Fatalf("baseline scenario rejected: %v", err)
+	}
+}
+
+func TestValidateStoreOwnership(t *testing.T) {
+	// Two cores plain-storing the same word: rejected.
+	s := tinyScenario(1, "DS")
+	s.Progs[0].Ops[0] = Op{Kind: OpStore, Addr: 5, Val: 1}
+	s.Progs[1].Ops[0] = Op{Kind: OpStore, Addr: 5, Val: 2}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "plain-stored") {
+		t.Fatalf("racing plain stores accepted (err=%v)", err)
+	}
+
+	// Plain store racing a sync-form store (atomic): still rejected — the
+	// plain side commits locally at issue.
+	s = tinyScenario(1, "DS")
+	s.Progs[0].Ops[0] = Op{Kind: OpStore, Addr: 5, Val: 1}
+	s.Progs[1].Ops[0] = Op{Kind: OpFetchAdd, Addr: 5, Val: 1}
+	if err := s.Validate(); err == nil {
+		t.Fatal("plain store racing an atomic accepted")
+	}
+
+	// Single plain storer, other cores only load: fine.
+	s = tinyScenario(1, "DS")
+	s.Progs[0].Ops[0] = Op{Kind: OpStore, Addr: 5, Val: 1}
+	s.Progs[1].Ops[0] = Op{Kind: OpLoad, Addr: 5}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("single-storer scenario rejected: %v", err)
+	}
+
+	// Racing sync stores: the supported case.
+	s = tinyScenario(1, "DS")
+	s.Progs[0].Ops[0] = Op{Kind: OpSyncStore, Addr: 5, Val: 1}
+	s.Progs[1].Ops[0] = Op{Kind: OpSyncStore, Addr: 5, Val: 2}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("racing sync stores rejected: %v", err)
+	}
+}
+
+func TestFingerprintTracksContent(t *testing.T) {
+	a := tinyScenario(1, "DS")
+	b := tinyScenario(1, "DS")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical scenarios have different fingerprints")
+	}
+	b.Seed = 2
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different scenarios share a fingerprint")
+	}
+
+	// Canonical JSON round-trips to an identical fingerprint.
+	dec, err := DecodeScenario(a.Canonical())
+	if err != nil {
+		t.Fatalf("decoding canonical form: %v", err)
+	}
+	if dec.Fingerprint() != a.Fingerprint() {
+		t.Fatal("canonical round-trip changed the fingerprint")
+	}
+}
+
+// corpusFiles returns the checked-in corpus entries' raw bytes (seed
+// input for the decode fuzzers and the replay test).
+func corpusFiles(t testing.TB) map[string][]byte {
+	dir := filepath.Join("..", "..", "testdata", "corpus")
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading checked-in corpus: %v", err)
+	}
+	out := map[string][]byte{}
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[de.Name()] = b
+	}
+	if len(out) == 0 {
+		t.Fatal("checked-in corpus is empty")
+	}
+	return out
+}
+
+// FuzzScenarioDecode hammers the corpus trust boundary: arbitrary bytes
+// through the strict entry and scenario decoders must produce an error
+// or a valid value, never a panic.
+func FuzzScenarioDecode(f *testing.F) {
+	for _, b := range corpusFiles(f) {
+		f.Add(b)
+	}
+	f.Add(tinyScenario(1, "M").Canonical())
+	f.Add([]byte(`{"schema":"scen.v1"`))
+	f.Add([]byte(`{"schema":"scen.v1","kind":"program"}{"trailing":1}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if s, err := DecodeScenario(data); err == nil {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("DecodeScenario returned an invalid scenario: %v", err)
+			}
+		}
+		if e, err := DecodeEntry(data); err == nil {
+			if err := e.Scenario.Validate(); err != nil {
+				t.Fatalf("DecodeEntry returned an invalid scenario: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,270 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"denovosync/internal/alloc"
+	"denovosync/internal/machine"
+	"denovosync/internal/proto"
+)
+
+// This file translates cmd/protocov's original hand-pinned stress
+// batteries into scenario form, address- and RNG-draw-exactly: the same
+// allocation order against a fresh alloc.Space (so the same absolute
+// addresses), the same per-thread op sequences (so the same workload-RNG
+// draw order), and the same jitter policy. A translated scenario
+// therefore hits the identical atlas tuples as the Go function it
+// replaces — which is what lets the checked-in corpus take over the
+// coverage gate from compiled-in workloads.
+//
+// Pinned seeds, copied from the retired battery: the windows these
+// batteries open are narrow, and the seeds were scanned to hit them.
+// The schedule is deterministic, so they keep hitting.
+var (
+	stressSeeds = []uint64{1, 7, 13}
+	raceSeeds   = []uint64{3, 5, 11, 17, 29, 37, 41}
+	wbRaceSeeds = []uint64{21, 26, 42, 59, 72}
+)
+
+const (
+	stressRounds = 6
+	// thrashLines of distinct lines exceed the 32 KiB L1, guaranteeing
+	// the contended line is a capacity victim every sweep.
+	thrashLines  = 768
+	raceRounds   = 300
+	wbRaceRounds = 200
+)
+
+// stressConfigs mirrors the retired battery's sweep: every battery ran
+// under all four protocol configs.
+var stressConfigs = []string{"M", "DS0", "DS", "DSsig"}
+
+// StressSeeds returns the full translated battery as corpus entries
+// (Result unrecorded — `scenfuzz seed-stress` executes each scenario and
+// records it before writing).
+func StressSeeds() []Entry {
+	var out []Entry
+	for _, cfg := range stressConfigs {
+		for _, seed := range stressSeeds {
+			out = append(out, Entry{
+				Note:     fmt.Sprintf("seed-stress: capacity-thrash eviction race (ex-protocov stressRun), %s seed %d", cfg, seed),
+				Scenario: stressScenario(cfg, seed),
+			})
+		}
+		for _, seed := range raceSeeds {
+			out = append(out, Entry{
+				Note:     fmt.Sprintf("seed-stress: conflict-set eviction race (ex-protocov raceRun; reproducer class for the PR5 MESI stale-exclusive-install and DeNovo parking-deadlock bugs), %s seed %d", cfg, seed),
+				Scenario: raceScenario(cfg, seed),
+			})
+		}
+		for _, seed := range wbRaceSeeds {
+			out = append(out, Entry{
+				Note:     fmt.Sprintf("seed-stress: direct-mapped SyncLoad-vs-writeback race (ex-protocov wbRace; covers denovo.Registry roL2 recvWB), %s seed %d", cfg, seed),
+				Scenario: wbRaceScenario(cfg, seed),
+			})
+		}
+	}
+	out = append(out, Entry{
+		Note:     "seed-stress: MESI stale-Put-after-reacquire regression (scenfuzz campaign find, minimized; before the grant-epoch fix in Directory.recvPut this raised a SWMR violation — two exclusive owners)",
+		Scenario: putRaceScenario(),
+	})
+	return out
+}
+
+// layout replays an allocation sequence against a fresh space and
+// returns each allocation's word offset from the first (the scenario
+// arena base), plus the total arena size covering them all. The runner
+// performs one AllocAligned of the whole arena, and because every
+// original allocation was line-aligned, bump allocation lands each block
+// at exactly these offsets.
+func layout(wordsPerBlock ...int) (offsets []int, arenaWords int) {
+	s := alloc.New()
+	var first proto.Addr
+	for i, words := range wordsPerBlock {
+		a := s.AllocAligned(words, 0)
+		if i == 0 {
+			first = a
+		}
+		offsets = append(offsets, int(a-first)/proto.WordBytes)
+		arenaWords = int(a-first)/proto.WordBytes + words
+	}
+	return offsets, arenaWords
+}
+
+// stressScenario: cores 0 and 1 register a shared line and immediately
+// thrash it out (writeback/Put in flight while forwards race in); core 2
+// reads the line (data and sync) so forwards chase the evicted owner;
+// core 3 keeps a private read-only line (E in MESI) and evicts it.
+func stressScenario(config string, seed uint64) Scenario {
+	offs, arena := layout(proto.WordsPerLine, proto.WordsPerLine, thrashLines*proto.WordsPerLine)
+	a, b, thrash := offs[0], offs[1], offs[2]
+	sweep := Op{Kind: OpSweep, Addr: thrash, Lines: thrashLines, Stride: 1}
+
+	writer := func(storeB bool) Prog {
+		ops := []Op{{Kind: OpSyncStore, Addr: a, Val: 1}}
+		if storeB {
+			ops = append(ops, Op{Kind: OpStore, Addr: a + 1, Val: 1})
+		}
+		ops = append(ops,
+			// Word a+3 is never stored: this data read fills a line whose
+			// word 0 is still registered.
+			Op{Kind: OpLoad, Addr: a + 3},
+			sweep,
+			Op{Kind: OpLoad, Addr: a},
+			Op{Kind: OpFetchAdd, Addr: a + 2, Val: 1},
+			Op{Kind: OpCompute, Lo: 20, Hi: 300},
+		)
+		return Prog{Rounds: stressRounds, Ops: ops}
+	}
+	return Scenario{
+		Schema: Schema, Kind: KindProgram, Config: config,
+		Cores: 16, ArenaWords: arena,
+		Seed: seed, MaxJitter: 32,
+		Progs: []Prog{
+			writer(false),
+			writer(true),
+			{Rounds: stressRounds * 3, Ops: []Op{
+				{Kind: OpLoad, Addr: a},
+				{Kind: OpCompute, Lo: 10, Hi: 150},
+				{Kind: OpSyncLoad, Addr: a},
+				{Kind: OpLoad, Addr: a + 1},
+			}},
+			{Rounds: stressRounds, Ops: []Op{
+				{Kind: OpLoad, Addr: b},
+				sweep,
+			}},
+		},
+	}
+}
+
+// raceScenario: the sweep touches only lines that map to the contended
+// line's cache set, so a register→evict cycle takes ~1k cycles instead
+// of a full-cache sweep, and a large jitter bound (still per-class FIFO)
+// lets a writeback or Put linger in the mesh while requests from other
+// cores overtake it on different message classes.
+func raceScenario(config string, seed uint64) Scenario {
+	p := machine.Params16()
+	sets := p.L1Size / proto.LineBytes / p.L1Ways
+	offs, arena := layout(proto.WordsPerLine, (p.L1Ways+2)*sets*proto.WordsPerLine)
+	a, conflict := offs[0], offs[1]
+	// Offset the conflict rows so every row's line lands in a's set. The
+	// set of an arena word offset is invariant under the arena base
+	// because the base is line-aligned and the original computed the same
+	// offset from absolute addresses.
+	setOfWord := func(w int) int { return (w / proto.WordsPerLine) & (sets - 1) }
+	off := ((setOfWord(a) - setOfWord(conflict)) & (sets - 1)) * proto.WordsPerLine
+	sweep := Op{Kind: OpSweep, Addr: conflict + off, Lines: p.L1Ways + 1, Stride: sets}
+
+	writer := Prog{Rounds: raceRounds, Ops: []Op{
+		{Kind: OpSyncStore, Addr: a, Val: 1},
+		sweep,
+		{Kind: OpLoad, Addr: a},
+		{Kind: OpCompute, Lo: 0, Hi: 100},
+	}}
+	return Scenario{
+		Schema: Schema, Kind: KindProgram, Config: config,
+		Cores: 16, ArenaWords: arena,
+		Seed: seed, MaxJitter: 2000,
+		Progs: []Prog{
+			writer,
+			cloneProg(writer),
+			{Rounds: raceRounds * 2, Ops: []Op{
+				{Kind: OpLoad, Addr: a},
+				{Kind: OpCompute, Lo: 0, Hi: 50},
+				{Kind: OpLoad, Addr: a},
+				{Kind: OpSyncLoad, Addr: a},
+			}},
+		},
+	}
+}
+
+// putRaceScenario is the shrinker's minimization of a scenfuzz campaign
+// finding, kept verbatim (fuzzer-shaped, not hand-designed): under a
+// fully-associative 4 KiB L1 (64 lines) the 17/18-line stride-4 sweeps
+// evict and immediately re-request the same lines, so an owner's Put
+// (jittered up to 2000 cycles on the writeback class) can land after the
+// directory has re-granted that same core ownership. The directory then
+// mistook the stale Put for a current one, cleared the owner, and the
+// next exclusive grant minted a second M/E copy. Fixed by per-grant
+// epochs (Directory.recvPut); this entry pins the window open as a
+// regression.
+func putRaceScenario() Scenario {
+	limit := 1947
+	return Scenario{
+		Schema: Schema, Kind: KindProgram, Config: "M",
+		Cores: 16, L1Ways: 16, L1KB: 4, ArenaWords: 4096,
+		Seed: 4234423502490693000, MaxJitter: 2000, JitterLimit: &limit,
+		Progs: []Prog{
+			{Rounds: 18, Ops: []Op{
+				{Kind: OpLoad, Addr: 12},
+				{Kind: OpCAS, Addr: 922, Val: 252, Old: 2},
+				{Kind: OpSyncLoad, Addr: 13},
+				{Kind: OpCompute, Hi: 50},
+				{Kind: OpCompute, Hi: 1000},
+				{Kind: OpExchange, Addr: 1101, Val: 157},
+				{Kind: OpSweep, Addr: 0, Lines: 18, Stride: 4},
+				{Kind: OpCAS, Addr: 7, Val: 64, Old: 1},
+			}},
+			{Rounds: 6, Ops: []Op{
+				{Kind: OpSyncLoad, Addr: 1119},
+				{Kind: OpCompute, Hi: 50},
+				{Kind: OpTAS, Addr: 15},
+				{Kind: OpLoad, Addr: 15},
+				{Kind: OpSyncStore, Addr: 6, Val: 181},
+				{Kind: OpSyncLoad, Addr: 14},
+			}},
+			{Rounds: 2, Ops: []Op{
+				{Kind: OpTAS, Addr: 4},
+				{Kind: OpLoad, Addr: 3104},
+				{Kind: OpLoad, Addr: 4},
+				{Kind: OpCompute, Hi: 200},
+				{Kind: OpTAS, Addr: 4},
+				{Kind: OpExchange, Addr: 2, Val: 82},
+				{Kind: OpLoad, Addr: 1710},
+				{Kind: OpExchange, Addr: 5, Val: 70},
+				{Kind: OpSyncStore, Addr: 12, Val: 103},
+			}},
+			{Rounds: 18, Ops: []Op{
+				{Kind: OpSyncStore, Addr: 0, Val: 119},
+				{Kind: OpSweep, Addr: 0, Lines: 17, Stride: 4},
+				{Kind: OpStore, Addr: 9, Val: 90},
+				{Kind: OpSyncStore, Addr: 12, Val: 24},
+				{Kind: OpTAS, Addr: 15},
+				{Kind: OpSweep, Addr: 0, Lines: 17, Stride: 4},
+				{Kind: OpSyncStore, Addr: 4, Val: 106},
+			}},
+		},
+	}
+}
+
+// wbRaceScenario targets the registry's rarest transition: a writeback
+// arriving at a word the registry already owns (roL2 recvWB). The L1 is
+// direct-mapped so evicting the contended line costs exactly one
+// conflicting load, and the registering access is a SyncLoad, which
+// blocks until its ack — see the retired wbRace's comment for the full
+// mechanics.
+func wbRaceScenario(config string, seed uint64) Scenario {
+	p := machine.Params16()
+	p.L1Ways = 1
+	sets := p.L1Size / proto.LineBytes / p.L1Ways
+	_, arena := layout(proto.WordsPerLine)
+	a := 0
+	// Direct-mapped conflict: same set, different tag. b was never
+	// allocated in the original; the arena must still reach it.
+	b := a + sets*proto.WordsPerLine
+	if b >= arena {
+		arena = b + 1
+	}
+
+	racer := Prog{Rounds: wbRaceRounds, Ops: []Op{
+		{Kind: OpSyncLoad, Addr: a},
+		{Kind: OpLoad, Addr: b},
+		{Kind: OpCompute, Lo: 0, Hi: 200},
+	}}
+	return Scenario{
+		Schema: Schema, Kind: KindProgram, Config: config,
+		Cores: 16, L1Ways: 1, ArenaWords: arena,
+		Seed: seed, MaxJitter: 2000,
+		Progs: []Prog{racer, cloneProg(racer)},
+	}
+}

@@ -70,10 +70,15 @@ func Names() []string {
 // bounds, watchdog budgets) above the latency constants.
 var scopes = map[string][]string{
 	ExhaustState.Name: nil,
+	// internal/fuzz joins chaos inside the determinism scope: a campaign
+	// is byte-reproducible by contract (candidate generation, acceptance,
+	// and corpus contents are a pure function of seed + journal), so the
+	// same rules apply — seeded generators only, no wall clock, no
+	// order-sensitive map ranges without a per-site justification.
 	Determinism.Name: {
 		"internal/sim", "internal/cache", "internal/mesi", "internal/denovo",
 		"internal/noc", "internal/mem", "internal/cpu", "internal/stats",
-		"internal/chaos",
+		"internal/chaos", "internal/fuzz",
 	},
 	CycleHygiene.Name: {
 		"internal/sim", "internal/cache", "internal/mesi", "internal/denovo",

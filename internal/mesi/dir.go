@@ -27,6 +27,7 @@ type dirEntry struct {
 	resident bool // line present in the L2 (cold misses fetch from DRAM)
 	state    dirState
 	owner    *L1
+	epoch    uint64 // bumped per exclusive grant; Puts return it (see recvPut)
 	sharers  map[*L1]bool
 	busy     bool
 	needAcks int // completion messages outstanding for the current txn
@@ -120,16 +121,18 @@ func (d *Directory) serviceGetS(line proto.Addr, e *dirEntry, req *L1) {
 		// invalidations, so they complete without blocking the line.
 		e.state = dm
 		e.owner = req
+		e.epoch++
 		e.busy = false
+		ep := e.epoch
 		d.cfg.Net.Send(node, req.node, proto.ClassLD, proto.LineDataFlits, func() {
-			req.recvData(line, 0, true, false)
+			req.recvData(line, 0, true, false, ep)
 		})
 		d.maybeStart(line, e)
 	case ds:
 		e.sharers[req] = true
 		e.busy = false
 		d.cfg.Net.Send(node, req.node, proto.ClassLD, proto.LineDataFlits, func() {
-			req.recvData(line, 0, false, false)
+			req.recvData(line, 0, false, false, 0)
 		})
 		d.maybeStart(line, e)
 	case dm:
@@ -152,9 +155,11 @@ func (d *Directory) serviceGetM(line proto.Addr, e *dirEntry, req *L1) {
 	case di:
 		e.state = dm
 		e.owner = req
+		e.epoch++
 		e.needAcks = 1
+		ep := e.epoch
 		d.cfg.Net.Send(node, req.node, proto.ClassST, proto.LineDataFlits, func() {
-			req.recvData(line, 0, false, true)
+			req.recvData(line, 0, false, true, ep)
 		})
 	case ds:
 		invs := 0
@@ -177,6 +182,7 @@ func (d *Directory) serviceGetM(line proto.Addr, e *dirEntry, req *L1) {
 		}
 		e.state = dm
 		e.owner = req
+		e.epoch++
 		e.sharers = make(map[*L1]bool)
 		e.needAcks = 1
 		// If the requestor already holds the line in S, only the ack count
@@ -186,15 +192,18 @@ func (d *Directory) serviceGetM(line proto.Addr, e *dirEntry, req *L1) {
 			flits = proto.CtrlFlits
 		}
 		n := invs
+		ep := e.epoch
 		d.cfg.Net.Send(node, req.node, proto.ClassST, flits, func() {
-			req.recvData(line, n, false, true)
+			req.recvData(line, n, false, true, ep)
 		})
 	case dm:
 		owner := e.owner
 		e.owner = req
+		e.epoch++
 		e.needAcks = 1
+		ep := e.epoch
 		d.cfg.Net.Send(node, owner.node, proto.ClassST, proto.CtrlFlits, func() {
-			owner.recvFwdGetM(line, req)
+			owner.recvFwdGetM(line, req, ep)
 		})
 	}
 }
@@ -221,11 +230,18 @@ func (d *Directory) complete(line proto.Addr) {
 
 // recvPut handles an eviction writeback. Stale writebacks (the owner lost
 // the line to a forwarded request that raced the Put) are acknowledged
-// without touching state.
-func (d *Directory) recvPut(line proto.Addr, from *L1, dirty bool) {
+// without touching state. Staleness cannot be judged by sender identity
+// alone: an owner that evicts (its Put in flight on the writeback class)
+// and then re-acquires the same line is the legitimate owner again by the
+// time the old Put lands, and clearing the entry then leaves that core
+// holding E/M while the directory records no owner — the next exclusive
+// grant mints a second owner (a SWMR violation, found by scenfuzz). Each
+// exclusive grant therefore carries an epoch, and a Put retires the entry
+// only when it returns the epoch of the *current* grant.
+func (d *Directory) recvPut(line proto.Addr, from *L1, dirty bool, epoch uint64) {
 	e := d.entry(line)
 	d.observe(e.state, "recvPut")
-	if !e.busy && e.state == dm && e.owner == from {
+	if !e.busy && e.state == dm && e.owner == from && e.epoch == epoch {
 		e.state = di
 		e.owner = nil
 	}

@@ -60,6 +60,7 @@ type txn struct {
 	unblock  bool // the directory blocked for this txn and awaits Unblock
 	acksNeed int  // -1 until the Data/AckCount message announces the count
 	acksGot  int
+	epoch    uint64 // directory grant epoch (exclusive grants only)
 	waiters  []func()
 
 	// cap bounds the state a delayed grant may still install (li < ls <
@@ -95,8 +96,15 @@ type L1 struct {
 	// the hit check consults this buffer before the cached snapshot.
 	storeFwd map[proto.Addr][]uint64
 
-	epochs   map[proto.Addr]uint64 // per line
+	epochs   map[proto.Addr]uint64 // per line, disturbance counter (WaitDisturb)
 	disturbs map[proto.Addr][]func()
+
+	// ownEpoch records, per E/M-resident line, the directory epoch of the
+	// exclusive grant that installed it. Evictions return it on the Put so
+	// the directory can tell a current writeback from a stale one (see
+	// Directory.recvPut). Distinct from `epochs` above, which counts local
+	// disturbances for sync-load retry wakeups.
+	ownEpoch map[proto.Addr]uint64
 
 	// obs, when set, receives one (controller, state, event) hit per
 	// handler activation (see coverage.go).
@@ -114,6 +122,7 @@ func NewL1(cfg *Config, id proto.CoreID, node proto.NodeID) *L1 {
 		cache:    cache.New(cfg.L1Size, cfg.L1Ways),
 		txns:     make(map[proto.Addr]*txn),
 		epochs:   make(map[proto.Addr]uint64),
+		ownEpoch: make(map[proto.Addr]uint64),
 		disturbs: make(map[proto.Addr][]func()),
 		storeFwd: make(map[proto.Addr][]uint64),
 	}
@@ -311,7 +320,9 @@ func (c *L1) access(req *proto.Request, commit func(uint64), first bool) {
 }
 
 // recvData handles the data (or ack-count) grant of an outstanding miss.
-func (c *L1) recvData(line proto.Addr, acks int, excl, unblock bool) {
+// epoch is the directory's grant epoch for exclusive grants (E or M), zero
+// for plain Shared fills; the L1 returns it on a later eviction Put.
+func (c *L1) recvData(line proto.Addr, acks int, excl, unblock bool, epoch uint64) {
 	t := c.txns[line]
 	if t == nil {
 		panic("mesi: data for absent transaction")
@@ -321,6 +332,7 @@ func (c *L1) recvData(line proto.Addr, acks int, excl, unblock bool) {
 	t.excl = excl
 	t.unblock = unblock
 	t.acksNeed = acks
+	t.epoch = epoch
 	c.maybeComplete(t)
 }
 
@@ -378,6 +390,11 @@ func (c *L1) maybeComplete(t *txn) {
 	v.LineState = st
 	vals := c.cfg.Store.ReadLine(t.line)
 	v.Values = vals
+	if st == lm || st == le {
+		c.ownEpoch[t.line] = t.epoch
+	} else {
+		delete(c.ownEpoch, t.line)
+	}
 
 	// Reopen the directory (ownership-transfer transactions only), then
 	// rerun the stalled accesses.
@@ -412,13 +429,15 @@ func (c *L1) evict(v *cache.Line) {
 	c.stats.Evicted++
 	c.disturb(line)
 	if state == lm || state == le {
+		ep := c.ownEpoch[line]
+		delete(c.ownEpoch, line)
 		flits := proto.CtrlFlits
 		if state == lm {
 			flits = proto.LineDataFlits
 			c.stats.WB++
 		}
 		c.cfg.Net.Send(c.node, c.dir.NodeFor(line), proto.ClassWB, flits, func() {
-			c.dir.recvPut(line, c, state == lm)
+			c.dir.recvPut(line, c, state == lm, ep)
 		})
 	}
 }
@@ -431,6 +450,7 @@ func (c *L1) recvInv(line proto.Addr, req *L1) {
 		c.cache.Evict(l)
 		c.disturb(line)
 	}
+	delete(c.ownEpoch, line)
 	// An invalidation overlapping our own read miss kills the in-flight
 	// grant (see txn.cap). Write misses are exempt: the directory blocks
 	// on GetM, so an overlapping invalidation can only stem from an
@@ -459,6 +479,7 @@ func (c *L1) recvFwdGetS(line proto.Addr, req *L1) {
 				wbFlits = proto.LineDataFlits
 			}
 			l.LineState = ls
+			delete(c.ownEpoch, line) // S evictions are silent: no Put to stamp
 		}
 		// The forward chases an exclusive grant whose fill is still in
 		// flight: the late fill may install at most Shared (txn.cap).
@@ -466,7 +487,7 @@ func (c *L1) recvFwdGetS(line proto.Addr, req *L1) {
 			t.cap = ls
 		}
 		c.cfg.Net.Send(c.node, req.node, proto.ClassLD, proto.LineDataFlits, func() {
-			req.recvData(line, 0, false, true)
+			req.recvData(line, 0, false, true, 0)
 		})
 		c.cfg.Net.Send(c.node, c.dir.NodeFor(line), proto.ClassWB, wbFlits, func() {
 			c.dir.recvOwnerAck(line)
@@ -475,14 +496,16 @@ func (c *L1) recvFwdGetS(line proto.Addr, req *L1) {
 }
 
 // recvFwdGetM services a write forwarded by the directory: invalidate and
-// send data to the requestor.
-func (c *L1) recvFwdGetM(line proto.Addr, req *L1) {
+// send data to the requestor. epoch is the directory's grant epoch for the
+// requestor's new ownership (the data response doubles as the grant).
+func (c *L1) recvFwdGetM(line proto.Addr, req *L1, epoch uint64) {
 	c.cfg.Eng.Schedule(c.cfg.RemoteL1Lat, func() {
 		c.observe(c.lineState(line), "recvFwdGetM")
 		if l := c.cache.Lookup(line); l != nil {
 			c.cache.Evict(l)
 			c.disturb(line)
 		}
+		delete(c.ownEpoch, line)
 		// The forward chases an exclusive grant whose fill is still in
 		// flight: the new writer owns the line now, so the late fill
 		// must not install at all (txn.cap).
@@ -490,7 +513,7 @@ func (c *L1) recvFwdGetM(line proto.Addr, req *L1) {
 			t.cap = li
 		}
 		c.cfg.Net.Send(c.node, req.node, proto.ClassST, proto.LineDataFlits, func() {
-			req.recvData(line, 0, false, true)
+			req.recvData(line, 0, false, true, epoch)
 		})
 	})
 }

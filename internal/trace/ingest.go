@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// IngestSchema is the versioned identifier of the external trace format:
+// JSONL, one header object followed by one op object per line. The
+// format carries per-core memory/sync operation streams captured outside
+// the simulator (e.g. from an instrumented application), which the
+// scenario fuzzer converts into replayable program scenarios.
+//
+//	{"schema":"denovosync.trace.v1","cores":4,"arena_words":1024}
+//	{"c":0,"op":"syst","a":0,"v":1}
+//	{"c":1,"op":"syld","a":0}
+//	...
+const IngestSchema = "denovosync.trace.v1"
+
+// Op kinds accepted in a trace line. These deliberately mirror the
+// scenario schema's op vocabulary minus the synthetic ops (compute,
+// sweep) that have no counterpart in a captured memory trace.
+var ingestOps = map[string]bool{
+	"ld": true, "st": true, "syld": true, "syst": true,
+	"fa": true, "cas": true, "tas": true, "xchg": true,
+}
+
+// TraceOp is one captured operation: core c performed op on arena word a
+// with operand v (and expected value old, for cas).
+type TraceOp struct {
+	Core int    `json:"c"`
+	Op   string `json:"op"`
+	Addr int    `json:"a"`
+	Val  uint64 `json:"v,omitempty"`
+	Old  uint64 `json:"old,omitempty"`
+}
+
+// header is the first line of a trace file.
+type header struct {
+	Schema     string `json:"schema"`
+	Cores      int    `json:"cores"`
+	ArenaWords int    `json:"arena_words"`
+}
+
+// Program is a parsed trace: per-core operation streams over one shared
+// arena. Streams preserve each core's program order; cross-core
+// interleaving is deliberately not represented — the simulator's own
+// timing (plus fuzzed jitter) decides it, which is the point of
+// replaying a trace through the machine rather than linearizing it.
+type Program struct {
+	Cores      int
+	ArenaWords int
+	Streams    [][]TraceOp // indexed by core
+}
+
+// ingestLimits bound a parsed trace; they are intentionally the same
+// order of magnitude as the scenario schema's, so every ingestible trace
+// converts into a valid scenario.
+const (
+	MaxIngestCores = 16
+	MaxIngestWords = 1 << 21
+	MaxIngestOps   = 1 << 20
+)
+
+// Ingest strictly parses a trace.v1 stream. Malformed input of any kind
+// — bad JSON, unknown fields, unknown ops, out-of-range cores or
+// addresses, a missing or wrong header — returns an error and never
+// panics: this is the trust boundary for externally produced files, and
+// FuzzTraceIngest hammers it.
+func Ingest(r io.Reader) (*Program, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+		return nil, fmt.Errorf("trace: empty input (want a %s header line)", IngestSchema)
+	}
+	var h header
+	if err := strictUnmarshal(sc.Bytes(), &h); err != nil {
+		return nil, fmt.Errorf("trace: header: %w", err)
+	}
+	if h.Schema != IngestSchema {
+		return nil, fmt.Errorf("trace: schema %q, want %q", h.Schema, IngestSchema)
+	}
+	if h.Cores < 1 || h.Cores > MaxIngestCores {
+		return nil, fmt.Errorf("trace: cores %d out of range [1, %d]", h.Cores, MaxIngestCores)
+	}
+	if h.ArenaWords < 1 || h.ArenaWords > MaxIngestWords {
+		return nil, fmt.Errorf("trace: arena %d words out of range [1, %d]", h.ArenaWords, MaxIngestWords)
+	}
+
+	p := &Program{Cores: h.Cores, ArenaWords: h.ArenaWords, Streams: make([][]TraceOp, h.Cores)}
+	total, line := 0, 1
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var op TraceOp
+		if err := strictUnmarshal(b, &op); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if !ingestOps[op.Op] {
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", line, op.Op)
+		}
+		if op.Core < 0 || op.Core >= h.Cores {
+			return nil, fmt.Errorf("trace: line %d: core %d out of range [0, %d)", line, op.Core, h.Cores)
+		}
+		if op.Addr < 0 || op.Addr >= h.ArenaWords {
+			return nil, fmt.Errorf("trace: line %d: address %d outside the %d-word arena", line, op.Addr, h.ArenaWords)
+		}
+		if total++; total > MaxIngestOps {
+			return nil, fmt.Errorf("trace: more than %d ops", MaxIngestOps)
+		}
+		p.Streams[op.Core] = append(p.Streams[op.Core], op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading: %w", err)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("trace: no operations after the header")
+	}
+	return p, nil
+}
+
+// strictUnmarshal decodes one JSON object rejecting unknown fields and
+// trailing data.
+func strictUnmarshal(b []byte, v interface{}) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON object")
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const validTrace = `{"schema":"denovosync.trace.v1","cores":2,"arena_words":64}
+{"c":0,"op":"syst","a":0,"v":1}
+{"c":1,"op":"syld","a":0}
+{"c":1,"op":"cas","a":1,"v":2,"old":0}
+`
+
+func TestIngestValid(t *testing.T) {
+	p, err := Ingest(strings.NewReader(validTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cores != 2 || p.ArenaWords != 64 {
+		t.Fatalf("header: cores=%d arena=%d", p.Cores, p.ArenaWords)
+	}
+	if len(p.Streams[0]) != 1 || len(p.Streams[1]) != 2 {
+		t.Fatalf("streams: %d/%d ops", len(p.Streams[0]), len(p.Streams[1]))
+	}
+	if op := p.Streams[1][1]; op.Op != "cas" || op.Val != 2 || op.Old != 0 {
+		t.Fatalf("cas op mangled: %+v", op)
+	}
+}
+
+func TestIngestRejections(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"empty", "", "empty input"},
+		{"bad header json", "{", "header"},
+		{"wrong schema", `{"schema":"trace.v0","cores":1,"arena_words":1}`, "schema"},
+		{"zero cores", `{"schema":"denovosync.trace.v1","cores":0,"arena_words":1}`, "cores"},
+		{"huge arena", `{"schema":"denovosync.trace.v1","cores":1,"arena_words":9999999999}`, "arena"},
+		{"unknown header field", `{"schema":"denovosync.trace.v1","cores":1,"arena_words":1,"x":1}`, "header"},
+		{"no ops", `{"schema":"denovosync.trace.v1","cores":1,"arena_words":1}`, "no operations"},
+		{"unknown op", validTrace + `{"c":0,"op":"fence","a":0}`, "unknown op"},
+		{"core out of range", validTrace + `{"c":2,"op":"ld","a":0}`, "core 2"},
+		{"addr out of range", validTrace + `{"c":0,"op":"ld","a":64}`, "outside"},
+		{"unknown op field", validTrace + `{"c":0,"op":"ld","a":0,"t":1}`, "unknown field"},
+		{"trailing data", validTrace + `{"c":0,"op":"ld","a":0}{"c":0,"op":"ld","a":0}`, "trailing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Ingest(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("Ingest accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// FuzzTraceIngest hammers the external-trace trust boundary: arbitrary
+// bytes must produce an error or an in-bounds program, never a panic.
+func FuzzTraceIngest(f *testing.F) {
+	f.Add([]byte(validTrace))
+	f.Add([]byte(`{"schema":"denovosync.trace.v1","cores":16,"arena_words":2097152}` + "\n" + `{"c":15,"op":"xchg","a":2097151,"v":18446744073709551615}`))
+	f.Add([]byte(`{"schema":"denovosync.trace.v1"`))
+	f.Add([]byte("\n\n\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Ingest(strings.NewReader(string(data)))
+		if err != nil {
+			return
+		}
+		if p.Cores < 1 || p.Cores > MaxIngestCores || len(p.Streams) != p.Cores {
+			t.Fatalf("accepted program out of bounds: cores=%d streams=%d", p.Cores, len(p.Streams))
+		}
+		total := 0
+		for c, stream := range p.Streams {
+			for _, op := range stream {
+				total++
+				if op.Core != c {
+					t.Fatalf("op filed under core %d but records core %d", c, op.Core)
+				}
+				if op.Addr < 0 || op.Addr >= p.ArenaWords {
+					t.Fatalf("accepted op outside the arena: %+v", op)
+				}
+			}
+		}
+		if total == 0 || total > MaxIngestOps {
+			t.Fatalf("accepted program with %d ops", total)
+		}
+	})
+}
