@@ -6,7 +6,7 @@ GO ?= go
 all: check
 
 .PHONY: check
-check: vet lint build race golden atlas-check fuzz-smoke
+check: vet lint build race golden atlas-check isolate-check fuzz-smoke
 
 .PHONY: vet
 vet:
@@ -36,6 +36,22 @@ atlas:
 .PHONY: atlas-check
 atlas-check:
 	$(GO) run ./cmd/protocov -mode all
+
+# isolate regenerates the ownership atlas (docs/isolation/ownership.json):
+# the static cross-tile isolation certificate proving the machine is
+# PDES-partitionable. Run it after any deliberate change to who owns
+# what, then review the diff.
+.PHONY: isolate
+isolate:
+	$(GO) run ./cmd/lpisolate -mode extract
+
+# isolate-check is the CI gate over the ownership atlas: the golden must
+# match the source byte-for-byte and the analysis must report zero
+# unannotated findings. Audit a deliberate crossing at the site with
+# `//lpisolate:boundary(reason)`; see README.
+.PHONY: isolate-check
+isolate-check:
+	$(GO) run ./cmd/lpisolate -mode check
 
 .PHONY: build
 build:

@@ -1,0 +1,93 @@
+// Command lpisolate maintains and enforces the ownership atlas
+// (docs/isolation/ownership.json): the static cross-tile isolation
+// certificate proving the simulated machine is PDES-partitionable.
+//
+// Modes:
+//
+//	-mode extract    regenerate docs/isolation/ownership.json
+//	-mode check      fail if the checked-in golden drifts from the source,
+//	                 or if the analysis reports any unannotated finding
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"denovosync/internal/lint/atlas"
+	"denovosync/internal/lint/lpisolate"
+)
+
+func main() {
+	mode := flag.String("mode", "check", "extract | check")
+	dirFlag := flag.String("dir", "", "module root (default: walk up from cwd)")
+	flag.Parse()
+
+	moduleDir := *dirFlag
+	if moduleDir == "" {
+		d, err := atlas.FindModuleDir(".")
+		if err != nil {
+			fatal(err)
+		}
+		moduleDir = d
+	}
+	goldenPath := filepath.Join(moduleDir, "docs", "isolation", "ownership.json")
+
+	fresh, err := lpisolate.ExtractDir(moduleDir, lpisolate.DefaultModel())
+	if err != nil {
+		fatal(err)
+	}
+
+	ok := true
+	switch *mode {
+	case "extract":
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			fatal(err)
+		}
+		if err := fresh.WriteFile(goldenPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("lpisolate: wrote %s (%d locations, %d crossings, %d findings)\n",
+			goldenPath, len(fresh.Locations), len(fresh.Crossings), len(fresh.Findings))
+		for _, f := range fresh.Findings {
+			fmt.Printf("lpisolate: FINDING %s: %s\n", f.Pos, f.Message)
+		}
+	case "check":
+		for _, f := range fresh.Findings {
+			fmt.Printf("lpisolate: FINDING %s: %s\n", f.Pos, f.Message)
+		}
+		if len(fresh.Findings) > 0 {
+			fmt.Printf("lpisolate: %d isolation findings — fix the crossing or audit it with //lpisolate:boundary(reason)\n",
+				len(fresh.Findings))
+			ok = false
+		}
+		golden, err := lpisolate.ReadFile(goldenPath)
+		if err != nil {
+			fmt.Printf("lpisolate: %v (run `make isolate`)\n", err)
+			ok = false
+			break
+		}
+		diffs := lpisolate.Diff(golden, fresh)
+		for _, d := range diffs {
+			fmt.Printf("lpisolate: atlas drift: %s\n", d)
+		}
+		if len(diffs) > 0 || !lpisolate.Equal(golden, fresh) {
+			fmt.Printf("lpisolate: ownership atlas is stale — run `make isolate` and commit docs/isolation/ownership.json\n")
+			ok = false
+		} else {
+			fmt.Printf("lpisolate: ownership atlas up to date (%d locations, %d crossings, 0 findings)\n",
+				len(golden.Locations), len(golden.Crossings))
+		}
+	default:
+		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lpisolate:", err)
+	os.Exit(1)
+}

@@ -8,12 +8,17 @@
 //	simlint ./...                 # same (the go-style pattern is accepted)
 //	simlint path/to/module
 //	simlint -analyzer=determinism,atlasdrift ./...   # a subset of the suite
+//	simlint -json ./...           # machine-readable diagnostics
 //
 // An unknown -analyzer name is an error listing the valid names (names
 // match case-insensitively).
 //
 // It prints each unsuppressed finding as file:line:col: message
-// (analyzer) and exits 1 if there were any.
+// (analyzer) and exits non-zero if there were any. With -json it
+// instead emits one JSON array of every diagnostic — including the
+// //simlint:allow-suppressed ones, each carrying its directive's reason
+// — with file, line, col, analyzer, message, suppressed and reason
+// fields; the exit status still reflects only unsuppressed findings.
 //
 // The binary also speaks enough of the go vet -vettool protocol
 // (the -V=full handshake and the JSON .cfg unit format) to be used as
@@ -70,13 +75,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(1)
 	}
+	jsonOut := false
+	dirs := rest[:0:0]
+	for _, arg := range rest {
+		if arg == "-json" {
+			jsonOut = true
+			continue
+		}
+		dirs = append(dirs, arg)
+	}
 	dir := "."
-	if len(rest) > 0 {
-		dir = strings.TrimSuffix(rest[0], "...")
+	if len(dirs) > 0 {
+		dir = strings.TrimSuffix(dirs[0], "...")
 		dir = strings.TrimSuffix(dir, "/")
 		if dir == "" {
 			dir = "."
 		}
+	}
+	if jsonOut {
+		findings, err := driver.RunAll(dir, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(1)
+		}
+		live, err := writeJSON(os.Stdout, findings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(1)
+		}
+		if live > 0 {
+			os.Exit(2)
+		}
+		return
 	}
 	findings, err := driver.Run(dir, analyzers)
 	if err != nil {
@@ -89,6 +119,37 @@ func main() {
 	if len(findings) > 0 {
 		os.Exit(2)
 	}
+}
+
+// jsonFinding is the -json wire format for one diagnostic.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// writeJSON emits every diagnostic as one indented JSON array and
+// returns the number of live (unsuppressed) findings.
+func writeJSON(w io.Writer, findings []driver.Finding) (int, error) {
+	out := make([]jsonFinding, 0, len(findings))
+	live := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			live++
+		}
+		out = append(out, jsonFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+			Analyzer: f.Analyzer, Message: f.Message,
+			Suppressed: f.Suppressed, Reason: f.Reason,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return live, enc.Encode(out)
 }
 
 // selectAnalyzers consumes -analyzer flags from args and resolves the

@@ -1,10 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"denovosync/internal/lint"
+	"denovosync/internal/lint/driver"
 )
 
 func TestSelectAnalyzers(t *testing.T) {
@@ -48,4 +53,99 @@ func TestSelectAnalyzers(t *testing.T) {
 			t.Fatal("dangling -analyzer accepted")
 		}
 	})
+}
+
+// TestOutputFormats is the acceptance test for both diagnostic formats:
+// the same module yields the human file:line:col lines for the live
+// finding only, and a -json array carrying both the live finding and the
+// suppressed one with its directive's reason.
+func TestOutputFormats(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module demo\n\ngo 1.22\n")
+	write("internal/stats/dump.go", `package stats
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { //simlint:allow determinism: keys are sorted by the caller
+		out = append(out, k)
+	}
+	return out
+}
+
+func Sum(m map[string]int) int {
+	s := 0
+	for _, v := range m { // no directive: must be reported
+		s += v
+	}
+	return s
+}
+`)
+
+	findings, err := driver.Run(dir, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("driver.Run: %v", err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("want 1 live finding, got %v", findings)
+	}
+	human := findings[0].String()
+	wantSuffix := "dump.go:13:2: map range iteration in a simulator package: order varies per run; sort the keys first (determinism)"
+	if !strings.HasSuffix(human, wantSuffix) {
+		t.Errorf("human format %q does not end with %q", human, wantSuffix)
+	}
+
+	all, err := driver.RunAll(dir, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("driver.RunAll: %v", err)
+	}
+	var buf bytes.Buffer
+	live, err := writeJSON(&buf, all)
+	if err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	if live != 1 {
+		t.Errorf("writeJSON reported %d live findings, want 1", live)
+	}
+	var decoded []jsonFinding
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("want 2 JSON diagnostics, got %v", decoded)
+	}
+	bySupp := map[bool]jsonFinding{}
+	for _, d := range decoded {
+		bySupp[d.Suppressed] = d
+	}
+	s := bySupp[true]
+	if s.Line != 5 || s.Analyzer != "determinism" || s.Reason != "keys are sorted by the caller" {
+		t.Errorf("suppressed JSON diagnostic wrong: %+v", s)
+	}
+	l := bySupp[false]
+	if l.Line != 13 || l.Reason != "" || !strings.HasSuffix(l.File, "dump.go") {
+		t.Errorf("live JSON diagnostic wrong: %+v", l)
+	}
+}
+
+// TestWriteJSONEmpty checks -json on a clean tree emits a valid empty
+// array, not null.
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	live, err := writeJSON(&buf, nil)
+	if err != nil || live != 0 {
+		t.Fatalf("live=%d err=%v", live, err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty output %q, want []", got)
+	}
 }

@@ -221,7 +221,7 @@ func (mu *Mutator) mutateKernel(s *Scenario) {
 }
 
 func (mu *Mutator) mutateProgram(s *Scenario) {
-	switch mu.rng.Intn(10) {
+	switch mu.rng.Intn(11) {
 	case 0:
 		s.Seed = mu.rng.Uint64()
 	case 1:
@@ -281,9 +281,66 @@ func (mu *Mutator) mutateProgram(s *Scenario) {
 			i := mu.rng.Intn(len(s.Progs))
 			s.Progs = append(s.Progs[:i], s.Progs[i+1:]...)
 		}
+	case 10: // eviction-race shaper (geometry + blocking-sync aware)
+		mu.shapeEvictionRace(s)
 	}
 	repairStores(s)
 	mu.clampBudget(s)
+}
+
+// shapeEvictionRace rewrites a scenario toward the writeback-vs-
+// registration races only reachable with a direct-mapped L1: it pins
+// ways to 1, then plants a same-set conflicting load immediately after a
+// blocking sync access, so the line the sync op just registered is
+// evicted while its ack or writeback is still in flight (the shape
+// behind the denovo.Registry roL2 recvWB holdout tuple).
+func (mu *Mutator) shapeEvictionRace(s *Scenario) {
+	s.L1Ways = 1
+	mu.repairSweeps(s) // strides tuned to the old set count are dead now
+	if s.MaxJitter == 0 {
+		s.MaxJitter = mu.pickCyc([]sim.Cycle{256, 2000}) // the race needs in-flight messages to linger
+	}
+	_, _, sets := s.Geometry()
+	p := mu.pickProg(s)
+	if len(p.Ops)+2 > MaxProgOps {
+		return
+	}
+	// The conflict partner: a blocking sync op already in the program, or
+	// a freshly planted sync load on the contended first line.
+	idx := -1
+	var syncs []int
+	for i, op := range p.Ops {
+		switch op.Kind {
+		case OpSyncLoad, OpSyncStore, OpFetchAdd, OpCAS, OpTAS, OpExchange:
+			syncs = append(syncs, i)
+		}
+	}
+	if len(syncs) > 0 {
+		idx = syncs[mu.rng.Intn(len(syncs))]
+	} else {
+		p.Ops = append([]Op{{Kind: OpSyncLoad, Addr: 0}}, p.Ops...)
+		idx = 0
+	}
+	// Same set, different tag: one load evicts the just-registered line.
+	conflict := p.Ops[idx].Addr + sets*proto.WordsPerLine
+	if conflict >= MaxArenaWords {
+		return
+	}
+	if conflict >= s.ArenaWords {
+		s.ArenaWords = conflict + 1
+	}
+	rest := append([]Op{{Kind: OpLoad, Addr: conflict}}, p.Ops[idx+1:]...)
+	p.Ops = append(p.Ops[:idx+1], rest...)
+	// The window is a handful of cycles per registration; give the shaped
+	// core enough rounds to roll the dice, and a second core racing the
+	// same schedule so a re-registration can overlap the eviction's
+	// writeback (the two-racer structure of the retired wbRace battery).
+	if p.Rounds < 100 {
+		p.Rounds = mu.pickInt([]int{100, 200, 300})
+	}
+	if len(s.Progs) < s.Cores {
+		s.Progs = append(s.Progs, cloneProg(*p))
+	}
 }
 
 func (mu *Mutator) mutateJitter(s *Scenario) {

@@ -3,6 +3,8 @@ package fuzz
 import (
 	"bytes"
 	"testing"
+
+	"denovosync/internal/proto"
 )
 
 // TestMutatorDeterminism: a mutator is a pure function of its seed — two
@@ -84,6 +86,96 @@ func TestGenerateValid(t *testing.T) {
 			t.Fatalf("generated scenario %d invalid: %v\n%s", i, err, s.Canonical())
 		}
 	}
+}
+
+// TestShapeEvictionRace checks the geometry/blocking-sync-aware operator
+// rewrites candidates into the direct-mapped conflict shape behind the
+// (denovo.Registry roL2 recvWB) holdout: ways pinned to 1, a conflicting
+// same-set load planted immediately after a blocking sync access, the
+// arena grown to reach it, and a nonzero jitter bound so the racing
+// writeback can linger in flight.
+func TestShapeEvictionRace(t *testing.T) {
+	// hasConflictPair reports whether some program contains a blocking
+	// sync op immediately followed by a load exactly one way-stride away.
+	hasConflictPair := func(s Scenario) bool {
+		_, _, sets := s.Geometry()
+		for _, p := range s.Progs {
+			for i := 0; i+1 < len(p.Ops); i++ {
+				switch p.Ops[i].Kind {
+				case OpSyncLoad, OpSyncStore, OpFetchAdd, OpCAS, OpTAS, OpExchange:
+				default:
+					continue
+				}
+				next := p.Ops[i+1]
+				if next.Kind == OpLoad && next.Addr == p.Ops[i].Addr+sets*proto.WordsPerLine {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	t.Run("existing sync op gains a same-set conflict", func(t *testing.T) {
+		mu := NewMutator(1)
+		s := tinyScenario(1, "DS")
+		s.Progs[0].Ops[0] = Op{Kind: OpSyncLoad, Addr: 3}
+		mu.shapeEvictionRace(&s)
+		if s.L1Ways != 1 {
+			t.Fatalf("L1Ways = %d, want direct-mapped", s.L1Ways)
+		}
+		if s.MaxJitter == 0 {
+			t.Fatal("shaper left MaxJitter at 0: the race window cannot open")
+		}
+		if !hasConflictPair(s) {
+			t.Fatalf("no sync-then-conflicting-load pair planted:\n%s", s.Canonical())
+		}
+		// The arena reaches every planted conflict word.
+		for _, p := range s.Progs {
+			for _, op := range p.Ops {
+				if op.Kind == OpLoad && op.Addr >= s.ArenaWords {
+					t.Fatalf("arena %d does not reach conflict word %d", s.ArenaWords, op.Addr)
+				}
+			}
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("shaped scenario invalid: %v", err)
+		}
+	})
+
+	t.Run("sync-free program gets a planted sync load", func(t *testing.T) {
+		mu := NewMutator(2)
+		s := tinyScenario(1, "DSsig")
+		for pi := range s.Progs {
+			for oi := range s.Progs[pi].Ops {
+				s.Progs[pi].Ops[oi] = Op{Kind: OpLoad, Addr: 1}
+			}
+		}
+		mu.shapeEvictionRace(&s)
+		if !hasConflictPair(s) {
+			t.Fatalf("no conflict pair planted into sync-free program:\n%s", s.Canonical())
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("shaped scenario invalid: %v", err)
+		}
+	})
+
+	t.Run("reachable through Mutate and always valid", func(t *testing.T) {
+		mu := NewMutator(5)
+		parent := stressScenario("DS", 3)
+		shaped := 0
+		for i := 0; i < 400; i++ {
+			child := mu.Mutate(parent)
+			if err := child.Validate(); err != nil {
+				t.Fatalf("mutation %d invalid: %v", i, err)
+			}
+			if child.L1Ways == 1 && hasConflictPair(child) {
+				shaped++
+			}
+		}
+		if shaped == 0 {
+			t.Fatal("400 mutations never produced the eviction-race shape")
+		}
+	})
 }
 
 func TestRepairStoresPromotesRaces(t *testing.T) {

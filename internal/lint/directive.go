@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Directive comments share one scoping rule across the lint tooling,
+// whatever their syntax: an end-of-line directive applies to its own
+// line ONLY, and a standalone directive comment applies to its own line
+// plus the line below it. (A trailing directive deliberately does NOT
+// bless the next line — it used to, and one suppression silently
+// swallowed unrelated findings on the following statement.) The
+// suppression filter (//simlint:allow) and the isolation prover's
+// audited-crossing annotation (//lpisolate:boundary) both parse through
+// this helper so the scoping bug cannot regress in one and not the
+// other.
+
+// allowRE matches a suppression directive. The reason after the colon is
+// mandatory: an unjustified suppression is itself a finding.
+var allowRE = regexp.MustCompile(`//simlint:allow\s+([a-z]+)\s*:\s*(\S.*)`)
+
+// BoundaryRE matches an lpisolate audited-crossing annotation:
+// //lpisolate:boundary(reason). The reason is mandatory.
+var BoundaryRE = regexp.MustCompile(`//lpisolate:boundary\((\S[^)]*)\)`)
+
+// BlessedLines scans the files' comments with parse — which returns the
+// directive's payload (e.g. a suppression reason) and whether the
+// comment is a recognized directive — and returns, per filename, the
+// lines each directive applies to, mapped to the payload. Files must
+// have been parsed with parser.ParseComments.
+func BlessedLines(fset *token.FileSet, files []*ast.File, parse func(text string) (payload string, ok bool)) map[string]map[int]string {
+	blessed := map[string]map[int]string{}
+	for _, f := range files {
+		code := codeLines(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				payload, ok := parse(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if blessed[pos.Filename] == nil {
+					blessed[pos.Filename] = map[int]string{}
+				}
+				blessed[pos.Filename][pos.Line] = payload
+				if !code[pos.Line] { // standalone comment: bless the next line
+					blessed[pos.Filename][pos.Line+1] = payload
+				}
+			}
+		}
+	}
+	return blessed
+}
+
+// AllowDirective parses one //simlint:allow comment for analyzer name,
+// returning the mandatory reason.
+func AllowDirective(text, analyzer string) (reason string, ok bool) {
+	m := allowRE.FindStringSubmatch(text)
+	if m == nil || m[1] != analyzer || strings.TrimSpace(m[2]) == "" {
+		return "", false
+	}
+	return strings.TrimSpace(m[2]), true
+}
+
+// BoundaryDirective parses one //lpisolate:boundary(reason) comment,
+// returning the mandatory reason.
+func BoundaryDirective(text string) (reason string, ok bool) {
+	m := BoundaryRE.FindStringSubmatch(text)
+	if m == nil || strings.TrimSpace(m[1]) == "" {
+		return "", false
+	}
+	return strings.TrimSpace(m[1]), true
+}
+
+// codeLines marks the lines of f on which non-comment code starts (used
+// to tell an end-of-line directive from a standalone directive comment).
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		return true
+	})
+	return lines
+}

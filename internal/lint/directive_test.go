@@ -1,0 +1,90 @@
+package lint_test
+
+import (
+	"testing"
+
+	"denovosync/internal/lint"
+	"denovosync/internal/lint/analysis"
+)
+
+// TestBlessedLinesBoundaryScoping pins the shared directive-scoping rule
+// for the lpisolate boundary annotation: a trailing
+// //lpisolate:boundary(...) covers only its own line, a standalone one
+// covers its own line and the next — exactly the //simlint:allow rule,
+// because both parse through the same helper. (The PR 5 scoping bug —
+// a trailing directive also blessing the NEXT line — must stay fixed
+// for both directives.)
+func TestBlessedLinesBoundaryScoping(t *testing.T) {
+	fset, files, _ := filterFixture(t, map[string]string{
+		"a.go": `package p
+
+type S struct {
+	//lpisolate:boundary(standalone: blesses the field below)
+	A int
+	B int //lpisolate:boundary(trailing: blesses only this line)
+	C int
+}
+`,
+	})
+	blessed := lint.BlessedLines(fset, files, lint.BoundaryDirective)
+	want := map[int]string{
+		4: "standalone: blesses the field below",
+		5: "standalone: blesses the field below",
+		6: "trailing: blesses only this line",
+	}
+	got := blessed["a.go"]
+	if len(got) != len(want) {
+		t.Fatalf("blessed lines = %v, want %v", got, want)
+	}
+	for line, reason := range want {
+		if got[line] != reason {
+			t.Errorf("line %d: reason %q, want %q", line, got[line], reason)
+		}
+	}
+	if _, ok := got[7]; ok {
+		t.Errorf("line 7 (below a trailing directive) must NOT be blessed")
+	}
+}
+
+func TestBoundaryDirectiveRequiresReason(t *testing.T) {
+	for _, text := range []string{
+		"//lpisolate:boundary()",
+		"//lpisolate:boundary( )",
+		"//lpisolate:boundary",
+		"// an ordinary comment",
+	} {
+		if _, ok := lint.BoundaryDirective(text); ok {
+			t.Errorf("%q parsed as a valid boundary directive", text)
+		}
+	}
+	reason, ok := lint.BoundaryDirective("//lpisolate:boundary(committed image: PDES port shards by home tile)")
+	if !ok || reason != "committed image: PDES port shards by home tile" {
+		t.Errorf("valid directive parsed as (%q, %v)", reason, ok)
+	}
+}
+
+// TestPartitionReportsSuppressions pins the machine-readable suppression
+// info behind cmd/simlint -json: Partition returns both the kept
+// findings and the suppressed ones with their directive reasons.
+func TestPartitionReportsSuppressions(t *testing.T) {
+	fset, files, at := filterFixture(t, map[string]string{
+		"a.go": `package p
+
+func f() {
+	_ = 1 //simlint:allow determinism: justified here
+	_ = 2
+}
+`,
+	})
+	diags := []analysis.Diagnostic{at("a.go", 4), at("a.go", 5)}
+	kept, supp := lint.Partition(fset, files, lint.Determinism, diags)
+	if len(kept) != 1 || fset.Position(kept[0].Pos).Line != 5 {
+		t.Fatalf("want the line-5 finding kept, got %v", positions(fset, kept))
+	}
+	if len(supp) != 1 || supp[0].Reason != "justified here" {
+		t.Fatalf("want one suppression with its reason, got %+v", supp)
+	}
+	if fset.Position(supp[0].Diag.Pos).Line != 4 {
+		t.Fatalf("suppressed diagnostic at line %d, want 4", fset.Position(supp[0].Diag.Pos).Line)
+	}
+}

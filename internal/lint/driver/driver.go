@@ -19,11 +19,16 @@ import (
 	"denovosync/internal/lint/loader"
 )
 
-// Finding is one unsuppressed diagnostic.
+// Finding is one diagnostic: either a live finding or one a
+// //simlint:allow directive suppressed (Suppressed true, with the
+// directive's mandatory reason).
 type Finding struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+
+	Suppressed bool
+	Reason     string
 }
 
 func (f Finding) String() string {
@@ -65,10 +70,28 @@ func ModulePathUp(dir string) (string, error) {
 }
 
 // Run applies analyzers to every package of the module rooted at
-// moduleDir and returns the surviving findings, sorted by position. A
-// package that fails to load is an error: simlint findings are only
-// trustworthy on code the type checker accepted.
+// moduleDir and returns the surviving (unsuppressed) findings, sorted by
+// position. A package that fails to load is an error: simlint findings
+// are only trustworthy on code the type checker accepted.
 func Run(moduleDir string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	all, err := RunAll(moduleDir, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	kept := all[:0:0]
+	for _, f := range all {
+		if !f.Suppressed {
+			kept = append(kept, f)
+		}
+	}
+	return kept, nil
+}
+
+// RunAll is Run without the suppression filter: every diagnostic comes
+// back, the silenced ones marked Suppressed with their directive's
+// reason. It feeds cmd/simlint -json, where an auditor wants to see the
+// waivers alongside the live findings.
+func RunAll(moduleDir string, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	moduleDir, err := filepath.Abs(moduleDir)
 	if err != nil {
 		return nil, err
@@ -128,11 +151,21 @@ func Run(moduleDir string, analyzers []*analysis.Analyzer) ([]Finding, error) {
 			if _, err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("driver: %s on %s: %w", a.Name, pkgPath, err)
 			}
-			for _, d := range lint.Filter(fset, pkg.Files, a, diags) {
+			kept, supp := lint.Partition(fset, pkg.Files, a, diags)
+			for _, d := range kept {
 				findings = append(findings, Finding{
 					Analyzer: a.Name,
 					Pos:      fset.Position(d.Pos),
 					Message:  d.Message,
+				})
+			}
+			for _, s := range supp {
+				findings = append(findings, Finding{
+					Analyzer:   a.Name,
+					Pos:        fset.Position(s.Diag.Pos),
+					Message:    s.Diag.Message,
+					Suppressed: true,
+					Reason:     s.Reason,
 				})
 			}
 		}

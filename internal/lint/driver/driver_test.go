@@ -114,6 +114,63 @@ func Sum(m map[string]int) int {
 	}
 }
 
+// TestRunAllReportsSuppression checks the -json feed: RunAll returns the
+// suppressed diagnostic with its directive's reason alongside the live
+// finding, and Run filters it.
+func TestRunAllReportsSuppression(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/stats/dump.go": `package stats
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { //simlint:allow determinism: keys are sorted by the caller
+		out = append(out, k)
+	}
+	return out
+}
+
+func Sum(m map[string]int) int {
+	s := 0
+	for _, v := range m { // no directive: must be reported
+		s += v
+	}
+	return s
+}
+`,
+	})
+	all, err := driver.RunAll(dir, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("driver.RunAll: %v", err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("want 2 diagnostics (1 live + 1 suppressed), got %v", all)
+	}
+	var live, supp *driver.Finding
+	for i := range all {
+		if all[i].Suppressed {
+			supp = &all[i]
+		} else {
+			live = &all[i]
+		}
+	}
+	if live == nil || supp == nil {
+		t.Fatalf("want one live and one suppressed, got %v", all)
+	}
+	if supp.Pos.Line != 5 || supp.Reason != "keys are sorted by the caller" {
+		t.Errorf("suppressed finding wrong: line %d, reason %q", supp.Pos.Line, supp.Reason)
+	}
+	if live.Pos.Line != 13 || live.Reason != "" {
+		t.Errorf("live finding wrong: line %d, reason %q", live.Pos.Line, live.Reason)
+	}
+	kept, err := driver.Run(dir, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("driver.Run: %v", err)
+	}
+	if len(kept) != 1 || kept[0].Suppressed {
+		t.Fatalf("Run must filter suppressed diagnostics, got %v", kept)
+	}
+}
+
 func writeModule(t *testing.T, files map[string]string) string {
 	t.Helper()
 	dir := t.TempDir()

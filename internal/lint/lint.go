@@ -10,7 +10,6 @@ package lint
 import (
 	"go/ast"
 	"go/token"
-	"regexp"
 	"strings"
 
 	"denovosync/internal/lint/analysis"
@@ -75,10 +74,15 @@ var scopes = map[string][]string{
 	// and corpus contents are a pure function of seed + journal), so the
 	// same rules apply — seeded generators only, no wall clock, no
 	// order-sensitive map ranges without a per-site justification.
+	// internal/lint/lpisolate is in the determinism scope for the same
+	// reason the atlas is golden-gated: the ownership atlas it emits is
+	// checked-in JSON compared byte-for-byte in CI, so its extraction
+	// must be a pure function of the source tree — sorted iterations
+	// only, no wall clock.
 	Determinism.Name: {
 		"internal/sim", "internal/cache", "internal/mesi", "internal/denovo",
 		"internal/noc", "internal/mem", "internal/cpu", "internal/stats",
-		"internal/chaos", "internal/fuzz",
+		"internal/chaos", "internal/fuzz", "internal/lint/lpisolate",
 	},
 	CycleHygiene.Name: {
 		"internal/sim", "internal/cache", "internal/mesi", "internal/denovo",
@@ -120,60 +124,39 @@ func InScope(a *analysis.Analyzer, relPath string) bool {
 	return false
 }
 
-// allowRE matches a suppression directive. The reason after the colon is
-// mandatory: an unjustified suppression is itself a finding.
-var allowRE = regexp.MustCompile(`//simlint:allow\s+([a-z]+)\s*:\s*(\S.*)`)
+// Suppressed is one diagnostic a //simlint:allow directive silenced,
+// with the directive's mandatory reason.
+type Suppressed struct {
+	Diag   analysis.Diagnostic
+	Reason string
+}
 
 // Filter drops diagnostics suppressed by a //simlint:allow directive for
 // the analyzer: an end-of-line directive suppresses its own line; a
 // standalone directive comment suppresses its own line and the line
-// below it. (A trailing directive deliberately does NOT bless the next
-// line — it used to, and one suppression silently swallowed unrelated
-// findings on the following statement.) Files must have been parsed with
-// parser.ParseComments.
+// below it (the shared scoping rule in BlessedLines). Files must have
+// been parsed with parser.ParseComments.
 func Filter(fset *token.FileSet, files []*ast.File, a *analysis.Analyzer, diags []analysis.Diagnostic) []analysis.Diagnostic {
-	allowed := map[string]map[int]bool{} // filename -> lines a directive blesses
-	for _, f := range files {
-		code := codeLines(fset, f)
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := allowRE.FindStringSubmatch(c.Text)
-				if m == nil || m[1] != a.Name || strings.TrimSpace(m[2]) == "" {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				if allowed[pos.Filename] == nil {
-					allowed[pos.Filename] = map[int]bool{}
-				}
-				allowed[pos.Filename][pos.Line] = true
-				if !code[pos.Line] { // standalone comment: bless the next line
-					allowed[pos.Filename][pos.Line+1] = true
-				}
-			}
-		}
-	}
-	var out []analysis.Diagnostic
-	for _, d := range diags {
-		pos := fset.Position(d.Pos)
-		if allowed[pos.Filename][pos.Line] {
-			continue
-		}
-		out = append(out, d)
-	}
-	return out
+	kept, _ := Partition(fset, files, a, diags)
+	return kept
 }
 
-// codeLines marks the lines of f on which non-comment code starts (used
-// to tell an end-of-line directive from a standalone directive comment).
-func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
-	lines := map[int]bool{}
-	ast.Inspect(f, func(n ast.Node) bool {
-		switch n.(type) {
-		case nil, *ast.Comment, *ast.CommentGroup:
-			return false
-		}
-		lines[fset.Position(n.Pos()).Line] = true
-		return true
+// Partition splits diagnostics into the kept findings and the ones a
+// //simlint:allow directive suppressed (with the directive's reason) —
+// the machine-readable output of cmd/simlint -json reports both.
+func Partition(fset *token.FileSet, files []*ast.File, a *analysis.Analyzer, diags []analysis.Diagnostic) ([]analysis.Diagnostic, []Suppressed) {
+	allowed := BlessedLines(fset, files, func(text string) (string, bool) {
+		return AllowDirective(text, a.Name)
 	})
-	return lines
+	var kept []analysis.Diagnostic
+	var supp []Suppressed
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if reason, ok := allowed[pos.Filename][pos.Line]; ok {
+			supp = append(supp, Suppressed{Diag: d, Reason: reason})
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, supp
 }

@@ -1,0 +1,440 @@
+package lpisolate
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"denovosync/internal/lint"
+	"denovosync/internal/lint/loader"
+)
+
+// typeInfo is one named struct type of the scope packages with its
+// ownership classification.
+type typeInfo struct {
+	obj   *types.TypeName
+	named *types.Named
+	qname string // "pkg.Type"
+
+	domain string
+	seeded bool
+
+	// boundary is a type-level //lpisolate:boundary reason: every field
+	// of the type is an audited boundary.
+	boundary string
+	// behindBoundary / behindSliced mark types reachable only through
+	// boundary-annotated / sliced fields: their own fields inherit that
+	// class (the audit or slicing covers the object graph behind it).
+	behindBoundary string
+	behindSliced   bool
+
+	fields     map[string]*fieldInfo
+	fieldOrder []string
+
+	// refs records every classified (fromType, field) referencing this
+	// type, for domain propagation and behind-* inheritance.
+	refs []refEdge
+}
+
+type refEdge struct {
+	from     *typeInfo
+	field    string
+	boundary string
+	sliced   bool
+}
+
+// fieldInfo is one struct field declaration.
+type fieldInfo struct {
+	name      string
+	pos       token.Pos
+	typ       types.Type
+	funcTyped bool
+	// boundary is the field-level //lpisolate:boundary reason.
+	boundary string
+
+	class  string // computed in classify: frozen|plain|sliced|boundary|injected
+	reason string
+	writes []*writeEvent
+}
+
+// globalInfo is one package-level variable of a scope package.
+type globalInfo struct {
+	pkg, name string
+	pos       token.Pos
+	funcTyped bool
+	boundary  string
+	writes    []*writeEvent
+}
+
+type analyzer struct {
+	fset      *token.FileSet
+	model     *Model
+	moduleDir string
+	pkgs      []*loader.Package
+
+	infos   map[*types.TypeName]*typeInfo
+	byQName map[string]*typeInfo
+	globals map[string]*globalInfo // "pkg.var"
+	blessed map[string]map[int]string
+
+	writes   []*writeEvent
+	calls    []*callEvent
+	consumed map[*ast.FuncLit]bool
+
+	// facts feeds the mutating-method summary fixpoint.
+	facts map[string]*funcFacts
+
+	atlas *Atlas
+}
+
+// ExtractDir loads the model's scope packages from a module tree (via the
+// simlint loader — source-only, offline) and computes the ownership atlas.
+func ExtractDir(moduleDir string, model *Model) (*Atlas, error) {
+	modPath, err := modulePath(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ld := loader.New(fset, func(p string) (string, bool) {
+		if p == modPath {
+			return moduleDir, true
+		}
+		if rest, ok := strings.CutPrefix(p, modPath+"/"); ok {
+			return filepath.Join(moduleDir, filepath.FromSlash(rest)), true
+		}
+		return "", false
+	})
+	var pkgs []*loader.Package
+	for _, rel := range model.Packages {
+		pkg, err := ld.Load(modPath + "/" + rel)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	a := &analyzer{
+		fset: fset, model: model, moduleDir: moduleDir, pkgs: pkgs,
+		infos:    map[*types.TypeName]*typeInfo{},
+		byQName:  map[string]*typeInfo{},
+		globals:  map[string]*globalInfo{},
+		consumed: map[*ast.FuncLit]bool{},
+		facts:    map[string]*funcFacts{},
+	}
+	return a.run()
+}
+
+func modulePath(moduleDir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(moduleDir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lpisolate: no module line in %s/go.mod", moduleDir)
+}
+
+func (a *analyzer) run() (*Atlas, error) {
+	a.atlas = &Atlas{
+		Schema:   Schema,
+		Packages: append([]string(nil), a.model.Packages...),
+		Domains:  map[string]string{},
+	}
+	a.collectAnnotations()
+	a.collectTypes()
+	a.propagateDomains()
+	for _, pkg := range a.pkgs {
+		for _, f := range pkg.Files {
+			a.walkFile(pkg, f)
+		}
+	}
+	a.classify()
+	a.atlas.Sort()
+	return a.atlas, nil
+}
+
+// collectAnnotations gathers every //lpisolate:boundary(reason) line.
+func (a *analyzer) collectAnnotations() {
+	a.blessed = map[string]map[int]string{}
+	for _, pkg := range a.pkgs {
+		for file, lines := range lint.BlessedLines(a.fset, pkg.Files, lint.BoundaryDirective) { //simlint:allow determinism: map-to-map copy, order-insensitive
+			a.blessed[file] = lines
+		}
+	}
+}
+
+func (a *analyzer) annotationAt(pos token.Pos) string {
+	p := a.fset.Position(pos)
+	return a.blessed[p.Filename][p.Line]
+}
+
+// collectTypes builds typeInfo for every named struct type declared in the
+// scope packages, and globalInfo for every package-level variable.
+func (a *analyzer) collectTypes() {
+	for _, pkg := range a.pkgs {
+		pkgName := pkg.Types.Name()
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					switch spec := spec.(type) {
+					case *ast.TypeSpec:
+						a.collectType(pkg, pkgName, spec)
+					case *ast.ValueSpec:
+						if gd.Tok.String() != "var" {
+							continue
+						}
+						for _, name := range spec.Names {
+							if name.Name == "_" {
+								continue
+							}
+							obj := pkg.Info.Defs[name]
+							if obj == nil || obj.Parent() != pkg.Types.Scope() {
+								continue
+							}
+							_, isFunc := obj.Type().Underlying().(*types.Signature)
+							a.globals[pkgName+"."+name.Name] = &globalInfo{
+								pkg: pkgName, name: name.Name, pos: name.Pos(),
+								funcTyped: isFunc,
+								boundary:  a.annotationAt(name.Pos()),
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (a *analyzer) collectType(pkg *loader.Package, pkgName string, spec *ast.TypeSpec) {
+	st, ok := spec.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	obj, _ := pkg.Info.Defs[spec.Name].(*types.TypeName)
+	if obj == nil {
+		return
+	}
+	named, _ := obj.Type().(*types.Named)
+	if named == nil {
+		return
+	}
+	ti := &typeInfo{
+		obj: obj, named: named,
+		qname:    pkgName + "." + spec.Name.Name,
+		boundary: a.annotationAt(spec.Name.Pos()),
+		fields:   map[string]*fieldInfo{},
+	}
+	if d, ok := a.model.Seeds[ti.qname]; ok {
+		ti.domain, ti.seeded = d, true
+	}
+	for _, field := range st.Fields.List {
+		ftype := pkg.Info.Types[field.Type].Type
+		_, isFunc := ftype.Underlying().(*types.Signature)
+		add := func(name string, pos token.Pos) {
+			fi := &fieldInfo{
+				name: name, pos: pos, typ: ftype,
+				funcTyped: isFunc,
+				boundary:  a.annotationAt(pos),
+			}
+			ti.fields[name] = fi
+			ti.fieldOrder = append(ti.fieldOrder, name)
+		}
+		if len(field.Names) == 0 { // embedded
+			add(embeddedName(ftype), field.Type.Pos())
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				add(name.Name, name.Pos())
+			}
+		}
+	}
+	a.infos[obj] = ti
+	a.byQName[ti.qname] = ti
+}
+
+// embeddedName returns the field name of an embedded type.
+func embeddedName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// structElem unwraps pointers, slices, arrays and map values down to a
+// named struct type declared in the scope packages, or nil.
+func (a *analyzer) structElem(t types.Type) *typeInfo {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Named:
+			if ti, ok := a.infos[u.Obj()]; ok {
+				return ti
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedQNames returns the classified type names in deterministic order.
+func (a *analyzer) sortedQNames() []string {
+	var names []string
+	for q := range a.byQName { //simlint:allow determinism: sorted immediately below
+		names = append(names, q)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// propagateDomains spreads ownership from the seeds along the
+// field-reference graph: an unseeded scope struct inherits the domain of
+// the types whose fields reference it; a conflict (two domains reference
+// it) is a finding, because a location with two owners cannot be
+// partitioned.
+func (a *analyzer) propagateDomains() {
+	names := a.sortedQNames()
+	for changed := true; changed; {
+		changed = false
+		for _, q := range names {
+			ti := a.byQName[q]
+			if ti.domain == "" {
+				continue
+			}
+			for _, fname := range ti.fieldOrder {
+				fi := ti.fields[fname]
+				ref := a.structElem(fi.typ)
+				if ref == nil || ref == ti {
+					continue
+				}
+				if !ref.seeded {
+					ref.refs = append(ref.refs, refEdge{
+						from: ti, field: fname,
+						boundary: firstNonEmpty(fi.boundary, ti.boundary, ti.behindBoundary),
+						sliced:   a.model.Sliced[ti.qname+"."+fname] || ti.behindSliced,
+					})
+					switch {
+					case ref.domain == "":
+						ref.domain = ti.domain
+						changed = true
+					case ref.domain != ti.domain && ref.domain != "conflict":
+						ref.domain = "conflict"
+						a.finding(fi.pos, ti.qname,
+							fmt.Sprintf("type %s is referenced from both the %s and %s domains: a location with two owners cannot be partitioned",
+								ref.qname, ref.domain, ti.domain))
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// behind-* inheritance: a non-seeded type whose every reference edge
+	// is boundary (or sliced) lives entirely behind that audit.
+	for changed := true; changed; {
+		changed = false
+		for _, q := range names {
+			ti := a.byQName[q]
+			if ti.seeded || len(ti.refs) == 0 || ti.behindBoundary != "" || ti.behindSliced {
+				continue
+			}
+			allBoundary, allSliced := true, true
+			reason := ""
+			for _, e := range ti.refs {
+				if e.boundary == "" {
+					allBoundary = false
+				} else if reason == "" {
+					reason = e.boundary
+				}
+				if !e.sliced {
+					allSliced = false
+				}
+			}
+			if allBoundary {
+				ti.behindBoundary = reason
+				changed = true
+			} else if allSliced {
+				ti.behindSliced = true
+				changed = true
+			}
+		}
+	}
+	for _, q := range names {
+		if ti := a.byQName[q]; ti.domain != "" {
+			a.atlas.Domains[q] = ti.domain
+		}
+	}
+}
+
+func firstNonEmpty(ss ...string) string {
+	for _, s := range ss {
+		if s != "" {
+			return s
+		}
+	}
+	return ""
+}
+
+// domainOf resolves a named type's domain: classified scope types first,
+// then out-of-scope seeds (cpu.Core).
+func (a *analyzer) domainOf(n *types.Named) string {
+	if ti, ok := a.infos[n.Obj()]; ok {
+		return ti.domain
+	}
+	return a.model.Seeds[qnameOf(n)]
+}
+
+func qnameOf(n *types.Named) string {
+	if n.Obj().Pkg() == nil {
+		return n.Obj().Name()
+	}
+	return n.Obj().Pkg().Name() + "." + n.Obj().Name()
+}
+
+func (a *analyzer) isTileController(n *types.Named) bool {
+	return a.model.TileControllers[qnameOf(n)]
+}
+
+func (a *analyzer) finding(pos token.Pos, context, message string) {
+	a.atlas.Findings = append(a.atlas.Findings, &Finding{
+		Pos: a.relPos(pos), Context: context, Message: message,
+	})
+}
+
+func (a *analyzer) crossing(pos token.Pos, from, to, kind, detail string) {
+	a.atlas.Crossings = append(a.atlas.Crossings, &Crossing{
+		Pos: a.relPos(pos), From: from, To: to, Kind: kind, Detail: detail,
+	})
+}
+
+// relPos renders pos module-relative ("internal/noc/noc.go:42").
+func (a *analyzer) relPos(pos token.Pos) string {
+	p := a.fset.Position(pos)
+	file := p.Filename
+	if rel, err := filepath.Rel(a.moduleDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s:%d", file, p.Line)
+}

@@ -1,0 +1,403 @@
+package lpisolate
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mutation-class ranks for the method summaries: the worst class of
+// receiver state a method (transitively) writes.
+const (
+	rankNone = iota
+	rankBoundary
+	rankSliced
+	rankPlain
+)
+
+func classRank(class string) int {
+	switch class {
+	case "plain", "injected":
+		return rankPlain
+	case "sliced":
+		return rankSliced
+	case "boundary":
+		return rankBoundary
+	}
+	return rankNone
+}
+
+// classify turns the collected events into location classes, method
+// summaries, crossings and findings.
+func (a *analyzer) classify() {
+	a.classifyFields()
+	ranks := a.summarize()
+	for _, ev := range a.writes {
+		a.classifyWrite(ev)
+	}
+	for _, ev := range a.calls {
+		a.classifyCall(ev, ranks)
+	}
+	a.emitLocations()
+}
+
+// classifyFields assigns each field its location class.
+func (a *analyzer) classifyFields() {
+	for _, q := range a.sortedQNames() {
+		ti := a.byQName[q]
+		for _, fname := range ti.fieldOrder {
+			fi := ti.fields[fname]
+			switch {
+			case ti.boundary != "":
+				fi.class, fi.reason = "boundary", ti.boundary
+			case ti.behindBoundary != "":
+				fi.class, fi.reason = "boundary", ti.behindBoundary
+			case fi.boundary != "":
+				fi.class, fi.reason = "boundary", fi.boundary
+			case a.model.Sliced[ti.qname+"."+fname] || ti.behindSliced:
+				fi.class = "sliced"
+			case fi.funcTyped && len(fi.writes) > 0 && allWiring(fi.writes):
+				fi.class = "injected"
+			case anyNonWiring(fi.writes):
+				fi.class = "plain"
+			default:
+				fi.class = "frozen"
+			}
+		}
+	}
+}
+
+func allWiring(writes []*writeEvent) bool {
+	for _, w := range writes {
+		if w.ctx.kind != "wiring" {
+			return false
+		}
+	}
+	return true
+}
+
+func anyNonWiring(writes []*writeEvent) bool {
+	for _, w := range writes {
+		if w.ctx.kind != "wiring" {
+			return true
+		}
+	}
+	return false
+}
+
+// summarize computes, per function, the worst class of receiver state it
+// writes — directly or through same-receiver calls (fixpoint).
+func (a *analyzer) summarize() map[string]int {
+	var keys []string
+	for k := range a.facts { //simlint:allow determinism: sorted immediately below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ranks := map[string]int{}
+	for changed := true; changed; {
+		changed = false
+		for _, k := range keys {
+			f := a.facts[k]
+			r := ranks[k]
+			for _, w := range f.recvWrites {
+				if w.path.owner != nil {
+					if fi := w.path.owner.fields[w.path.field]; fi != nil {
+						if cr := classRank(fi.class); cr > r {
+							r = cr
+						}
+					}
+				}
+			}
+			for _, callee := range f.recvCalls {
+				if ranks[callee] > r {
+					r = ranks[callee]
+				}
+			}
+			if r != ranks[k] {
+				ranks[k] = r
+				changed = true
+			}
+		}
+	}
+	return ranks
+}
+
+func (a *analyzer) classifyWrite(ev *writeEvent) {
+	ctx, p := ev.ctx, ev.path
+	if p.global != nil {
+		a.classifyGlobalWrite(ev)
+		return
+	}
+	fi := p.owner.fields[p.field]
+	if fi == nil {
+		return
+	}
+	locDomain := p.owner.domain
+	detail := p.owner.qname + "." + p.field
+	cross := ctx.domain != locDomain
+	switch {
+	case p.viaBoundary != "" || fi.class == "boundary":
+		if cross || p.viaPeer {
+			a.crossing(ev.pos, ctx.domain, locDomain, "boundary", detail)
+		}
+	case fi.class == "sliced":
+		if ctx.kind == "wiring" {
+			if cross {
+				a.crossing(ev.pos, ctx.domain, locDomain, "wiring", detail)
+			}
+			return
+		}
+		if !p.slicedOK {
+			a.finding(ev.pos, ctx.fn, fmt.Sprintf(
+				"write to sliced location %s without indexing a per-node slot", detail))
+			return
+		}
+		if cross {
+			a.crossing(ev.pos, ctx.domain, locDomain, "sliced", detail)
+		}
+	default:
+		switch {
+		case ctx.kind == "wiring":
+			if cross || p.viaPeer {
+				a.crossing(ev.pos, ctx.domain, locDomain, "wiring", detail)
+			}
+		case ctx.kind == "message":
+			if cross || p.viaPeer {
+				a.crossing(ev.pos, ctx.domain, locDomain, "mediated", detail)
+			}
+		case p.viaPeer:
+			a.finding(ev.pos, ctx.fn, fmt.Sprintf(
+				"cross-tile write: %s mutates %s through a peer-controller reference", ctx.fn, detail))
+		case cross:
+			a.finding(ev.pos, ctx.fn, fmt.Sprintf(
+				"cross-domain write: %s context mutates %s-owned %s", domainName(ctx.domain), locDomain, detail))
+		}
+	}
+}
+
+func domainName(d string) string {
+	if d == "" {
+		return "unowned"
+	}
+	return d
+}
+
+func (a *analyzer) classifyGlobalWrite(ev *writeEvent) {
+	g := ev.path.global
+	gd := a.model.PackageDomains[g.pkg]
+	switch {
+	case g.boundary != "":
+		if ev.ctx.domain != gd {
+			a.crossing(ev.pos, ev.ctx.domain, gd, "boundary", g.pkg+"."+g.name)
+		}
+	case ev.ctx.kind == "wiring":
+	case ev.ctx.domain != gd:
+		a.finding(ev.pos, ev.ctx.fn, fmt.Sprintf(
+			"cross-domain write: %s context mutates package-level %s.%s (%s-owned)",
+			domainName(ev.ctx.domain), g.pkg, g.name, gd))
+	}
+}
+
+func (a *analyzer) classifyCall(ev *callEvent, ranks map[string]int) {
+	ctx := ev.ctx
+	if ev.funcField {
+		a.classifyFuncFieldCall(ev)
+		return
+	}
+	// Wiring callees (Set*/New*/model-listed) are the construction
+	// phase's sanctioned cross-domain touches.
+	if isWiringCallee(ev.key, a.model) {
+		if (ev.targetDomain != "" && ev.targetDomain != ctx.domain) || ev.peerCall || (ev.path != nil && ev.path.viaPeer) {
+			a.crossing(ev.pos, ctx.domain, ev.targetDomain, "wiring", ev.key)
+		}
+		return
+	}
+	r := ranks[ev.key]
+	for _, k := range ev.iface {
+		if ranks[k] > r {
+			r = ranks[k]
+		}
+	}
+	if r == rankNone {
+		return // read-only, or out-of-scope (the cpu host boundary)
+	}
+	peer := ev.peerCall || (ev.path != nil && ev.path.viaPeer)
+	cross := ev.targetDomain != "" && ev.targetDomain != ctx.domain
+	if ev.targetDomain == "" {
+		// Interface receiver: derive the touch from the mutating
+		// implementors (a method set is as cross-tile as its members).
+		for _, k := range ev.iface {
+			if ranks[k] == rankNone {
+				continue
+			}
+			i := lastDot(k)
+			ti := a.byQName[k[:i]]
+			if ti == nil {
+				continue
+			}
+			if ti.domain != ctx.domain {
+				cross = true
+			}
+			if a.model.TileControllers[ti.qname] &&
+				!(ev.path != nil && ev.path.baseIsRecv && ev.path.nhops == 0) {
+				peer = true
+			}
+		}
+	}
+	if ev.path != nil && ev.path.viaBoundary != "" {
+		if cross || peer {
+			a.crossing(ev.pos, ctx.domain, ev.targetDomain, "boundary", ev.key)
+		}
+		return
+	}
+	switch r {
+	case rankBoundary:
+		if cross || peer {
+			a.crossing(ev.pos, ctx.domain, ev.targetDomain, "boundary", ev.key)
+		}
+	case rankSliced:
+		if cross || peer {
+			a.crossing(ev.pos, ctx.domain, ev.targetDomain, "sliced", ev.key)
+		}
+	default: // rankPlain
+		switch {
+		case ctx.kind == "wiring":
+			if cross || peer {
+				a.crossing(ev.pos, ctx.domain, ev.targetDomain, "wiring", ev.key)
+			}
+		case ctx.kind == "message":
+			if cross || peer {
+				a.crossing(ev.pos, ctx.domain, ev.targetDomain, "mediated", ev.key)
+			}
+		case peer:
+			a.finding(ev.pos, ctx.fn, fmt.Sprintf(
+				"cross-tile call: %s invokes mutating %s on a peer controller outside any delivery closure", ctx.fn, ev.key))
+		case cross:
+			a.finding(ev.pos, ctx.fn, fmt.Sprintf(
+				"cross-domain call: %s context invokes mutating %s (%s-owned)",
+				domainName(ctx.domain), ev.key, ev.targetDomain))
+		}
+	}
+}
+
+func isWiringCallee(key string, m *Model) bool {
+	if key == "" {
+		return false
+	}
+	if m.Wiring[key] {
+		return true
+	}
+	base := key
+	if i := lastDot(key); i >= 0 {
+		base = key[i+1:]
+	}
+	return hasPrefix(base, "Set") || hasPrefix(base, "New")
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+// classifyFuncFieldCall handles invoking a func-typed field: injected
+// hooks require an audited boundary; same-domain continuations are fine.
+func (a *analyzer) classifyFuncFieldCall(ev *callEvent) {
+	p := ev.path
+	if p == nil {
+		return
+	}
+	if p.owner == nil {
+		if g := p.global; g != nil {
+			gd := a.model.PackageDomains[g.pkg]
+			switch {
+			case g.boundary != "":
+				a.crossing(ev.pos, ev.ctx.domain, gd, "boundary", g.pkg+"."+g.name)
+			case gd != ev.ctx.domain:
+				a.finding(ev.pos, ev.ctx.fn, fmt.Sprintf(
+					"invoking package-level hook %s.%s from %s context without a boundary annotation",
+					g.pkg, g.name, domainName(ev.ctx.domain)))
+			}
+		}
+		return
+	}
+	fi := p.owner.fields[p.field]
+	if fi == nil {
+		return
+	}
+	detail := p.owner.qname + "." + p.field
+	switch {
+	case fi.class == "boundary" || p.viaBoundary != "":
+		a.crossing(ev.pos, ev.ctx.domain, p.owner.domain, "boundary", detail)
+	case fi.class == "injected":
+		a.finding(ev.pos, ev.ctx.fn, fmt.Sprintf(
+			"invoking injected hook %s without a //lpisolate:boundary annotation on the field", detail))
+	case p.viaPeer:
+		a.finding(ev.pos, ev.ctx.fn, fmt.Sprintf(
+			"cross-tile call: %s invokes continuation %s on a peer controller", ev.ctx.fn, detail))
+	case p.owner.domain != ev.ctx.domain:
+		a.finding(ev.pos, ev.ctx.fn, fmt.Sprintf(
+			"cross-domain call: %s context invokes continuation %s (%s-owned)",
+			domainName(ev.ctx.domain), detail, p.owner.domain))
+	}
+}
+
+// emitLocations writes every classified storage location into the atlas
+// and applies the shared-fabric policy: a plain mutable field on a shared
+// domain (noc, mem) is itself a finding.
+func (a *analyzer) emitLocations() {
+	for _, q := range a.sortedQNames() {
+		ti := a.byQName[q]
+		if ti.domain == "" {
+			continue
+		}
+		for _, fname := range ti.fieldOrder {
+			fi := ti.fields[fname]
+			a.atlas.Locations = append(a.atlas.Locations, &Location{
+				Owner: ti.qname, Field: fname,
+				Domain: ti.domain, Class: fi.class,
+				Mutable: len(fi.writes) > 0,
+				Reason:  fi.reason,
+				Pos:     a.relPos(fi.pos),
+			})
+			if a.model.Shared[ti.domain] && fi.class == "plain" {
+				a.finding(fi.pos, ti.qname, fmt.Sprintf(
+					"shared %s fabric location %s.%s is plain mutable state: slice it per node or annotate an audited boundary",
+					ti.domain, ti.qname, fname))
+			}
+		}
+	}
+	var gkeys []string
+	for k := range a.globals { //simlint:allow determinism: sorted immediately below
+		gkeys = append(gkeys, k)
+	}
+	sort.Strings(gkeys)
+	for _, k := range gkeys {
+		g := a.globals[k]
+		gd := a.model.PackageDomains[g.pkg]
+		class := "frozen"
+		switch {
+		case g.boundary != "":
+			class = "boundary"
+		case g.funcTyped && len(g.writes) > 0 && allWiring(g.writes):
+			class = "injected"
+		case anyNonWiring(g.writes):
+			class = "plain"
+		}
+		a.atlas.Locations = append(a.atlas.Locations, &Location{
+			Owner: g.pkg, Field: g.name,
+			Domain: gd, Class: class,
+			Mutable: len(g.writes) > 0,
+			Reason:  g.boundary,
+			Pos:     a.relPos(g.pos),
+		})
+		if class == "plain" {
+			a.finding(g.pos, g.pkg, fmt.Sprintf(
+				"package-level %s.%s is mutable shared state: no logical process owns a global", g.pkg, g.name))
+		}
+	}
+}

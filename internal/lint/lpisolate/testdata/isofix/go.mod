@@ -1,0 +1,3 @@
+module isofix
+
+go 1.22

@@ -1,0 +1,48 @@
+// Package host is the fixture orchestrator: it wires the tiles (legal)
+// and then reaches into them two forbidden ways — through a mutating
+// interface, and through a callback the tile constructor runs in tile
+// context that captures host state.
+package host
+
+import (
+	"isofix/fabric"
+	"isofix/tiles"
+)
+
+// Host drives the fixture machine.
+type Host struct {
+	net     *fabric.Net
+	ctrls   []*tiles.Ctrl
+	started int
+}
+
+// New assembles the machine; the report callback it hands each tile
+// constructor captures (and mutates) host state from tile context.
+func New(n int) *Host {
+	h := &Host{net: fabric.New(n)}
+	for i := 0; i < n; i++ {
+		h.ctrls = append(h.ctrls, tiles.NewCtrl(i, h.net, func(int) {
+			h.started++
+		}))
+	}
+	return h
+}
+
+// Wire installs the observers on every tile (Set* wiring: legal).
+func (h *Host) Wire() {
+	for _, c := range h.ctrls {
+		c.SetObserver(func(int) {})
+		c.SetHook(func(int) {})
+	}
+}
+
+// Poke reaches a controller through the mutating interface: finding.
+func (h *Host) Poke(i int) {
+	var m tiles.Mut = h.ctrls[i]
+	m.Bump()
+}
+
+// Run drains the fabric (boundary-audited fabric state: legal).
+func (h *Host) Run() {
+	h.net.Drain()
+}

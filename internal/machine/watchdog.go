@@ -84,7 +84,7 @@ func (m *Machine) armWatchdog() {
 	last := ^uint64(0) // first tick always observes progress (startup)
 	var tick func()
 	tick = func() {
-		if m.finished == m.Params.Cores {
+		if m.finishedCount() == m.Params.Cores {
 			return
 		}
 		cur := m.totalRetired()
@@ -114,7 +114,7 @@ func (m *Machine) snapshot() WatchdogSnapshot {
 		Cycle:         uint64(m.Eng.Now()),
 		Events:        m.Eng.Executed,
 		PendingEvents: m.Eng.Pending(),
-		Finished:      m.finished,
+		Finished:      m.finishedCount(),
 		Cores:         m.Params.Cores,
 	}
 	inflight := m.Net.InFlight()

@@ -15,6 +15,14 @@ import (
 )
 
 // Store is the word-granularity committed-value memory image.
+//
+// Every tile's L2 bank reads and commits through the one shared image, so
+// the isolation prover cannot slice it per tile; the crossing is audited
+// instead. Writes happen only at protocol commit points, which a PDES port
+// makes messages to the word's home tile (the image shards by address with
+// no cross-shard invariants).
+//
+//lpisolate:boundary(committed-value ground truth: shared by construction, PDES port shards the image by home tile)
 type Store struct {
 	words map[proto.Addr]uint64
 }
@@ -49,7 +57,12 @@ type DRAM struct {
 	// AccessLatency is the controller+DRAM service time per request.
 	AccessLatency sim.Cycle
 
-	accesses uint64
+	// accesses counts serviced requests per memory controller, and each
+	// controller's counter is incremented only by the delivery event that
+	// runs AT that controller — the request counter is controller-local
+	// state, not bank state, so the isolation prover can certify the
+	// slicing (each memory controller is its own logical process).
+	accesses [noc.NumMemCtrl]uint64
 }
 
 // NewDRAM builds the memory model on net.
@@ -59,7 +72,12 @@ func NewDRAM(eng *sim.Engine, net *noc.Network, accessLatency sim.Cycle) *DRAM {
 
 // ControllerFor returns the memory controller node serving line.
 func (d *DRAM) ControllerFor(line proto.Addr) proto.NodeID {
-	return d.net.MemNode(int(line/proto.LineBytes) % noc.NumMemCtrl)
+	return d.net.MemNode(ctrlIndex(line))
+}
+
+// ctrlIndex returns the line-interleaved controller index (0..NumMemCtrl-1).
+func ctrlIndex(line proto.Addr) int {
+	return int(line/proto.LineBytes) % noc.NumMemCtrl
 }
 
 // Fetch simulates an L2 bank at node bank fetching line from memory,
@@ -69,8 +87,9 @@ func (d *DRAM) ControllerFor(line proto.Addr) proto.NodeID {
 // writebacks to memory (data travels toward the controller instead).
 func (d *DRAM) Fetch(bank proto.NodeID, line proto.Addr, class proto.MsgClass, done func()) {
 	mc := d.ControllerFor(line)
-	d.accesses++
+	idx := ctrlIndex(line)
 	d.net.Send(bank, mc, class, proto.CtrlFlits, func() {
+		d.accesses[idx]++
 		d.eng.Schedule(d.AccessLatency, func() {
 			d.net.Send(mc, bank, class, proto.LineDataFlits, done)
 		})
@@ -80,8 +99,9 @@ func (d *DRAM) Fetch(bank proto.NodeID, line proto.Addr, class proto.MsgClass, d
 // WriteBack simulates flushing a dirty line from an L2 bank to memory.
 func (d *DRAM) WriteBack(bank proto.NodeID, line proto.Addr, done func()) {
 	mc := d.ControllerFor(line)
-	d.accesses++
+	idx := ctrlIndex(line)
 	d.net.Send(bank, mc, proto.ClassWB, proto.LineDataFlits, func() {
+		d.accesses[idx]++
 		d.eng.Schedule(d.AccessLatency, func() {
 			if done != nil {
 				d.net.Send(mc, bank, proto.ClassWB, proto.CtrlFlits, done)
@@ -90,5 +110,12 @@ func (d *DRAM) WriteBack(bank proto.NodeID, line proto.Addr, done func()) {
 	})
 }
 
-// Accesses returns the number of DRAM requests serviced.
-func (d *DRAM) Accesses() uint64 { return d.accesses }
+// Accesses returns the number of DRAM requests serviced, summed over the
+// controllers in index order.
+func (d *DRAM) Accesses() uint64 {
+	var t uint64
+	for _, v := range d.accesses {
+		t += v
+	}
+	return t
+}

@@ -12,6 +12,14 @@ import "denovosync/internal/proto"
 // write signature into every other core's accumulator for that lock; an
 // acquire consumes (returns and clears) the acquirer's own accumulator.
 // Bloom false positives only cause extra safe invalidations.
+//
+// The table is written from releasers and read from acquirers on different
+// tiles, so the isolation prover audits it as a boundary rather than
+// slicing it: architecturally the signatures ride the sync-variable
+// ownership transfer (registration messages), and a PDES port attaches
+// each lock's row to the lock word's home tile.
+//
+//lpisolate:boundary(write signatures ride sync-variable transfer messages; PDES port homes each lock row at the lock word's tile)
 type SigTable struct {
 	cores int
 	sigs  map[proto.Addr][]proto.Signature

@@ -44,6 +44,7 @@ type Directory struct {
 
 	// obs, when set, receives one (controller, state, event) hit per
 	// handler activation (see coverage.go).
+	//lpisolate:boundary(Set*-injected coverage observer; read-only by contract, enforced by simlint observerpurity)
 	obs TransitionObserver
 }
 

@@ -72,6 +72,25 @@ func abs(x int) int {
 	return x
 }
 
+// endpoint is one node's tile-local slice of the traffic accounting.
+// Send writes only the source node's endpoint; delivery writes only the
+// destination node's. Keeping every mutable counter sliced per node is
+// what lets the isolation prover (internal/lint/lpisolate) certify the
+// network as PDES-partitionable: a logical process only ever touches
+// its own endpoint, and totals are aggregated by read-only sweeps.
+type endpoint struct {
+	flitCrossings [proto.NumMsgClasses]uint64
+	messages      [proto.NumMsgClasses]uint64
+
+	// In-flight accounting splits across the two tiles involved: sent
+	// increments at the source when the message enters the mesh,
+	// delivered increments at the destination inside the delivery event.
+	// A class's in-flight count is sum(sent) - sum(delivered), so
+	// neither side ever writes the other's counters.
+	sent      [proto.NumMsgClasses]int64
+	delivered [proto.NumMsgClasses]int64
+}
+
 // Network delivers messages across a Mesh and tallies traffic.
 type Network struct {
 	Mesh
@@ -81,10 +100,12 @@ type Network struct {
 	// so the 16-core fit of 10/3 cycles per hop is exact.
 	perHopNum, perHopDen sim.Cycle
 
-	flitCrossings [proto.NumMsgClasses]uint64
-	messages      [proto.NumMsgClasses]uint64
+	// eps holds the per-node traffic endpoints, indexed by NodeID
+	// (tiles first, then the memory-controller nodes).
+	eps []endpoint
 
 	// trace, when non-nil, observes every message at send time.
+	//lpisolate:boundary(wiring-injected observer: read-only by contract, runs synchronously at the sender)
 	trace func(at sim.Cycle, src, dst proto.NodeID, class proto.MsgClass, flits int)
 
 	// perturb, when non-nil, replaces a message's modeled delivery latency
@@ -92,15 +113,18 @@ type Network struct {
 	// The callback must return a latency >= 0; it may reorder deliveries
 	// across source/destination pairs but is responsible for whatever
 	// ordering discipline the attached policy promises.
+	//lpisolate:boundary(wiring-injected latency policy: owns only its own jitter state, audited in internal/chaos)
 	perturb func(src, dst proto.NodeID, class proto.MsgClass, flits int, lat sim.Cycle) sim.Cycle
 
-	// inFlight counts sent-but-undelivered messages per class when
-	// tracking is enabled (watchdog snapshots, end-of-run quiescence).
-	// Tracking is opt-in because it wraps every deliver closure.
-	track    bool
-	inFlight [proto.NumMsgClasses]int64
+	// track enables in-flight accounting (watchdog snapshots, end-of-run
+	// quiescence). Opt-in because it wraps every deliver closure.
+	track bool
 
 	// cont, when non-nil, switches latency to the link-contention model.
+	// Its per-link busy horizons are fabric state mutated on every send:
+	// under a PDES partition the contended mesh is its own logical
+	// process (or sharded per link), not tile state.
+	//lpisolate:boundary(link-contention busy horizons are fabric-owned; a PDES port makes the contended NoC its own LP)
 	cont *contention
 }
 
@@ -109,7 +133,10 @@ func New(eng *sim.Engine, mesh Mesh, perHopNum, perHopDen sim.Cycle) *Network {
 	if perHopDen == 0 {
 		panic("noc: zero per-hop denominator")
 	}
-	return &Network{Mesh: mesh, eng: eng, perHopNum: perHopNum, perHopDen: perHopDen}
+	return &Network{
+		Mesh: mesh, eng: eng, perHopNum: perHopNum, perHopDen: perHopDen,
+		eps: make([]endpoint, mesh.Tiles()+NumMemCtrl),
+	}
 }
 
 // Latency returns the modeled network traversal time for hops hops.
@@ -126,8 +153,8 @@ func (n *Network) Send(src, dst proto.NodeID, class proto.MsgClass, flits int, d
 		n.trace(n.eng.Now(), src, dst, class, flits)
 	}
 	hops := n.Hops(src, dst)
-	n.flitCrossings[class] += uint64(flits * hops)
-	n.messages[class]++
+	n.eps[src].flitCrossings[class] += uint64(flits * hops)
+	n.eps[src].messages[class]++
 	var lat sim.Cycle
 	if n.cont != nil {
 		lat = n.contendedLatency(src, dst, flits)
@@ -138,10 +165,10 @@ func (n *Network) Send(src, dst proto.NodeID, class proto.MsgClass, flits int, d
 		lat = n.perturb(src, dst, class, flits, lat)
 	}
 	if n.track {
-		n.inFlight[class]++
+		n.eps[src].sent[class]++
 		orig := deliver
 		deliver = func() {
-			n.inFlight[class]--
+			n.eps[dst].delivered[class]++
 			orig()
 		}
 	}
@@ -160,13 +187,22 @@ func (n *Network) SetPerturb(fn func(src, dst proto.NodeID, class proto.MsgClass
 func (n *Network) TrackInFlight() { n.track = true }
 
 // InFlight returns the sent-but-undelivered message count per class
-// (all zero unless TrackInFlight was called).
-func (n *Network) InFlight() [proto.NumMsgClasses]int64 { return n.inFlight }
+// (all zero unless TrackInFlight was called): the per-endpoint sent
+// counters minus the delivered ones, swept in node order.
+func (n *Network) InFlight() [proto.NumMsgClasses]int64 {
+	var out [proto.NumMsgClasses]int64
+	for i := range n.eps {
+		for c := range out {
+			out[c] += n.eps[i].sent[c] - n.eps[i].delivered[c]
+		}
+	}
+	return out
+}
 
 // InFlightTotal returns the total sent-but-undelivered message count.
 func (n *Network) InFlightTotal() int64 {
 	var t int64
-	for _, v := range n.inFlight {
+	for _, v := range n.InFlight() {
 		t += v
 	}
 	return t
@@ -177,23 +213,45 @@ func (n *Network) SetTrace(fn func(at sim.Cycle, src, dst proto.NodeID, class pr
 	n.trace = fn
 }
 
-// Traffic returns flit link-crossings accumulated per message class.
-func (n *Network) Traffic() [proto.NumMsgClasses]uint64 { return n.flitCrossings }
+// Traffic returns flit link-crossings accumulated per message class,
+// summed over the per-node endpoints in node order.
+func (n *Network) Traffic() [proto.NumMsgClasses]uint64 {
+	var out [proto.NumMsgClasses]uint64
+	for i := range n.eps {
+		for c := range out {
+			out[c] += n.eps[i].flitCrossings[c]
+		}
+	}
+	return out
+}
 
-// Messages returns message counts per class.
-func (n *Network) Messages() [proto.NumMsgClasses]uint64 { return n.messages }
+// Messages returns message counts per class, summed over the per-node
+// endpoints in node order.
+func (n *Network) Messages() [proto.NumMsgClasses]uint64 {
+	var out [proto.NumMsgClasses]uint64
+	for i := range n.eps {
+		for c := range out {
+			out[c] += n.eps[i].messages[c]
+		}
+	}
+	return out
+}
 
 // TotalTraffic returns total flit link-crossings across all classes.
 func (n *Network) TotalTraffic() uint64 {
 	var t uint64
-	for _, v := range n.flitCrossings {
+	for _, v := range n.Traffic() {
 		t += v
 	}
 	return t
 }
 
-// ResetStats clears the traffic counters (e.g. after warmup).
+// ResetStats clears the traffic counters (e.g. after warmup). In-flight
+// accounting deliberately survives a reset: a message sent before the
+// reset must still balance its sent counter at delivery.
 func (n *Network) ResetStats() {
-	n.flitCrossings = [proto.NumMsgClasses]uint64{}
-	n.messages = [proto.NumMsgClasses]uint64{}
+	for i := range n.eps {
+		n.eps[i].flitCrossings = [proto.NumMsgClasses]uint64{}
+		n.eps[i].messages = [proto.NumMsgClasses]uint64{}
+	}
 }
