@@ -6,7 +6,7 @@ GO ?= go
 all: check
 
 .PHONY: check
-check: vet lint build race golden atlas-check isolate-check fuzz-smoke
+check: vet lint build race golden atlas-check isolate-check fuzz-smoke pdes-smoke
 
 .PHONY: vet
 vet:
@@ -124,18 +124,43 @@ golden-update:
 	$(GO) test ./internal/harness -run TestGoldenFigures -count=1 -update
 	$(GO) test ./internal/machine -run TestDeterminismGolden -count=1 -update
 
+# pdes-smoke is the seconds-scale PDES gate run inside `make check`: the
+# serial-vs-parallel fingerprint differential on two kernels at several
+# LP counts (the full battery is pdes-check).
+.PHONY: pdes-smoke
+pdes-smoke:
+	$(GO) test ./internal/pdes -run TestSmoke -count=1
+
+# pdes-check is the CI differential battery: every kernel x protocol
+# config serial vs parallel (plus LP grouping, chaos jitter, and the
+# engine edge cases) under the race detector, and the parallel golden
+# figure CSV check.
+.PHONY: pdes-check
+pdes-check:
+	$(GO) test -race ./internal/pdes ./internal/sim -count=1
+	$(GO) test -race ./internal/harness -run TestGoldenFiguresParallel -count=1
+
 # Engine + handshake micro-benchmarks (compare against BENCH_baseline.json
 # on the same machine; see EXPERIMENTS.md, "Benchmark workflow").
 .PHONY: bench
 bench:
 	$(GO) test ./internal/sim ./internal/cpu -run '^$$' -bench 'BenchmarkEngine|BenchmarkHandshake' -benchmem
+	$(GO) test ./internal/pdes -run '^$$' -bench BenchmarkPDES -benchmem
 	$(GO) test . -run '^$$' -bench BenchmarkEngineThroughput -benchmem
+
+# bench-check re-runs every benchmark recorded in BENCH_baseline.json and
+# fails on a tolerance-exceeding ns/op regression. Baselines are
+# machine-dependent: gate on the baseline machine, or re-anchor first.
+.PHONY: bench-check
+bench-check:
+	$(GO) run ./cmd/benchcheck
 
 # bench-baseline prints the numbers in BENCH_baseline.json format worth
 # pasting in after a deliberate engine change (higher -count for stability).
 .PHONY: bench-baseline
 bench-baseline:
 	$(GO) test ./internal/sim ./internal/cpu -run '^$$' -bench 'BenchmarkEngine|BenchmarkHandshake' -count=5
+	$(GO) test ./internal/pdes -run '^$$' -bench BenchmarkPDES -count=3
 	$(GO) test . -run '^$$' -bench BenchmarkEngineThroughput -count=5
 
 # fuzz-smoke is the scenario-fuzzer CI gate (~seconds): replay the

@@ -35,6 +35,7 @@ import (
 
 	"denovosync"
 	"denovosync/internal/exp"
+	"denovosync/internal/harness"
 	"denovosync/internal/profiling"
 )
 
@@ -47,6 +48,7 @@ func main() {
 		csvPath     = flag.String("csv", "", "append machine-readable results to this file")
 		journalPath = flag.String("journal", "", "JSONL result journal (enables resume)")
 		workers     = flag.Int("workers", 0, "concurrent runs; 0 = GOMAXPROCS")
+		lpsFlag     = flag.Int("lps", 0, "logical processes per machine (parallel PDES engine; 0/1 = serial, results bit-identical)")
 		timeoutFlag = flag.Duration("timeout", 0, "per-run wall-clock limit; 0 = none")
 		retries     = flag.Int("retries", 0, "extra attempts after a failed run")
 		retryFailed = flag.Bool("retry-failed", false, "re-execute journaled failures")
@@ -73,6 +75,9 @@ func main() {
 			fatalf("%v", err)
 		}
 	}()
+
+	exp.LPs = *lpsFlag
+	harness.DefaultLPs = *lpsFlag
 
 	opt := exp.Options{Scale: *scale}
 	var csv *os.File

@@ -11,6 +11,7 @@ package alloc
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"denovosync/internal/proto"
 )
@@ -19,12 +20,46 @@ import (
 // valid pointer (lock-free structures use 0 as nil).
 const base proto.Addr = 0x1_0000
 
+// Lane address layout. Mid-run allocations (lock-free node carving) go
+// through per-thread lanes: disjoint bump arenas far above the shared
+// space, so no two threads ever touch the same allocator state and the
+// addresses a thread draws depend only on its own allocation sequence —
+// identical under serial and partitioned execution by construction.
+const (
+	// laneBase is the first lane address; everything below it belongs to
+	// the shared wiring-time space. All lane addresses stay below 2^32:
+	// counted-pointer structures (PLJ queue) pack (address, serial) into
+	// one 64-bit word with a 32-bit address field.
+	laneBase proto.Addr = 1 << 28
+	// laneStride is each lane's arena size (1 MiB — ~16k line-padded
+	// two-word nodes, far beyond any kernel's appetite).
+	laneStride proto.Addr = 1 << 20
+	// maxLanes bounds the lane index (thread/core ID); the top lane ends
+	// at laneBase + maxLanes*laneStride = 0x5000_0000 < 2^32.
+	maxLanes = 1024
+)
+
+// lane is one thread's private bump arena. next is touched only by the
+// owning thread; regions slots are written by the owner before the
+// address escapes and read by any tile at L1-fill time, so they are
+// accessed atomically (the values are race-free by the publish chain, the
+// atomicity just makes the benign line-granularity prefetch well-defined).
+type lane struct {
+	next    proto.Addr
+	limit   proto.Addr
+	regions []uint32 // per word
+}
+
 // Space is a simulated address space with region tagging.
 type Space struct {
 	next       proto.Addr
 	regionOf   map[proto.Addr]proto.RegionID // per word
 	regionIDs  map[string]proto.RegionID
 	nextRegion proto.RegionID
+
+	// lanes[i] is thread i's arena, created by the owner on first use and
+	// published through the atomic pointer for cross-tile RegionOf reads.
+	lanes [maxLanes]atomic.Pointer[lane]
 }
 
 // New returns an empty space. Region 0 ("default") is pre-assigned to all
@@ -60,6 +95,9 @@ func (s *Space) Alloc(words int, region proto.RegionID) proto.Addr {
 	}
 	a := s.next
 	s.next += proto.Addr(words * proto.WordBytes)
+	if s.next > laneBase {
+		panic("alloc: shared space collides with lane arenas")
+	}
 	for i := 0; i < words; i++ {
 		s.regionOf[a+proto.Addr(i*proto.WordBytes)] = region
 	}
@@ -85,9 +123,58 @@ func (s *Space) AllocPadded(region proto.RegionID) proto.Addr {
 	return a
 }
 
+// LaneAllocAligned reserves words words for thread laneID, starting on a
+// fresh cache line of the thread's private arena (see the lane layout
+// constants). It is the mid-run allocation path: safe to call from
+// workload code at any simulated time, in any partitioning.
+func (s *Space) LaneAllocAligned(laneID, words int, region proto.RegionID) proto.Addr {
+	if laneID < 0 || laneID >= maxLanes {
+		panic("alloc: lane ID out of range")
+	}
+	if words <= 0 {
+		panic("alloc: non-positive size")
+	}
+	ln := s.lanes[laneID].Load()
+	if ln == nil {
+		start := laneBase + proto.Addr(laneID)*laneStride
+		ln = &lane{
+			next:    start,
+			limit:   start + laneStride,
+			regions: make([]uint32, laneStride/proto.WordBytes),
+		}
+		s.lanes[laneID].Store(ln)
+	}
+	if rem := ln.next % proto.LineBytes; rem != 0 {
+		ln.next += proto.LineBytes - rem
+	}
+	a := ln.next
+	ln.next += proto.Addr(words * proto.WordBytes)
+	if ln.next > ln.limit {
+		panic("alloc: lane overflow")
+	}
+	slot := (a - (ln.limit - laneStride)) / proto.WordBytes
+	for i := 0; i < words; i++ {
+		atomic.StoreUint32(&ln.regions[slot+proto.Addr(i)], uint32(region))
+	}
+	return a
+}
+
 // RegionOf implements proto.RegionMapper.
 func (s *Space) RegionOf(a proto.Addr) proto.RegionID {
-	return s.regionOf[a.Word()]
+	w := a.Word()
+	if w >= laneBase {
+		li := (w - laneBase) / laneStride
+		if li >= maxLanes {
+			return 0
+		}
+		ln := s.lanes[li].Load()
+		if ln == nil {
+			return 0
+		}
+		start := ln.limit - laneStride
+		return proto.RegionID(atomic.LoadUint32(&ln.regions[(w-start)/proto.WordBytes]))
+	}
+	return s.regionOf[w]
 }
 
 // Used returns the number of bytes allocated so far.

@@ -1,0 +1,86 @@
+// Hash-based jitter: the PDES-safe variant of the chaos timing policy.
+//
+// The classic Perturber draws every message's jitter from one global RNG
+// stream sequenced by the global send index, so the draw a message gets
+// depends on the interleaving of all senders — reproducible only under a
+// single engine. HashPerturber instead derives each message's jitter by
+// hashing sender-owned coordinates (seed, src, dst, class, per-edge send
+// index), so a partitioned run assigns every message the same jitter as
+// the serial run without any cross-tile coordination. The per-(src, dst,
+// class) FIFO clamp state is likewise src-owned.
+package chaos
+
+import (
+	"denovosync/internal/noc"
+	"denovosync/internal/proto"
+	"denovosync/internal/sim"
+)
+
+// HashPolicy is a deterministic, partition-independent jitter policy.
+type HashPolicy struct {
+	// Seed decorrelates jitter streams across experiments.
+	Seed uint64
+	// MaxJitter is the largest per-message added delay; each message gets
+	// a hash-uniform draw from [0, MaxJitter]. 0 = no jitter.
+	MaxJitter sim.Cycle
+}
+
+// edgeState is one sender's FIFO-clamp bookkeeping for one (dst, class)
+// stream: the number of messages sent on the edge (the hash coordinate)
+// and the latest delivery time handed out (the clamp floor).
+type edgeState struct {
+	sent   uint64
+	lastAt sim.Cycle
+}
+
+// HashPerturber is an attached HashPolicy.
+//
+// Every mutable field is sliced per source node and written only at send
+// time by the sending tile, so the perturber partitions with the machine.
+type HashPerturber struct {
+	policy  HashPolicy
+	classes int
+	// edges[src] holds that sender's per-(dst, class) streams, indexed
+	// dst*classes + class. Source-owned state.
+	edges [][]edgeState
+}
+
+// AttachHash installs policy p on net and returns the perturber.
+func AttachHash(net *noc.Network, p HashPolicy) *HashPerturber {
+	nodes := net.Tiles() + noc.NumMemCtrl
+	hp := &HashPerturber{policy: p, classes: int(proto.NumMsgClasses)}
+	hp.edges = make([][]edgeState, nodes)
+	for i := range hp.edges {
+		hp.edges[i] = make([]edgeState, nodes*hp.classes)
+	}
+	net.SetPerturb(hp.perturb)
+	return hp
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a bijective
+// avalanche mix, uniform enough for jitter draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (hp *HashPerturber) perturb(now sim.Cycle, src, dst proto.NodeID, class proto.MsgClass, flits int, lat sim.Cycle) sim.Cycle {
+	es := &hp.edges[src][int(dst)*hp.classes+int(class)]
+	idx := es.sent
+	es.sent++
+	jitter := sim.Cycle(0)
+	if hp.policy.MaxJitter > 0 {
+		h := splitmix64(hp.policy.Seed ^
+			uint64(src)<<48 ^ uint64(dst)<<32 ^ uint64(class)<<24 ^ idx)
+		jitter = sim.Cycle(h % uint64(hp.policy.MaxJitter+1))
+	}
+	at := now + lat + jitter
+	// Per-(src,dst,class) FIFO clamp, anchored in sender-owned state.
+	if at < es.lastAt {
+		at = es.lastAt
+	}
+	es.lastAt = at
+	return at - now
+}

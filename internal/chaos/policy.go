@@ -120,7 +120,7 @@ func Attach(eng *sim.Engine, net *noc.Network, p Policy) *Perturber {
 // Sent returns the number of messages observed so far.
 func (pb *Perturber) Sent() int { return pb.sent }
 
-func (pb *Perturber) perturb(src, dst proto.NodeID, class proto.MsgClass, flits int, lat sim.Cycle) sim.Cycle {
+func (pb *Perturber) perturb(now sim.Cycle, src, dst proto.NodeID, class proto.MsgClass, flits int, lat sim.Cycle) sim.Cycle {
 	idx := pb.sent
 	pb.sent++
 	jitter := sim.Cycle(0)
@@ -130,7 +130,7 @@ func (pb *Perturber) perturb(src, dst proto.NodeID, class proto.MsgClass, flits 
 	if f := pb.policy.Fault; f != nil && f.Kind == FaultBlackhole && idx == f.Msg {
 		jitter += f.blackholeDelay()
 	}
-	at := pb.eng.Now() + lat + jitter
+	at := now + lat + jitter
 	if pb.policy.KeepClassOrder {
 		k := pairKey{src, dst, class}
 		if prev, ok := pb.lastAt[k]; ok && at < prev {
@@ -138,5 +138,5 @@ func (pb *Perturber) perturb(src, dst proto.NodeID, class proto.MsgClass, flits 
 		}
 		pb.lastAt[k] = at
 	}
-	return at - pb.eng.Now()
+	return at - now
 }

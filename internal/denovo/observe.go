@@ -78,11 +78,11 @@ func IsValidWord(s cache.WordState) bool { return s == wv }
 // exempt from stable-state invariant checks.
 func (r *Registry) FetchingLines() []proto.Addr {
 	var out []proto.Addr
-	for lineAddr, e := range r.lines { //simlint:allow determinism: keys are sorted before use
+	r.forEachLine(func(lineAddr proto.Addr, e *regLine) {
 		if e.fetching || len(e.pending) > 0 {
 			out = append(out, lineAddr)
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -90,13 +90,11 @@ func (r *Registry) FetchingLines() []proto.Addr {
 // ForEachOwned visits every word the registry has pointed at a core
 // (owner != L2), in ascending word order.
 func (r *Registry) ForEachOwned(fn func(word proto.Addr, owner proto.CoreID)) {
-	lineAddrs := make([]proto.Addr, 0, len(r.lines))
-	for lineAddr := range r.lines { //simlint:allow determinism: keys are sorted before use
-		lineAddrs = append(lineAddrs, lineAddr)
-	}
+	var lineAddrs []proto.Addr
+	r.forEachLine(func(lineAddr proto.Addr, _ *regLine) { lineAddrs = append(lineAddrs, lineAddr) })
 	sort.Slice(lineAddrs, func(i, j int) bool { return lineAddrs[i] < lineAddrs[j] })
 	for _, lineAddr := range lineAddrs {
-		e := r.lines[lineAddr]
+		e := r.lookup(lineAddr)
 		for i, o := range e.owner {
 			if o == ownerL2 {
 				continue

@@ -79,7 +79,10 @@ func newRegLine() *regLine {
 type Registry struct {
 	cfg   *Config
 	tiles int
-	lines map[proto.Addr]*regLine
+	// lines is sharded per home bank: lines[b] holds the lines whose L2
+	// bank is tile b, and is touched only by events running at that tile —
+	// so a partitioned machine needs no locking around it.
+	lines []map[proto.Addr]*regLine
 	l1s   []*L1
 
 	// obs, when set, receives one (controller, state, event) hit per
@@ -90,7 +93,11 @@ type Registry struct {
 
 // NewRegistry creates the registry for a tiles-tile system.
 func NewRegistry(cfg *Config, tiles int) *Registry {
-	return &Registry{cfg: cfg, tiles: tiles, lines: make(map[proto.Addr]*regLine)}
+	r := &Registry{cfg: cfg, tiles: tiles, lines: make([]map[proto.Addr]*regLine, tiles)}
+	for i := range r.lines {
+		r.lines[i] = make(map[proto.Addr]*regLine)
+	}
+	return r
 }
 
 // SetL1s wires the L1 controllers (after construction).
@@ -102,12 +109,28 @@ func (r *Registry) NodeFor(line proto.Addr) proto.NodeID {
 }
 
 func (r *Registry) line(addr proto.Addr) *regLine {
-	l := r.lines[addr.Line()]
+	bank := r.lines[int(addr.Line()/proto.LineBytes)%r.tiles]
+	l := bank[addr.Line()]
 	if l == nil {
 		l = newRegLine()
-		r.lines[addr.Line()] = l
+		bank[addr.Line()] = l
 	}
 	return l
+}
+
+// lookup returns word's line record without creating it (nil if unknown).
+func (r *Registry) lookup(addr proto.Addr) *regLine {
+	return r.lines[int(addr.Line()/proto.LineBytes)%r.tiles][addr.Line()]
+}
+
+// forEachLine visits every line record across all banks (diagnostics and
+// validation only; callers sort whatever they collect).
+func (r *Registry) forEachLine(fn func(proto.Addr, *regLine)) {
+	for _, bank := range r.lines {
+		for lineAddr, e := range bank { //simlint:allow determinism: callers sort collected keys
+			fn(lineAddr, e)
+		}
+	}
 }
 
 // withResident runs fn once the line is resident, fetching it from memory
@@ -141,7 +164,7 @@ func (r *Registry) withResident(word proto.Addr, class proto.MsgClass, fn func(*
 // only valid data, §7.1.1); otherwise it forwards to the registered core,
 // which answers directly (and stays registered — data reads do not steal).
 func (r *Registry) recvDataRead(word proto.Addr, from *L1) {
-	r.cfg.Eng.Schedule(r.cfg.L2AccessLat, func() {
+	r.cfg.engAt(r.NodeFor(word)).Schedule(r.cfg.L2AccessLat, func() {
 		r.withResident(word, proto.ClassLD, func(e *regLine) {
 			node := r.NodeFor(word)
 			st := e.ownerState(word, from)
@@ -191,7 +214,7 @@ func (r *Registry) recvDataRead(word proto.Addr, from *L1) {
 //atlas:unreachable denovo.Registry roSelf recvReg: the writeback-ack gate (recvWB) orders a re-registration after the evictor's writeback serialized, and that writeback either released the words or found them re-registered elsewhere — the registry never still names the re-registrant
 func (r *Registry) recvReg(word proto.Addr, kind proto.AccessKind, from *L1) {
 	class := regClass(kind)
-	r.cfg.Eng.Schedule(r.cfg.L2AccessLat, func() {
+	r.cfg.engAt(r.NodeFor(word)).Schedule(r.cfg.L2AccessLat, func() {
 		r.withResident(word, class, func(e *regLine) {
 			node := r.NodeFor(word)
 			st := e.ownerState(word, from)
@@ -236,7 +259,7 @@ func (r *Registry) recvReg(word proto.Addr, kind proto.AccessKind, from *L1) {
 // writeback lingers in the mesh while another core registers, evicts,
 // and has its own writeback release the word first.
 func (r *Registry) recvWB(lineAddr proto.Addr, mask [proto.WordsPerLine]bool, from *L1) {
-	r.cfg.Eng.Schedule(r.cfg.L2AccessLat, func() {
+	r.cfg.engAt(r.NodeFor(lineAddr)).Schedule(r.cfg.L2AccessLat, func() {
 		// The writeback must serialize through the same queue as other
 		// requests: a WB arriving during the line's cold fetch would
 		// otherwise be processed before the registration it follows
@@ -265,7 +288,7 @@ func (r *Registry) recvWB(lineAddr proto.Addr, mask [proto.WordsPerLine]bool, fr
 
 // OwnerOf exposes the registered core for tests (-1 = registry).
 func (r *Registry) OwnerOf(word proto.Addr) int {
-	e := r.lines[word.Line()]
+	e := r.lookup(word)
 	if e == nil {
 		return ownerL2
 	}

@@ -63,13 +63,11 @@ func (r *Registry) Validate(l1s []*L1) error {
 	}
 	// The converse: a registry pointer must name a core that still holds
 	// the word (or the word was never cached — impossible once pointed).
-	lineAddrs := make([]proto.Addr, 0, len(r.lines))
-	for lineAddr := range r.lines { //simlint:allow determinism: keys are sorted before use
-		lineAddrs = append(lineAddrs, lineAddr)
-	}
+	var lineAddrs []proto.Addr
+	r.forEachLine(func(lineAddr proto.Addr, _ *regLine) { lineAddrs = append(lineAddrs, lineAddr) })
 	sort.Slice(lineAddrs, func(i, j int) bool { return lineAddrs[i] < lineAddrs[j] })
 	for _, lineAddr := range lineAddrs {
-		e := r.lines[lineAddr]
+		e := r.lookup(lineAddr)
 		for i, o := range e.owner {
 			if o == ownerL2 {
 				continue

@@ -102,8 +102,8 @@ func newTwoLockQueue(s *alloc.Space, st *mem.Store, headLock, tailLock locks.Loc
 }
 
 func (q *twoLockQueue) enqueue(t *cpu.Thread, v uint64) bool {
-	t.Flush() // the allocator is shared host state: allocate at simulated time
-	node := q.space.AllocAligned(2, q.region)
+	t.Flush() // pin the carve to the current simulated time
+	node := q.space.LaneAllocAligned(t.ID, 2, q.region)
 	t.Store(node+tlqValue, v)
 	t.SyncStore(node+tlqNext, 0)
 	tk := q.tailLock.Acquire(t)

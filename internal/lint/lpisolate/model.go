@@ -61,6 +61,7 @@ func DefaultModel() *Model {
 		Packages: []string{
 			"internal/sim", "internal/cache", "internal/noc", "internal/mem",
 			"internal/mesi", "internal/denovo", "internal/machine",
+			"internal/pdes",
 		},
 		Seeds: map[string]string{
 			"mesi.L1":         "tile",
@@ -71,7 +72,12 @@ func DefaultModel() *Model {
 			"sim.Engine":      "engine",
 			"sim.RNG":         "engine",
 			"machine.Machine": "engine",
-			"noc.Network":     "noc",
+			// The PDES runtime itself: the window coordinator and the
+			// mailbox exchange are engine-side infrastructure — workers
+			// touch engines only inside the barrier-delimited handoff.
+			"pdes.Scheduler": "engine",
+			"pdes.Exchange":  "engine",
+			"noc.Network":    "noc",
 			"mem.Store":       "mem",
 			"mem.DRAM":        "mem",
 			"mem.SigTable":    "mem",
@@ -109,9 +115,15 @@ func DefaultModel() *Model {
 			"sim.Engine.Stop":     true,
 			"sim.Engine.Run":      true,
 			"sim.Engine.RunUntil": true,
+			// The band-1 arrival entry point and the windowed run: the
+			// rest of the event API's PDES-mode counterparts, with the
+			// same engine-enforced invariants (monotone time, unique
+			// keys). Calling either IS the sanctioned mediation.
+			"sim.Engine.ScheduleArrivalAt": true,
+			"sim.Engine.RunUntilBudget":    true,
 		},
 		PackageDomains: map[string]string{
-			"sim": "engine", "machine": "engine",
+			"sim": "engine", "machine": "engine", "pdes": "engine",
 			"noc": "noc", "mem": "mem",
 			"mesi": "tile", "denovo": "tile", "cache": "tile",
 		},

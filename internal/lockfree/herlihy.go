@@ -55,10 +55,13 @@ func validate(t *cpu.Thread, root proto.Addr, snap uint64, n int) bool {
 	return true
 }
 
-// copyObj copies src's count+elements into a fresh version object.
+// copyObj copies src's count+elements into a fresh version object carved
+// from the copying thread's lane (runtime allocations must not touch the
+// shared bump pointer — its order would depend on thread interleaving).
 func (h *HerlihyStack) copyObj(t *cpu.Thread, src proto.Addr) (dst proto.Addr, count int) {
 	count = int(t.Load(src))
-	dst = h.space.AllocAligned(objWords(h.capacity), h.region)
+	t.Flush() // pin the carve to the current simulated time
+	dst = h.space.LaneAllocAligned(t.ID, objWords(h.capacity), h.region)
 	t.Store(dst, uint64(count))
 	for i := 0; i < count; i++ {
 		off := proto.Addr((i + 1) * proto.WordBytes)
@@ -137,10 +140,12 @@ func NewHerlihyHeap(s *alloc.Space, st *mem.Store, capacity int) *HerlihyHeap {
 
 func heapOff(i int) proto.Addr { return proto.Addr((i + 1) * proto.WordBytes) }
 
-// copyHeap clones the current version.
+// copyHeap clones the current version into a lane-carved object (see
+// HerlihyStack.copyObj for why runtime carves bypass the shared space).
 func (h *HerlihyHeap) copyHeap(t *cpu.Thread, src proto.Addr) (dst proto.Addr, count int) {
 	count = int(t.Load(src))
-	dst = h.space.AllocAligned(objWords(h.capacity), h.region)
+	t.Flush() // pin the carve to the current simulated time
+	dst = h.space.LaneAllocAligned(t.ID, objWords(h.capacity), h.region)
 	t.Store(dst, uint64(count))
 	for i := 0; i < count; i++ {
 		t.Store(dst+heapOff(i), t.Load(src+heapOff(i)))

@@ -55,8 +55,8 @@ const (
 // allocNode carves a fresh line-padded node and initializes it with plain
 // stores (unpublished memory: the publishing CAS orders them).
 func allocNode(t *cpu.Thread, s *alloc.Space, region proto.RegionID, value uint64) proto.Addr {
-	t.Flush() // the allocator is shared host state: allocate at simulated time
-	n := s.AllocAligned(nodeSize, region)
+	t.Flush() // pin the carve to the current simulated time
+	n := s.LaneAllocAligned(t.ID, nodeSize, region)
 	t.Store(n+offValue, value)
 	t.Store(n+offNext, 0)
 	return n

@@ -55,24 +55,9 @@ func runDetJob(t *testing.T, kernel string, prot machine.Protocol, seed uint64) 
 	return rs
 }
 
-// fingerprint renders every simulated quantity of a run in a canonical
-// text form, down to per-core cycle breakdowns. Two runs are "bitwise
-// identical" iff their fingerprints match.
-func fingerprint(rs *stats.RunStats) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s/%s cores=%d exec=%d events=%d l1=%d/%d traffic=%d",
-		rs.Workload, rs.Protocol, rs.Cores, rs.ExecTime, rs.Events, rs.L1Hits, rs.L1Misses, rs.TotalTraffic)
-	for c := stats.TimeComponent(0); c < stats.NumTimeComponents; c++ {
-		fmt.Fprintf(&b, " t%d=%.3f", c, rs.Time[c])
-	}
-	for cl, v := range rs.Traffic {
-		fmt.Fprintf(&b, " n%d=%d", cl, v)
-	}
-	for i, ct := range rs.PerCore {
-		fmt.Fprintf(&b, " c%d=%v/%d", i, ct.Cycles, ct.Finish)
-	}
-	return b.String()
-}
+// fingerprint renders a run's simulated quantities canonically (see
+// stats.Fingerprint — shared with the pdes differential battery).
+func fingerprint(rs *stats.RunStats) string { return stats.Fingerprint(rs) }
 
 // TestDeterminismReplay: the same Params.Seed must yield bitwise-identical
 // statistics on a fresh machine.

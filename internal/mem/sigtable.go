@@ -1,6 +1,10 @@
 package mem
 
-import "denovosync/internal/proto"
+import (
+	"sync"
+
+	"denovosync/internal/proto"
+)
 
 // SigTable implements the DeNovoND-style [35] hardware write-signature
 // store for dynamic self-invalidation: conceptually a small table carried
@@ -16,27 +20,31 @@ import "denovosync/internal/proto"
 // The table is written from releasers and read from acquirers on different
 // tiles, so the isolation prover audits it as a boundary rather than
 // slicing it: architecturally the signatures ride the sync-variable
-// ownership transfer (registration messages), and a PDES port attaches
-// each lock's row to the lock word's home tile.
+// ownership transfer (registration messages). Row lookup goes through a
+// sync.Map (creation is the only contended step); the per-core cells of a
+// row need no locking because every Publish/Consume pair of the same lock
+// is ordered by that lock's ownership-transfer message chain — releases of
+// a held lock and the acquires that observe them never overlap — a claim
+// the race detector re-verifies on every parallel differential run.
 //
-//lpisolate:boundary(write signatures ride sync-variable transfer messages; PDES port homes each lock row at the lock word's tile)
+//lpisolate:boundary(write signatures ride sync-variable transfer messages; rows shared under PDES with lock-transfer ordering)
 type SigTable struct {
 	cores int
-	sigs  map[proto.Addr][]proto.Signature
+	sigs  sync.Map // proto.Addr (word) -> []proto.Signature
 }
 
 // NewSigTable returns an empty table for a cores-core machine.
 func NewSigTable(cores int) *SigTable {
-	return &SigTable{cores: cores, sigs: make(map[proto.Addr][]proto.Signature)}
+	return &SigTable{cores: cores}
 }
 
 func (t *SigTable) entry(lock proto.Addr) []proto.Signature {
-	e := t.sigs[lock.Word()]
-	if e == nil {
-		e = make([]proto.Signature, t.cores)
-		t.sigs[lock.Word()] = e
+	w := lock.Word()
+	if e, ok := t.sigs.Load(w); ok {
+		return e.([]proto.Signature)
 	}
-	return e
+	e, _ := t.sigs.LoadOrStore(w, make([]proto.Signature, t.cores))
+	return e.([]proto.Signature)
 }
 
 // Publish merges the releaser's write signature into every other core's

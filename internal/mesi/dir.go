@@ -38,9 +38,12 @@ type dirEntry struct {
 // tracking, blocking per-line transactions. Banks are line-interleaved
 // across tiles; bank placement only affects message distances.
 type Directory struct {
-	cfg     *Config
-	tiles   int
-	entries map[proto.Addr]*dirEntry
+	cfg   *Config
+	tiles int
+	// entries is sharded per home bank: entries[b] holds the lines whose
+	// L2 bank is tile b, and is touched only by events running at that
+	// tile — so a partitioned machine needs no locking around it.
+	entries []map[proto.Addr]*dirEntry
 
 	// obs, when set, receives one (controller, state, event) hit per
 	// handler activation (see coverage.go).
@@ -50,7 +53,11 @@ type Directory struct {
 
 // NewDirectory creates the directory for a tiles-tile system.
 func NewDirectory(cfg *Config, tiles int) *Directory {
-	return &Directory{cfg: cfg, tiles: tiles, entries: make(map[proto.Addr]*dirEntry)}
+	d := &Directory{cfg: cfg, tiles: tiles, entries: make([]map[proto.Addr]*dirEntry, tiles)}
+	for i := range d.entries {
+		d.entries[i] = make(map[proto.Addr]*dirEntry)
+	}
+	return d
 }
 
 // NodeFor returns the tile node hosting line's L2 bank.
@@ -58,11 +65,27 @@ func (d *Directory) NodeFor(line proto.Addr) proto.NodeID {
 	return proto.NodeID(int(line/proto.LineBytes) % d.tiles)
 }
 
+// lookup returns line's entry without creating it (nil if unknown).
+func (d *Directory) lookup(line proto.Addr) *dirEntry {
+	return d.entries[int(line/proto.LineBytes)%d.tiles][line]
+}
+
+// forEachEntry visits every entry across all banks (diagnostics and
+// validation only; callers sort whatever they collect).
+func (d *Directory) forEachEntry(fn func(proto.Addr, *dirEntry)) {
+	for _, bank := range d.entries {
+		for line, e := range bank { //simlint:allow determinism: callers sort collected keys
+			fn(line, e)
+		}
+	}
+}
+
 func (d *Directory) entry(line proto.Addr) *dirEntry {
-	e := d.entries[line]
+	bank := d.entries[int(line/proto.LineBytes)%d.tiles]
+	e := bank[line]
 	if e == nil {
 		e = &dirEntry{sharers: make(map[*L1]bool)}
-		d.entries[line] = e
+		bank[line] = e
 	}
 	return e
 }
@@ -87,8 +110,9 @@ func (d *Directory) maybeStart(line proto.Addr, e *dirEntry) {
 	if p.wantM {
 		class = proto.ClassST
 	}
-	// Directory/L2 access latency, then a cold fetch if needed.
-	d.cfg.Eng.Schedule(d.cfg.L2AccessLat, func() {
+	// Directory/L2 access latency, then a cold fetch if needed — on the
+	// home bank's engine (the request was delivered at the home tile).
+	d.cfg.engAt(d.NodeFor(line)).Schedule(d.cfg.L2AccessLat, func() {
 		if !e.resident {
 			d.cfg.DRAM.Fetch(d.NodeFor(line), line, class, func() {
 				e.resident = true
@@ -255,7 +279,7 @@ func (d *Directory) recvPut(line proto.Addr, from *L1, dirty bool, epoch uint64)
 // StateOf exposes directory state for invariant checks in tests:
 // returns (state, ownerID or -1, sharer count, busy).
 func (d *Directory) StateOf(line proto.Addr) (byte, proto.CoreID, int, bool) {
-	e := d.entries[line]
+	e := d.lookup(line)
 	if e == nil {
 		return byte(di), -1, 0, false
 	}

@@ -42,11 +42,11 @@ func IsShared(s cache.LineState) bool { return s == ls }
 // from stable-state invariant checks.
 func (d *Directory) BusyLines() []proto.Addr {
 	var out []proto.Addr
-	for line, e := range d.entries { //simlint:allow determinism: keys are sorted before use
+	d.forEachEntry(func(line proto.Addr, e *dirEntry) {
 		if e.busy {
 			out = append(out, line)
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -54,7 +54,7 @@ func (d *Directory) BusyLines() []proto.Addr {
 // OwnerOf returns the core the directory records as line's M-state owner
 // (ok = false when the directory holds the line in I or S).
 func (d *Directory) OwnerOf(line proto.Addr) (proto.CoreID, bool) {
-	e := d.entries[line]
+	e := d.lookup(line)
 	if e == nil || e.state != dm || e.owner == nil {
 		return 0, false
 	}
@@ -64,7 +64,7 @@ func (d *Directory) OwnerOf(line proto.Addr) (proto.CoreID, bool) {
 // Sharers returns the core IDs the directory lists as sharers of line,
 // sorted (empty if the line is unknown or not in the Shared state).
 func (d *Directory) Sharers(line proto.Addr) []proto.CoreID {
-	e := d.entries[line]
+	e := d.lookup(line)
 	if e == nil {
 		return nil
 	}

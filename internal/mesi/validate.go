@@ -75,7 +75,7 @@ func (d *Directory) Validate(l1s []*L1) error {
 		if len(h.owners) == 1 && len(h.sharers) > 0 {
 			return fmt.Errorf("mesi: line %v owned by %d with sharers %v", line, h.owners[0], h.sharers)
 		}
-		e := d.entries[line]
+		e := d.lookup(line)
 		if e == nil {
 			if len(h.owners)+len(h.sharers) > 0 {
 				return fmt.Errorf("mesi: line %v cached but unknown to the directory", line)

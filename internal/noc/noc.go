@@ -89,12 +89,38 @@ type endpoint struct {
 	// neither side ever writes the other's counters.
 	sent      [proto.NumMsgClasses]int64
 	delivered [proto.NumMsgClasses]int64
+
+	// arrivalSeq is this node's running cross-router message counter: the
+	// per-source half of the (src, ctr) arrival tie-break key (see
+	// sim.Engine.ScheduleArrivalAt). Source-owned, so every partition of
+	// the machine assigns identical keys without coordination.
+	arrivalSeq uint64
+}
+
+// Exchange routes a cross-router delivery to the destination node's event
+// queue. The serial machine needs none (every node shares one engine); the
+// conservative window scheduler (internal/pdes) installs one that enqueues
+// same-LP arrivals directly and exports cross-LP arrivals as timestamped
+// messages into per-edge mailboxes drained at window barriers.
+type Exchange interface {
+	// Deliver schedules fn at absolute cycle at on dst's queue. schedAt is
+	// the send cycle and (src, ctr) the sender-assigned arrival key.
+	Deliver(src, dst proto.NodeID, at, schedAt sim.Cycle, ctr uint64, fn func())
 }
 
 // Network delivers messages across a Mesh and tallies traffic.
 type Network struct {
 	Mesh
 	eng *sim.Engine
+
+	// engOf maps a node to the engine that executes its events — all the
+	// same engine in serial mode, one per logical process under PDES.
+	// Wiring-time state, frozen before the first send.
+	engOf []*sim.Engine
+
+	// exchange, when non-nil, routes cross-router deliveries (see Exchange).
+	//lpisolate:boundary(wiring-injected cross-LP event exchange: per-edge mailboxes owned by the window scheduler, drained at barriers)
+	exchange Exchange
 
 	// perHopNum/perHopDen is the per-hop latency in cycles, as a rational
 	// so the 16-core fit of 10/3 cycles per hop is exact.
@@ -110,11 +136,13 @@ type Network struct {
 
 	// perturb, when non-nil, replaces a message's modeled delivery latency
 	// with a (possibly jittered) one — the chaos engine's injection point.
-	// The callback must return a latency >= 0; it may reorder deliveries
+	// now is the send cycle (passed in so the policy needs no engine handle
+	// of its own — under PDES each sender has a different clock). The
+	// callback must return a latency >= 0; it may reorder deliveries
 	// across source/destination pairs but is responsible for whatever
 	// ordering discipline the attached policy promises.
 	//lpisolate:boundary(wiring-injected latency policy: owns only its own jitter state, audited in internal/chaos)
-	perturb func(src, dst proto.NodeID, class proto.MsgClass, flits int, lat sim.Cycle) sim.Cycle
+	perturb func(now sim.Cycle, src, dst proto.NodeID, class proto.MsgClass, flits int, lat sim.Cycle) sim.Cycle
 
 	// track enables in-flight accounting (watchdog snapshots, end-of-run
 	// quiescence). Opt-in because it wraps every deliver closure.
@@ -133,11 +161,32 @@ func New(eng *sim.Engine, mesh Mesh, perHopNum, perHopDen sim.Cycle) *Network {
 	if perHopDen == 0 {
 		panic("noc: zero per-hop denominator")
 	}
-	return &Network{
+	n := &Network{
 		Mesh: mesh, eng: eng, perHopNum: perHopNum, perHopDen: perHopDen,
-		eps: make([]endpoint, mesh.Tiles()+NumMemCtrl),
+		eps:   make([]endpoint, mesh.Tiles()+NumMemCtrl),
+		engOf: make([]*sim.Engine, mesh.Tiles()+NumMemCtrl),
 	}
+	for i := range n.engOf {
+		n.engOf[i] = eng
+	}
+	return n
 }
+
+// SetEngines installs the per-node engine map for a partitioned machine:
+// engOf[node] is the engine that executes node's events. Wiring-time only.
+func (n *Network) SetEngines(engOf []*sim.Engine) {
+	if len(engOf) != len(n.engOf) {
+		panic("noc: SetEngines length mismatch")
+	}
+	copy(n.engOf, engOf)
+}
+
+// SetExchange installs the cross-router delivery router (nil restores
+// direct scheduling on the destination node's engine). Wiring-time only.
+func (n *Network) SetExchange(x Exchange) { n.exchange = x }
+
+// EngineFor returns the engine executing node's events.
+func (n *Network) EngineFor(node proto.NodeID) *sim.Engine { return n.engOf[node] }
 
 // Latency returns the modeled network traversal time for hops hops.
 func (n *Network) Latency(hops int) sim.Cycle {
@@ -148,9 +197,21 @@ func (n *Network) Latency(hops int) sim.Cycle {
 // deliver at arrival. Same-router transfers (hops = 0) are free and
 // instantaneous: they never touch a mesh link, matching the paper's traffic
 // metric. Send returns the modeled latency.
+//
+// Send must be called while executing on src's engine (every caller is a
+// tile-local controller or a delivery event already running at src).
+// Cross-router deliveries are keyed arrivals — ordered at the destination
+// by (arrival cycle, send cycle, src, per-src counter), a key computed
+// from sender-owned state alone — so the dispatch order is identical
+// whether all nodes share one engine or the machine is partitioned into
+// logical processes. Same-router transfers stay band-0 local events: the
+// two nodes sharing a router (a tile and its co-located L2 bank, a corner
+// tile and its memory controller) are always in the same partition.
 func (n *Network) Send(src, dst proto.NodeID, class proto.MsgClass, flits int, deliver func()) sim.Cycle {
+	eng := n.engOf[src]
+	now := eng.Now()
 	if n.trace != nil {
-		n.trace(n.eng.Now(), src, dst, class, flits)
+		n.trace(now, src, dst, class, flits)
 	}
 	hops := n.Hops(src, dst)
 	n.eps[src].flitCrossings[class] += uint64(flits * hops)
@@ -162,7 +223,7 @@ func (n *Network) Send(src, dst proto.NodeID, class proto.MsgClass, flits int, d
 		lat = n.Latency(hops)
 	}
 	if n.perturb != nil {
-		lat = n.perturb(src, dst, class, flits, lat)
+		lat = n.perturb(now, src, dst, class, flits, lat)
 	}
 	if n.track {
 		n.eps[src].sent[class]++
@@ -172,12 +233,26 @@ func (n *Network) Send(src, dst proto.NodeID, class proto.MsgClass, flits int, d
 			orig()
 		}
 	}
-	n.eng.Schedule(lat, deliver)
+	if hops == 0 {
+		// Same router ⇒ same logical process under any partition: keep
+		// the local FIFO-ring fast path (and with it, the exact serial
+		// ordering of co-located transfers).
+		eng.Schedule(lat, deliver)
+		return lat
+	}
+	ctr := n.eps[src].arrivalSeq
+	n.eps[src].arrivalSeq++
+	at := now + lat
+	if x := n.exchange; x != nil {
+		x.Deliver(src, dst, at, now, ctr, deliver)
+	} else {
+		n.engOf[dst].ScheduleArrivalAt(at, now, uint32(src), ctr, deliver)
+	}
 	return lat
 }
 
 // SetPerturb installs a delivery-latency perturbation (nil disables).
-func (n *Network) SetPerturb(fn func(src, dst proto.NodeID, class proto.MsgClass, flits int, lat sim.Cycle) sim.Cycle) {
+func (n *Network) SetPerturb(fn func(now sim.Cycle, src, dst proto.NodeID, class proto.MsgClass, flits int, lat sim.Cycle) sim.Cycle) {
 	n.perturb = fn
 }
 

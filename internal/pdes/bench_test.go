@@ -1,0 +1,69 @@
+package pdes_test
+
+// PDES throughput benchmarks: the serial engine vs the partitioned
+// engine on the same workload mix. BenchmarkPDES* rows are recorded in
+// BENCH_baseline.json and gated by `make bench-check`.
+//
+// The speedup-vs-serial metric is wall-clock serial time over parallel
+// time for the identical (bit-for-bit) simulation. It only exceeds 1 when
+// the host grants the process real parallelism: on a single-CPU host the
+// parallel engine pays window-barrier and goroutine-handoff overhead with
+// nothing to amortize it against, so the honest single-CPU reading is the
+// overhead factor, not a speedup (see EXPERIMENTS.md, "PDES benchmarks").
+
+import (
+	"testing"
+
+	"denovosync/internal/alloc"
+	"denovosync/internal/kernels"
+	"denovosync/internal/machine"
+)
+
+// benchMix is the workload driven through both modes: one TATAS lock
+// kernel (heavy sync contention, many small windows) and one non-blocking
+// queue (longer independent stretches).
+var benchMix = []struct {
+	kernel string
+	prot   machine.Protocol
+}{
+	{"tatas-counter", machine.DeNovoSync},
+	{"nb-m-s-queue", machine.DeNovoSync},
+}
+
+func benchRun(b *testing.B, cores, lps int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		for _, j := range benchMix {
+			var p machine.Params
+			if cores == 64 {
+				p = machine.Params64()
+			} else {
+				p = machine.Params16()
+			}
+			p.LPs = lps
+			k, ok := kernels.ByID(j.kernel)
+			if !ok {
+				b.Fatalf("unknown kernel %s", j.kernel)
+			}
+			m := machine.New(p, j.prot, alloc.New())
+			if _, err := kernels.Run(k, m, kernels.Config{Iters: 20, EqChecks: -1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPDESSerial16 is the serial reference on the 16-core machine.
+func BenchmarkPDESSerial16(b *testing.B) { benchRun(b, 16, 1) }
+
+// BenchmarkPDESParallel16LP4 partitions the 4x4 mesh into 4 row LPs.
+func BenchmarkPDESParallel16LP4(b *testing.B) { benchRun(b, 16, 4) }
+
+// BenchmarkPDESParallel16 runs one LP per tile on the 16-core machine.
+func BenchmarkPDESParallel16(b *testing.B) { benchRun(b, 16, 16) }
+
+// BenchmarkPDESSerial64 is the serial reference on the 64-core machine.
+func BenchmarkPDESSerial64(b *testing.B) { benchRun(b, 64, 1) }
+
+// BenchmarkPDESParallel64LP8 partitions the 8x8 mesh into 8 row LPs.
+func BenchmarkPDESParallel64LP8(b *testing.B) { benchRun(b, 64, 8) }

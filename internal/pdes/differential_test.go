@@ -1,0 +1,173 @@
+package pdes_test
+
+// The differential battery: every parallel run must reproduce the serial
+// run's determinism fingerprint bit-for-bit. This is the package's
+// absolute oracle — the conservative window scheduler is only correct if
+// partitioning is unobservable in every simulated quantity.
+
+import (
+	"testing"
+
+	"denovosync/internal/alloc"
+	"denovosync/internal/chaos"
+	"denovosync/internal/kernels"
+	"denovosync/internal/machine"
+	"denovosync/internal/sim"
+	"denovosync/internal/stats"
+)
+
+// jobSpec is one cell of the differential matrix.
+type jobSpec struct {
+	kernel string
+	prot   machine.Protocol
+	sigs   bool // DeNovoSync with DeNovoND-style write signatures
+}
+
+// configName labels the protocol variant in failure messages.
+func (j jobSpec) configName() string {
+	if j.sigs {
+		return "DSsig"
+	}
+	switch j.prot {
+	case machine.MESI:
+		return "M"
+	case machine.DeNovoSync0:
+		return "DS0"
+	default:
+		return "DS"
+	}
+}
+
+// runJob executes one kernel on a fresh 16-core machine. lps == 1 is the
+// serial reference; lps > 1 partitions the mesh. jitter > 0 attaches the
+// hash perturber (partition-independent chaos timing).
+func runJob(t *testing.T, j jobSpec, lps int, jitter sim.Cycle) *stats.RunStats {
+	t.Helper()
+	p := machine.Params16()
+	p.Seed = 7
+	p.LPs = lps
+	p.Signatures = j.sigs
+	k, ok := kernels.ByID(j.kernel)
+	if !ok {
+		t.Fatalf("unknown kernel %s", j.kernel)
+	}
+	m := machine.New(p, j.prot, alloc.New())
+	if jitter > 0 {
+		chaos.AttachHash(m.Net, chaos.HashPolicy{Seed: 99, MaxJitter: jitter})
+	}
+	rs, err := kernels.Run(k, m, kernels.Config{Iters: 4, EqChecks: -1, UseSignatures: j.sigs})
+	if err != nil {
+		t.Fatalf("%s/%s lps=%d: %v", j.kernel, j.configName(), lps, err)
+	}
+	return rs
+}
+
+// fullMatrix is all 24 kernels x {M, DS0, DS, DSsig}.
+func fullMatrix() []jobSpec {
+	var jobs []jobSpec
+	for _, k := range kernels.All() {
+		jobs = append(jobs,
+			jobSpec{k.ID, machine.MESI, false},
+			jobSpec{k.ID, machine.DeNovoSync0, false},
+			jobSpec{k.ID, machine.DeNovoSync, false},
+			jobSpec{k.ID, machine.DeNovoSync, true},
+		)
+	}
+	return jobs
+}
+
+// shortMatrix trims to three synchronization shapes for -short runs; the
+// CI pdes-check job runs the full matrix under -race.
+func shortMatrix() []jobSpec {
+	var jobs []jobSpec
+	for _, k := range []string{"tatas-counter", "nb-m-s-queue", "bar-tree"} {
+		jobs = append(jobs,
+			jobSpec{k, machine.MESI, false},
+			jobSpec{k, machine.DeNovoSync0, false},
+			jobSpec{k, machine.DeNovoSync, false},
+			jobSpec{k, machine.DeNovoSync, true},
+		)
+	}
+	return jobs
+}
+
+func matrix(t *testing.T) []jobSpec {
+	if testing.Short() {
+		return shortMatrix()
+	}
+	return fullMatrix()
+}
+
+// TestDifferentialBattery: serial vs fully-partitioned (one LP per tile)
+// fingerprints over the kernel x protocol matrix.
+func TestDifferentialBattery(t *testing.T) {
+	for _, j := range matrix(t) {
+		j := j
+		t.Run(j.kernel+"/"+j.configName(), func(t *testing.T) {
+			t.Parallel()
+			serial := stats.Fingerprint(runJob(t, j, 1, 0))
+			parallel := stats.Fingerprint(runJob(t, j, 16, 0))
+			if serial != parallel {
+				t.Errorf("parallel run diverged from serial:\nserial:   %s\nparallel: %s", serial, parallel)
+			}
+		})
+	}
+}
+
+// TestDifferentialLPGrouping: every legal LP count groups tiles
+// differently but must land on the same fingerprint.
+func TestDifferentialLPGrouping(t *testing.T) {
+	for _, j := range shortMatrix() {
+		j := j
+		t.Run(j.kernel+"/"+j.configName(), func(t *testing.T) {
+			t.Parallel()
+			want := stats.Fingerprint(runJob(t, j, 1, 0))
+			for _, lps := range []int{2, 4, 16} {
+				if got := stats.Fingerprint(runJob(t, j, lps, 0)); got != want {
+					t.Errorf("lps=%d diverged from serial:\nserial: %s\nlps=%d:  %s", lps, want, lps, got)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialChaos: under hash-jittered message timing (the
+// partition-independent chaos policy) parallel runs must still reproduce
+// the jittered serial run exactly — jitter shifts delivery times but the
+// ordering key and the per-edge clamp state are mode-invariant.
+func TestDifferentialChaos(t *testing.T) {
+	jobs := shortMatrix()
+	if testing.Short() {
+		jobs = jobs[:4]
+	}
+	for _, j := range jobs {
+		j := j
+		t.Run(j.kernel+"/"+j.configName(), func(t *testing.T) {
+			t.Parallel()
+			for _, jitter := range []sim.Cycle{3, 17} {
+				serial := stats.Fingerprint(runJob(t, j, 1, jitter))
+				parallel := stats.Fingerprint(runJob(t, j, 16, jitter))
+				if serial != parallel {
+					t.Errorf("jitter=%d parallel diverged:\nserial:   %s\nparallel: %s", jitter, serial, parallel)
+				}
+			}
+		})
+	}
+}
+
+// TestSmoke is the seconds-scale gate run by `make pdes-smoke`: one
+// lock-based and one non-blocking kernel, serial vs lps=4 vs lps=16.
+func TestSmoke(t *testing.T) {
+	for _, j := range []jobSpec{
+		{"tatas-counter", machine.DeNovoSync, false},
+		{"nb-m-s-queue", machine.MESI, false},
+	} {
+		want := stats.Fingerprint(runJob(t, j, 1, 0))
+		for _, lps := range []int{4, 16} {
+			if got := stats.Fingerprint(runJob(t, j, lps, 0)); got != want {
+				t.Fatalf("%s/%s lps=%d diverged:\nserial:   %s\nparallel: %s",
+					j.kernel, j.configName(), lps, want, got)
+			}
+		}
+	}
+}

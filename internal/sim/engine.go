@@ -2,42 +2,66 @@
 // every other component of the simulator: the network, the caches, the
 // protocol controllers, and the cores.
 //
-// The engine is deliberately single-threaded. All simulated concurrency is
-// expressed as events on one priority queue, ordered by (time, sequence
-// number). Because sequence numbers break ties deterministically, two runs
-// with the same configuration and seed produce bit-identical statistics.
+// The engine is single-threaded; a machine is either driven by one engine
+// (the serial mode) or partitioned into logical processes with one engine
+// each, exchanging timestamped events under a conservative time-window
+// scheduler (internal/pdes). All simulated concurrency is expressed as
+// events on a priority queue ordered by a key designed to be identical in
+// both modes:
+//
+//	(at, schedAt, band|payload)
+//
+// where at is the dispatch cycle, schedAt the cycle the event was created,
+// and the final word breaks remaining ties: locally scheduled events
+// (band 0) carry the engine's own sequence number — FIFO by schedule
+// order — and cross-tile message arrivals (band 1, see ScheduleArrivalAt)
+// carry (source node, per-source message counter), which every partition
+// reconstructs identically without any global coordination. Same-tile
+// events keep their serial relative order under any partition because a
+// tile's schedule order is a subsequence of its engine's sequence numbers;
+// cross-tile same-key ties touch disjoint state (certified by
+// cmd/lpisolate), so their relative order is outcome-invariant.
 //
 // Internally the queue is allocation-free on the hot path: events live in
 // a pooled arena recycled through a free list, the priority queue is an
 // index-based binary heap (no interface boxing, 4-byte swaps), and
 // zero-delay events — the most common kind, from completion callbacks and
 // wakeups — bypass the heap entirely through a same-cycle FIFO ring.
-// Dispatch order is identical to a single (time, seq)-ordered heap: every
-// ring event was scheduled while the clock already stood at its cycle, so
-// it always carries a higher sequence number than any heap event for that
-// cycle.
+// Dispatch order is a linearization of the key order: every ring event was
+// scheduled while the clock already stood at its cycle (schedAt = at =
+// now), so it sorts after every heap event for that cycle, all of which
+// were created earlier (schedAt < now).
 package sim
 
 // Cycle is a point in simulated time, measured in core clock cycles.
 type Cycle uint64
 
-// event is a closure scheduled to run at a particular cycle. The seq field
-// makes the ordering of same-cycle events deterministic (FIFO by schedule
-// order). Events are pooled: next links free arena slots.
+// event is a closure scheduled to run at a particular cycle. schedAt and
+// key order same-cycle events deterministically (see the package comment).
+// Events are pooled: next links free arena slots.
 type event struct {
-	at   Cycle
-	seq  uint64
-	fn   func()
-	next int32 // free-list link; -1 terminates
+	at      Cycle
+	schedAt Cycle
+	key     uint64
+	fn      func()
+	next    int32 // free-list link; -1 terminates
 }
 
 const nilIdx = int32(-1)
+
+// arrivalBand marks a cross-tile arrival key (band 1); band-0 keys are
+// engine-local sequence numbers.
+const arrivalBand = uint64(1) << 63
+
+// arrivalCtrBits is the per-source message counter width inside an arrival
+// key; the source node occupies the bits above it.
+const arrivalCtrBits = 40
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
 	arena []event // pooled event storage
 	free  int32   // head of the free list into arena
-	heap  []int32 // binary heap of arena indices, ordered by (at, seq)
+	heap  []int32 // binary heap of arena indices, ordered by (at, schedAt, key)
 
 	// ring is the same-cycle fast path: a circular FIFO of arena indices
 	// for events scheduled with zero delay. All ring events are at e.now.
@@ -61,15 +85,14 @@ func NewEngine() *Engine { return &Engine{free: nilIdx} }
 func (e *Engine) Now() Cycle { return e.now }
 
 // alloc takes an arena slot from the free list (or grows the arena).
-func (e *Engine) alloc(at Cycle, fn func()) int32 {
-	e.seq++
+func (e *Engine) alloc(at, schedAt Cycle, key uint64, fn func()) int32 {
 	if i := e.free; i != nilIdx {
 		ev := &e.arena[i]
 		e.free = ev.next
-		ev.at, ev.seq, ev.fn = at, e.seq, fn
+		ev.at, ev.schedAt, ev.key, ev.fn = at, schedAt, key, fn
 		return i
 	}
-	e.arena = append(e.arena, event{at: at, seq: e.seq, fn: fn})
+	e.arena = append(e.arena, event{at: at, schedAt: schedAt, key: key, fn: fn})
 	return int32(len(e.arena) - 1)
 }
 
@@ -97,11 +120,34 @@ func (e *Engine) Schedule(delay Cycle, fn func()) {
 	if fn == nil {
 		panic("sim: Schedule with nil fn")
 	}
-	i := e.alloc(e.now+delay, fn)
+	e.seq++
+	i := e.alloc(e.now+delay, e.now, e.seq, fn)
 	if delay == 0 {
 		e.ringPush(i)
 		return
 	}
+	e.heapPush(i)
+}
+
+// ScheduleArrivalAt enqueues a cross-tile message arrival: fn runs at the
+// absolute cycle at, ordered against all other events by (at, schedAt,
+// src, ctr) — a key the sender computes from its own state alone, so a
+// partitioned run reconstructs the exact serial dispatch order. schedAt is
+// the cycle the message was sent (strictly before at: cross-router
+// latency is at least one cycle), src the sending node, and ctr the
+// sender's running arrival counter.
+func (e *Engine) ScheduleArrivalAt(at, schedAt Cycle, src uint32, ctr uint64, fn func()) {
+	if fn == nil {
+		panic("sim: ScheduleArrivalAt with nil fn")
+	}
+	if at < e.now {
+		panic("sim: arrival scheduled in the past")
+	}
+	if ctr >= 1<<arrivalCtrBits {
+		panic("sim: arrival counter overflow")
+	}
+	key := arrivalBand | uint64(src)<<arrivalCtrBits | ctr
+	i := e.alloc(at, schedAt, key, fn)
 	e.heapPush(i)
 }
 
@@ -120,11 +166,24 @@ func (e *Engine) Stop() { e.stopped = true }
 // Pending reports how many events remain queued.
 func (e *Engine) Pending() int { return len(e.heap) + e.ringLen }
 
+// NextEventTime returns the dispatch cycle of the earliest pending event,
+// or ok = false if the queue is empty. The conservative window scheduler
+// uses it to compute the global window floor.
+func (e *Engine) NextEventTime() (t Cycle, ok bool) {
+	if e.ringLen > 0 {
+		return e.now, true
+	}
+	if len(e.heap) > 0 {
+		return e.arena[e.heap[0]].at, true
+	}
+	return 0, false
+}
+
 // next pops the arena index of the earliest pending event — by (time,
-// seq) — advancing the clock as needed, or returns nilIdx if the queue is
-// drained or the earliest event lies beyond horizon. Heap events at the
-// current cycle precede the ring (they were scheduled before the clock
-// reached this cycle, so their sequence numbers are lower).
+// schedAt, key) — advancing the clock as needed, or returns nilIdx if the
+// queue is drained or the earliest event lies beyond horizon. Heap events
+// at the current cycle precede the ring (they were scheduled before the
+// clock reached this cycle, so their schedAt is lower).
 func (e *Engine) next(horizon Cycle) int32 {
 	if len(e.heap) > 0 && e.arena[e.heap[0]].at == e.now {
 		return e.heapPop()
@@ -167,7 +226,20 @@ func (e *Engine) Run(limit uint64) uint64 {
 
 // RunUntil dispatches events with time ≤ t, then sets the clock to t.
 func (e *Engine) RunUntil(t Cycle) {
+	e.RunUntilBudget(t, 0)
+}
+
+// RunUntilBudget dispatches events with time ≤ t — at most budget of them
+// (0 = unlimited) — then sets the clock to t if the queue was exhausted up
+// to t. It returns the number of events dispatched. The window scheduler
+// uses the budget as a livelock backstop: an event storm that never
+// advances time cannot pin a logical process inside one window forever.
+func (e *Engine) RunUntilBudget(t Cycle, budget uint64) uint64 {
+	var n uint64
 	for !e.stopped {
+		if budget > 0 && n >= budget {
+			return n
+		}
 		i := e.next(t)
 		if i == nilIdx {
 			break
@@ -175,11 +247,13 @@ func (e *Engine) RunUntil(t Cycle) {
 		fn := e.arena[i].fn
 		e.release(i)
 		fn()
+		n++
 		e.Executed++
 	}
 	if e.now < t {
 		e.now = t
 	}
+	return n
 }
 
 // ringPush appends i to the same-cycle FIFO, growing it when full.
@@ -203,13 +277,16 @@ func (e *Engine) ringPop() int32 {
 	return i
 }
 
-// less orders arena slots by (time, sequence).
+// less orders arena slots by (time, schedule time, band|payload).
 func (e *Engine) less(a, b int32) bool {
 	ea, eb := &e.arena[a], &e.arena[b]
 	if ea.at != eb.at {
 		return ea.at < eb.at
 	}
-	return ea.seq < eb.seq
+	if ea.schedAt != eb.schedAt {
+		return ea.schedAt < eb.schedAt
+	}
+	return ea.key < eb.key
 }
 
 func (e *Engine) heapPush(i int32) {
