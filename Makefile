@@ -6,7 +6,7 @@ GO ?= go
 all: check
 
 .PHONY: check
-check: vet lint build race golden atlas-check isolate-check fuzz-smoke pdes-smoke
+check: vet lint build race golden atlas-check isolate-check fuzz-smoke pdes-smoke fabric-smoke
 
 .PHONY: vet
 vet:
@@ -194,6 +194,18 @@ scenfuzz-smoke:
 	diff -r /tmp/denovosync-scenfuzz-smoke/killed/corpus /tmp/denovosync-scenfuzz-smoke/full/corpus
 	diff -r /tmp/denovosync-scenfuzz-smoke/killed/findings /tmp/denovosync-scenfuzz-smoke/full/findings
 	@echo "scenfuzz-smoke: killed-and-resumed campaign outputs are byte-identical to the uninterrupted run"
+
+# fabric-smoke is the seconds-scale gate over the distributed experiment
+# fabric (run inside `make check`): a real grid served over loopback
+# HTTP to two workers, with a worker killed mid-grid (journaled locally,
+# nothing handed off) and restarted, an injected dropped + duplicated
+# completion, and a coordinator restart from its journal — the merged
+# figure CSV must be byte-identical to a serial single-machine run, with
+# zero determinism findings. The in-package fault battery (lease expiry,
+# partitioned workers, conflict escalation) runs under `make race`.
+.PHONY: fabric-smoke
+fabric-smoke:
+	$(GO) run ./cmd/fabric smoke
 
 # nightly-fuzz is the scheduled long-budget campaign (also runnable
 # locally): seeds from the checked-in corpus, writes accepted candidates

@@ -15,6 +15,14 @@
 //	exp run  ... -stop-after 5                   # deterministic interrupt
 //	exp status -fig fig3 -cores 16 -journal f3.jsonl
 //	exp merge  -fig fig3 -cores 16 -journal f3.jsonl -o fig3.csv
+//	exp merge  -fig fig3 -journal c.jsonl -journal w1.jsonl  # reconcile N journals
+//	exp salvage -journal damaged.jsonl -o repaired.jsonl     # repair a journal
+//
+// merge accepts -journal repeatedly and reconciles the journals by
+// content-addressed run key (identical duplicates dedup, successes
+// supersede failures); two different results for one key are a
+// determinism bug and fail the merge loudly. -salvage recovers what it
+// can from damaged journals instead of refusing them.
 //
 // During run, the first ^C stops dispatching new runs and exits 130
 // once in-flight runs are journaled (resume by re-running); a second ^C
@@ -52,6 +60,8 @@ func main() {
 		cmdStatus(os.Args[2:])
 	case "merge":
 		cmdMerge(os.Args[2:])
+	case "salvage":
+		cmdSalvage(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -68,7 +78,8 @@ func usage() {
   plan    expand a grid and print it (keys, runs)
   run     execute a grid's pending runs (resumable via -journal)
   status  compare a journal against a plan
-  merge   render a journal to the figure CSV format
+  merge   reconcile one or more journals and render the figure CSV
+  salvage repair a damaged journal (recover good lines, quarantine bad)
 
 Grid selection (plan, run, status, merge):
   -manifest FILE   declarative grid manifest (JSON)
@@ -282,38 +293,82 @@ func cmdStatus(args []string) {
 	}
 }
 
+// journalList collects repeated -journal flags.
+type journalList []string
+
+func (j *journalList) String() string { return strings.Join(*j, ",") }
+func (j *journalList) Set(s string) error {
+	*j = append(*j, s)
+	return nil
+}
+
 func cmdMerge(args []string) {
 	fs := flag.NewFlagSet("exp merge", flag.ExitOnError)
 	var pf planFlags
 	pf.register(fs)
-	journalPath := fs.String("journal", "", "JSONL result journal")
+	var journals journalList
+	fs.Var(&journals, "journal", "JSONL result journal (repeatable: reconcile several)")
 	outPath := fs.String("o", "", "output CSV file (default stdout)")
+	salvage := fs.Bool("salvage", false, "recover damaged journals instead of refusing them")
 	fs.Parse(args)
 	plan, err := pf.load()
 	if err != nil {
 		fatal(err)
 	}
-	if *journalPath == "" {
-		fatal(errors.New("merge needs -journal"))
+	if len(journals) == 0 {
+		fatal(errors.New("merge needs at least one -journal"))
 	}
-	recs, err := exp.LoadJournal(*journalPath)
+	records, sum, err := exp.ReconcileJournals(journals, *salvage)
 	if err != nil {
 		fatal(err)
 	}
-	byKey := map[string]*exp.Record{}
-	for _, rec := range recs {
-		byKey[rec.Key] = rec
+	fmt.Fprintf(os.Stderr, "exp: %s\n", sum)
+	if err := sum.Err(); err != nil {
+		// A determinism conflict never merges silently: report every
+		// finding and fail.
+		fatal(err)
 	}
 	if *outPath == "" {
-		if err := exp.MergeCSV(os.Stdout, plan, byKey); err != nil {
+		if err := exp.MergeCSV(os.Stdout, plan, records); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if err := writeFile(*outPath, func(w io.Writer) error {
-		return exp.MergeCSV(w, plan, byKey)
+		return exp.MergeCSV(w, plan, records)
 	}); err != nil {
 		fatal(err)
+	}
+}
+
+func cmdSalvage(args []string) {
+	fs := flag.NewFlagSet("exp salvage", flag.ExitOnError)
+	journalPath := fs.String("journal", "", "damaged JSONL result journal")
+	outPath := fs.String("o", "", "write the repaired journal here (refuses to overwrite)")
+	fs.Parse(args)
+	if *journalPath == "" {
+		fatal(errors.New("salvage needs -journal"))
+	}
+	recs, rep, err := exp.SalvageJournal(*journalPath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep)
+	if !rep.Clean() {
+		side, err := rep.WriteSidecar()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("quarantine report: %s\n", side)
+	}
+	if *outPath != "" {
+		if err := exp.RewriteJournal(*outPath, recs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("repaired journal: %s (%d records)\n", *outPath, len(recs))
+	}
+	if !rep.Clean() {
+		os.Exit(1) // damaged input: loud even when the salvage succeeded
 	}
 }
 

@@ -1,0 +1,338 @@
+// Command fabric distributes an experiment grid across worker processes
+// with crash tolerance at every seam: a lease-based coordinator serves
+// content-addressed work units over HTTP, workers execute them through
+// the internal/exp engine and journal locally before handing results
+// off, and every failure mode — killed workers, dropped heartbeats,
+// duplicate completions, an unreachable or restarted coordinator —
+// converges to the same merged result set a serial single-machine run
+// produces, byte for byte.
+//
+// Usage:
+//
+//	fabric serve -fig fig3 -cores 16 -journal coord.jsonl -addr 127.0.0.1:7716
+//	fabric work  -coordinator http://127.0.0.1:7716 -id w1 -journal w1.jsonl
+//	fabric status -coordinator http://127.0.0.1:7716
+//	fabric merge -fig fig3 -cores 16 -journal coord.jsonl -journal w1.jsonl -o fig3.csv
+//	fabric smoke                                 # self-contained fault battery
+//
+// serve exits once the grid completes (after -linger, giving workers
+// time to observe completion); restarting it from the same -journal
+// resumes mid-grid with nothing lost but live leases. work exits when
+// the coordinator reports the grid done; -stop-after N makes it exit
+// after N journaled runs *without* handing them off — the deterministic
+// stand-in for SIGKILL used by the smoke battery (the restarted worker
+// re-offers its journal and the grid still converges).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"denovosync/internal/backoff"
+	"denovosync/internal/exp"
+	"denovosync/internal/fabric"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "serve":
+		cmdServe(os.Args[2:])
+	case "work":
+		cmdWork(os.Args[2:])
+	case "status":
+		cmdStatus(os.Args[2:])
+	case "merge":
+		cmdMerge(os.Args[2:])
+	case "smoke":
+		cmdSmoke(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "fabric: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: fabric <subcommand> [flags]
+
+  serve   coordinate a grid: lease work units to workers over HTTP
+  work    claim, execute, and hand off work units from a coordinator
+  status  print a coordinator's grid progress
+  merge   reconcile coordinator/worker journals and render the CSV
+  smoke   run the self-contained fault-injection battery (seconds)
+
+Run 'fabric <subcommand> -h' for subcommand flags.
+`)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fabric:", err)
+	os.Exit(1)
+}
+
+// planFlags mirrors cmd/exp's grid selection.
+type planFlags struct {
+	manifest string
+	fig      string
+	cores    int
+	scale    int
+}
+
+func (p *planFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&p.manifest, "manifest", "", "grid manifest file (JSON)")
+	fs.StringVar(&p.fig, "fig", "", "built-in figure/ablation plan (see: exp list)")
+	fs.IntVar(&p.cores, "cores", 16, "figure machine size: 16 or 64")
+	fs.IntVar(&p.scale, "scale", 1, "workload divisor (1 = paper scale)")
+}
+
+func (p *planFlags) load() (exp.Plan, error) {
+	switch {
+	case p.manifest != "" && p.fig != "":
+		return exp.Plan{}, errors.New("-manifest and -fig are mutually exclusive")
+	case p.manifest != "":
+		return exp.LoadManifest(p.manifest)
+	case p.fig != "":
+		return exp.FigurePlan(p.fig, p.cores, exp.Options{Scale: p.scale})
+	}
+	return exp.Plan{}, errors.New("select a grid with -manifest or -fig")
+}
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("fabric serve", flag.ExitOnError)
+	var pf planFlags
+	pf.register(fs)
+	var (
+		journalPath = fs.String("journal", "", "coordinator result journal (required: this is the durable state)")
+		addr        = fs.String("addr", "127.0.0.1:7716", "listen address (port 0 picks a free port)")
+		addrFile    = fs.String("addr-file", "", "write the bound http:// base URL here (for scripts/tests)")
+		unit        = fs.Int("unit", 4, "runs per leased work unit")
+		ttl         = fs.Duration("ttl", 30*time.Second, "lease TTL without a heartbeat")
+		linger      = fs.Duration("linger", 2*time.Second, "serve this long after the grid completes")
+	)
+	fs.Parse(args)
+	plan, err := pf.load()
+	if err != nil {
+		fatal(err)
+	}
+	if *journalPath == "" {
+		fatal(errors.New("serve needs -journal (the coordinator's durable state)"))
+	}
+
+	c, err := fabric.Open(plan, *journalPath, fabric.Config{UnitSize: *unit, LeaseTTL: *ttl})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+	if *addrFile != "" {
+		if err := writeFileAtomic(*addrFile, []byte(base+"\n")); err != nil {
+			fatal(err)
+		}
+	}
+	st, _ := c.Status()
+	fmt.Fprintf(os.Stderr, "fabric: serving %s at %s (%d/%d complete, unit %d, ttl %s)\n",
+		plan.ID, base, st.OK+st.Failed, st.Total, *unit, *ttl)
+
+	srv := &http.Server{Handler: fabric.Handler(c)}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sigc:
+			// Graceful stop: everything accepted so far is already fsynced;
+			// restarting from the same -journal resumes mid-grid.
+			fmt.Fprintln(os.Stderr, "fabric: interrupt — journal preserved; restart serve to resume")
+			srv.Close()
+			c.Close()
+			os.Exit(130)
+		case <-tick.C:
+			if c.Done() {
+				// Give workers a beat to observe completion on their next claim.
+				time.Sleep(*linger)
+				srv.Close()
+				st, _ := c.Status()
+				if err := c.Close(); err != nil {
+					fatal(err)
+				}
+				reportStatus(st)
+				if st.Failed > 0 || len(st.Conflicts) > 0 {
+					os.Exit(1)
+				}
+				return
+			}
+		}
+	}
+}
+
+func cmdWork(args []string) {
+	fs := flag.NewFlagSet("fabric work", flag.ExitOnError)
+	var (
+		coordinator = fs.String("coordinator", "", "coordinator base URL (http://host:port)")
+		id          = fs.String("id", "", "stable worker ID (a restart with the same ID supersedes its old leases)")
+		journalPath = fs.String("journal", "", "worker-local result journal (journaled before hand-off)")
+		workers     = fs.Int("workers", 0, "concurrent runs within a unit; 0 = GOMAXPROCS")
+		timeout     = fs.Duration("timeout", 0, "per-attempt wall-clock limit; 0 = none")
+		retries     = fs.Int("retries", 0, "extra attempts after a failed run")
+		stopAfter   = fs.Int("stop-after", 0, "exit after N journaled runs WITHOUT hand-off (deterministic kill)")
+		seed        = fs.Uint64("seed", 1, "backoff jitter seed")
+		quiet       = fs.Bool("quiet", false, "suppress progress output")
+	)
+	fs.Parse(args)
+	if *coordinator == "" || *id == "" {
+		fatal(errors.New("work needs -coordinator and -id"))
+	}
+
+	// Graceful stop on ^C: finish in-flight runs, hand off, exit.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "fabric: interrupt — finishing in-flight runs (^C again to abort)")
+		close(stop)
+		<-sigc
+		os.Exit(130)
+	}()
+
+	cfg := fabric.WorkerConfig{
+		ID:            *id,
+		JournalPath:   *journalPath,
+		EngineWorkers: *workers,
+		Timeout:       *timeout,
+		Retries:       *retries,
+		RunBackoff:    backoff.Policy{Base: 100 * time.Millisecond, Max: 5 * time.Second, Seed: *seed},
+		RPCBackoff:    backoff.Policy{Base: 100 * time.Millisecond, Max: 10 * time.Second, Seed: *seed + 1},
+		StopAfter:     *stopAfter,
+		Stop:          stop,
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+	sum, err := fabric.NewWorker(fabric.Dial(*coordinator), cfg).Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fabric: %s\n", sum)
+	if sum.Killed {
+		// The expected outcome of a bounded session (like exp -stop-after):
+		// locally journaled results hand off on the next start.
+		fmt.Fprintln(os.Stderr, "fabric: stop-after kill — restart work with the same -id and -journal to resume")
+	}
+}
+
+func cmdStatus(args []string) {
+	fs := flag.NewFlagSet("fabric status", flag.ExitOnError)
+	coordinator := fs.String("coordinator", "", "coordinator base URL (http://host:port)")
+	fs.Parse(args)
+	if *coordinator == "" {
+		fatal(errors.New("status needs -coordinator"))
+	}
+	st, err := fabric.Dial(*coordinator).Status()
+	if err != nil {
+		fatal(err)
+	}
+	reportStatus(st)
+	if len(st.Conflicts) > 0 {
+		os.Exit(1)
+	}
+}
+
+func reportStatus(st fabric.StatusResponse) {
+	fmt.Printf("%s: %d runs: %d ok, %d failed, %d leased, %d pending\n",
+		st.Plan, st.Total, st.OK, st.Failed, st.Leased, st.Pending)
+	for w, n := range st.Workers {
+		fmt.Printf("  leased to %s: %d\n", w, n)
+	}
+	for _, c := range st.Conflicts {
+		fmt.Printf("  DETERMINISM CONFLICT %s: %d distinct results for one run\n", c.Key, len(c.Results))
+	}
+	if st.Done {
+		fmt.Println("grid complete")
+	}
+}
+
+// journalList collects repeated -journal flags.
+type journalList []string
+
+func (j *journalList) String() string { return strings.Join(*j, ",") }
+func (j *journalList) Set(s string) error {
+	*j = append(*j, s)
+	return nil
+}
+
+func cmdMerge(args []string) {
+	fs := flag.NewFlagSet("fabric merge", flag.ExitOnError)
+	var pf planFlags
+	pf.register(fs)
+	var journals journalList
+	fs.Var(&journals, "journal", "result journal (repeatable: coordinator + workers)")
+	outPath := fs.String("o", "", "output CSV file (default stdout)")
+	salvage := fs.Bool("salvage", false, "recover damaged journals instead of refusing them")
+	fs.Parse(args)
+	plan, err := pf.load()
+	if err != nil {
+		fatal(err)
+	}
+	if len(journals) == 0 {
+		fatal(errors.New("merge needs at least one -journal"))
+	}
+	records, sum, err := exp.ReconcileJournals(journals, *salvage)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fabric: %s\n", sum)
+	if err := sum.Err(); err != nil {
+		fatal(err) // a determinism conflict never merges silently
+	}
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := exp.MergeCSV(w, plan, records); err != nil {
+		fatal(err)
+	}
+}
+
+// writeFileAtomic writes via a temp file + rename so readers polling for
+// the file never observe a partial write.
+func writeFileAtomic(path string, b []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

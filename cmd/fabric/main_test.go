@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"denovosync/internal/exp"
+)
+
+// TestProcessKillAndResume drives the fabric through real processes: a
+// coordinator served by one process, a worker process killed mid-grid
+// via -stop-after (deterministic interrupt: journaled locally, nothing
+// handed off), then a resumed worker process that must re-offer the
+// journal, re-claim only unfinished keys, and finish the grid — with
+// the merged CSV byte-identical to a serial in-process run.
+func TestProcessKillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes over a real grid")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "fabric")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	grid := []string{"-fig", "fig3", "-cores", "16", "-scale", "25"}
+	plan, err := exp.FigurePlan("fig3", 16, exp.Options{Scale: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial ground truth, in-process.
+	records, _, err := (&exp.Engine{}).Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := exp.MergeCSV(&want, plan, records); err != nil {
+		t.Fatal(err)
+	}
+
+	coordJournal := filepath.Join(dir, "coordinator.jsonl")
+	addrFile := filepath.Join(dir, "addr")
+	serve := exec.Command(bin, append([]string{"serve",
+		"-journal", coordJournal, "-addr", "127.0.0.1:0", "-addr-file", addrFile,
+		"-unit", "3", "-linger", "2s"}, grid...)...)
+	serve.Stderr = os.Stderr
+	if err := serve.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer serve.Process.Kill()
+
+	// The coordinator publishes its bound address atomically.
+	var base string
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if b, err := os.ReadFile(addrFile); err == nil {
+			base = strings.TrimSpace(string(b))
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never published %s", addrFile)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	workerJournal := filepath.Join(dir, "worker.jsonl")
+	work := func(extra ...string) {
+		t.Helper()
+		args := append([]string{"work", "-coordinator", base, "-id", "worker-a",
+			"-journal", workerJournal, "-quiet"}, extra...)
+		if out, err := exec.Command(bin, args...).CombinedOutput(); err != nil {
+			t.Fatalf("fabric %s: %v\n%s", strings.Join(args, " "), err, out)
+		}
+	}
+
+	// Session 1: killed after 4 journaled runs (mid-unit — nothing from
+	// the in-flight unit is handed off).
+	work("-stop-after", "4")
+	killedRecs, err := exp.LoadJournal(workerJournal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(killedRecs) < 4 {
+		t.Fatalf("killed session journaled %d runs, want >= 4", len(killedRecs))
+	}
+
+	// Session 2: the resumed worker finishes the grid.
+	work()
+
+	// No key was ever executed twice: the worker journal is append-only,
+	// so a re-execution would show up as a repeated key.
+	allRecs, err := exp.LoadJournal(workerJournal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, rec := range allRecs {
+		if seen[rec.Key] {
+			t.Errorf("key %s executed twice across kill+resume", rec.Key)
+		}
+		seen[rec.Key] = true
+	}
+
+	// The coordinator saw every run once and exits clean after -linger.
+	if err := serve.Wait(); err != nil {
+		t.Fatalf("serve exited with: %v", err)
+	}
+
+	// Byte-identity of the merged CSV, via the real merge subcommand
+	// reconciling both journals.
+	csvPath := filepath.Join(dir, "merged.csv")
+	mergeArgs := append([]string{"merge", "-journal", coordJournal, "-journal", workerJournal,
+		"-o", csvPath}, grid...)
+	if out, err := exec.Command(bin, mergeArgs...).CombinedOutput(); err != nil {
+		t.Fatalf("fabric merge: %v\n%s", err, out)
+	}
+	got, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("process-level kill+resume CSV differs from the serial run:\n%s\nvs serial\n%s", got, want.Bytes())
+	}
+
+	// The coordinator journal also holds each key at most once (dedup
+	// held under real RPC traffic).
+	coordRecs, err := exp.LoadJournal(coordJournal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen = map[string]bool{}
+	for _, rec := range coordRecs {
+		if rec.Status == exp.StatusOK && seen[rec.Key] {
+			t.Errorf("coordinator journaled key %s twice", rec.Key)
+		}
+		seen[rec.Key] = true
+	}
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"denovosync/internal/backoff"
+	"denovosync/internal/exp"
+	"denovosync/internal/fabric"
+)
+
+// cmdSmoke is the seconds-scale CI gate over the whole fabric: a real
+// grid served over real loopback HTTP to two workers, with a worker
+// killed mid-grid (stop-after, no hand-off), its restart re-offering the
+// local journal, an injected duplicate completion, a parked hand-off
+// behind injected RPC failures, and a coordinator restart from its
+// journal — all required to converge to a figure CSV byte-identical to
+// a serial single-machine run of the same plan.
+func cmdSmoke(args []string) {
+	fs := flag.NewFlagSet("fabric smoke", flag.ExitOnError)
+	var pf planFlags
+	pf.register(fs)
+	fs.Parse(args)
+	if pf.fig == "" && pf.manifest == "" {
+		pf.fig, pf.scale = "fig3", 25 // the exp-smoke grid: 18 real runs, seconds
+	}
+	plan, err := pf.load()
+	if err != nil {
+		fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "fabric-smoke-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	step := func(format string, a ...interface{}) {
+		fmt.Fprintf(os.Stderr, "fabric-smoke: "+format+"\n", a...)
+	}
+
+	// Ground truth: the plan executed serially in this process.
+	step("serial baseline: %s (%d runs)", plan.ID, len(plan.Runs))
+	serial := &exp.Engine{Workers: 1}
+	records, _, err := serial.Execute(plan)
+	if err != nil {
+		fatal(err)
+	}
+	var want bytes.Buffer
+	if err := exp.MergeCSV(&want, plan, records); err != nil {
+		fatal(err)
+	}
+
+	// The coordinator, over real loopback HTTP.
+	coordJournal := filepath.Join(dir, "coordinator.jsonl")
+	c, err := fabric.Open(plan, coordJournal, fabric.Config{UnitSize: 3})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: fabric.Handler(c)}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	worker := func(id string, t fabric.Transport, stopAfter int) fabric.WorkerSummary {
+		sum, err := fabric.NewWorker(t, fabric.WorkerConfig{
+			ID:          id,
+			JournalPath: filepath.Join(dir, id+".jsonl"),
+			IdleWait:    10 * time.Millisecond,
+			RPCBackoff:  backoff.Policy{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond, Seed: 7},
+			StopAfter:   stopAfter,
+		}).Run()
+		if err != nil {
+			fatal(err)
+		}
+		return sum
+	}
+
+	// Fault 1: worker-1 is killed after 3 journaled runs, handing off
+	// nothing from its final unit.
+	step("worker-1: killed after 3 runs (no hand-off)")
+	if sum := worker("worker-1", fabric.Dial(base), 3); !sum.Killed || sum.Parked == 0 {
+		fatal(fmt.Errorf("stop-after kill did not trigger: %s", sum))
+	}
+
+	// Faults 2+3: worker-2 runs behind a scripted flaky link — its first
+	// completion is dropped (records park, then flush) and a later one is
+	// delivered twice (the retransmit the coordinator must dedup) — while
+	// the restarted worker-1 re-offers its journal and finishes the grid
+	// alongside it.
+	step("worker-1 restarted + worker-2 on a flaky link (dropped + duplicated completions)")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		flaky := &fabric.FaultTransport{Inner: fabric.Dial(base), Plan: fabric.FaultPlan{
+			FailCompletes:      []int{1},
+			DuplicateCompletes: []int{3},
+		}}
+		worker("worker-2", flaky, 0)
+	}()
+	resumed := worker("worker-1", fabric.Dial(base), 0)
+	wg.Wait()
+	if resumed.Killed || resumed.Parked != 0 {
+		fatal(fmt.Errorf("resumed worker-1 did not finish cleanly: %s", resumed))
+	}
+
+	if !c.Done() {
+		fatal(fmt.Errorf("grid did not converge"))
+	}
+	if n := len(c.Conflicts()); n != 0 {
+		fatal(fmt.Errorf("deterministic grid raised %d conflict findings", n))
+	}
+	var live bytes.Buffer
+	if err := exp.MergeCSV(&live, plan, c.Records()); err != nil {
+		fatal(err)
+	}
+	srv.Close()
+	if err := c.Close(); err != nil {
+		fatal(err)
+	}
+	if !bytes.Equal(live.Bytes(), want.Bytes()) {
+		fatal(fmt.Errorf("fabric CSV differs from the serial run"))
+	}
+	step("converged: fabric CSV byte-identical to the serial run")
+
+	// Fault 4: coordinator restart — reopen from the journal; the merged
+	// result set must already be complete and identical.
+	c2, err := fabric.Open(plan, coordJournal, fabric.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	defer c2.Close()
+	if !c2.Done() {
+		fatal(fmt.Errorf("restarted coordinator lost results"))
+	}
+	var replayed bytes.Buffer
+	if err := exp.MergeCSV(&replayed, plan, c2.Records()); err != nil {
+		fatal(err)
+	}
+	if !bytes.Equal(replayed.Bytes(), want.Bytes()) {
+		fatal(fmt.Errorf("restarted coordinator CSV differs from the serial run"))
+	}
+	step("coordinator restart: journal replay byte-identical")
+
+	// And the external reconciler agrees across every journal written.
+	paths := []string{coordJournal, filepath.Join(dir, "worker-1.jsonl"), filepath.Join(dir, "worker-2.jsonl")}
+	recs, sum, err := exp.ReconcileJournals(paths, false)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sum.Err(); err != nil {
+		fatal(err)
+	}
+	var merged bytes.Buffer
+	if err := exp.MergeCSV(&merged, plan, recs); err != nil {
+		fatal(err)
+	}
+	if !bytes.Equal(merged.Bytes(), want.Bytes()) {
+		fatal(fmt.Errorf("reconciled journals differ from the serial run"))
+	}
+	step("reconciled %d journals (%s): byte-identical — PASS", len(paths), sum)
+}

@@ -1,0 +1,115 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZeroPolicyNeverDelays(t *testing.T) {
+	var p Policy
+	for n := 0; n < 10; n++ {
+		if d := p.Delay(n); d != 0 {
+			t.Fatalf("zero policy Delay(%d) = %v, want 0", n, d)
+		}
+	}
+	if !p.Sleep(3, nil) {
+		t.Fatalf("zero policy Sleep returned false")
+	}
+}
+
+func TestScheduleIsDeterministic(t *testing.T) {
+	a := Policy{Base: 10 * time.Millisecond, Max: time.Second, Seed: 42}
+	b := Policy{Base: 10 * time.Millisecond, Max: time.Second, Seed: 42}
+	for n := 1; n <= 12; n++ {
+		if a.Delay(n) != b.Delay(n) {
+			t.Fatalf("same policy diverged at attempt %d: %v vs %v", n, a.Delay(n), b.Delay(n))
+		}
+	}
+	c := a
+	c.Seed = 43
+	same := true
+	for n := 1; n <= 12; n++ {
+		if a.Delay(n) != c.Delay(n) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced an identical 12-attempt schedule")
+	}
+}
+
+// TestScheduleShape pins the exponential envelope: every delay lies in
+// [nominal/2, nominal], nominals double from Base, and the cap holds.
+func TestScheduleShape(t *testing.T) {
+	p := Policy{Base: 8 * time.Millisecond, Max: 100 * time.Millisecond, Seed: 7}
+	nominals := []time.Duration{
+		8 * time.Millisecond,   // attempt 1
+		16 * time.Millisecond,  // 2
+		32 * time.Millisecond,  // 3
+		64 * time.Millisecond,  // 4
+		100 * time.Millisecond, // 5: capped
+		100 * time.Millisecond, // 6: stays capped
+	}
+	for i, nom := range nominals {
+		attempt := i + 1
+		d := p.Delay(attempt)
+		if d < nom/2 || d > nom {
+			t.Errorf("Delay(%d) = %v outside jitter window [%v, %v]", attempt, d, nom/2, nom)
+		}
+	}
+	if d := p.Delay(0); d != 0 {
+		t.Errorf("Delay(0) = %v, want 0 (attempts are 1-based)", d)
+	}
+}
+
+func TestMaxDefaultsTo64xBase(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Seed: 1}
+	for n := 1; n <= 30; n++ {
+		if d := p.Delay(n); d > 64*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v exceeds the default 64×Base cap", n, d)
+		}
+	}
+	// The cap must actually be reached, not undershot forever.
+	if d := p.Delay(20); d < 32*time.Millisecond {
+		t.Fatalf("Delay(20) = %v, want >= half the 64ms cap", d)
+	}
+}
+
+// TestOverflowSafety: a huge attempt number with a large Max must not
+// wrap negative.
+func TestOverflowSafety(t *testing.T) {
+	p := Policy{Base: time.Second, Max: 1 << 62, Seed: 9}
+	for _, n := range []int{40, 63, 64, 100, 1 << 20} {
+		if d := p.Delay(n); d < 0 || d > 1<<62 {
+			t.Fatalf("Delay(%d) = %v out of range", n, d)
+		}
+	}
+}
+
+func TestDeriveSeedSeparatesKeys(t *testing.T) {
+	s1 := DeriveSeed(1, "aaaa")
+	s2 := DeriveSeed(1, "bbbb")
+	if s1 == s2 {
+		t.Fatalf("distinct keys derived the same seed")
+	}
+	if DeriveSeed(1, "aaaa") != s1 {
+		t.Fatalf("DeriveSeed is not stable")
+	}
+	p := Policy{Base: time.Millisecond, Seed: 1}
+	if p.Keyed("aaaa").Seed != s1 {
+		t.Fatalf("Keyed does not use DeriveSeed")
+	}
+}
+
+func TestSleepHonorsCancel(t *testing.T) {
+	p := Policy{Base: time.Hour, Seed: 3}
+	cancel := make(chan struct{})
+	close(cancel)
+	start := time.Now()
+	if p.Sleep(1, cancel) {
+		t.Fatalf("Sleep ignored a closed cancel channel")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("cancelled Sleep still slept")
+	}
+}

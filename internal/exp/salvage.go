@@ -1,0 +1,185 @@
+package exp
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Journal salvage: LoadJournal deliberately treats mid-file corruption as
+// a hard error — a grid driver must never silently drop results. But a
+// journal that *did* get damaged (bad sector, concurrent writer, manual
+// edit) still holds real CPU-days of results, so SalvageJournal is the
+// explicit repair path: it recovers every parseable record, quarantines
+// each unparseable line with its exact byte extent into a sidecar
+// report, and leaves the original file untouched. The caller chose
+// salvage, so recovery is not silent — the report says precisely what
+// was lost and where.
+
+// BadLine is one quarantined journal line: its position, byte extent,
+// parse error, and a bounded prefix of the raw bytes for forensics.
+type BadLine struct {
+	Line   int    `json:"line"`   // 1-based line number
+	Offset int64  `json:"offset"` // byte offset of the line start
+	Length int    `json:"length"` // bytes in the line, excluding the newline
+	Error  string `json:"error"`  // why it did not parse
+	Prefix string `json:"prefix"` // up to 128 raw bytes, for identification
+}
+
+// SalvageReport describes one salvage pass over a journal.
+type SalvageReport struct {
+	Journal   string    `json:"journal"`
+	Lines     int       `json:"lines"`     // non-empty lines seen
+	Recovered int       `json:"recovered"` // records kept
+	Bad       []BadLine `json:"bad,omitempty"`
+	// TornTail is true when the only damage is a malformed final line —
+	// the signature of a crash mid-append, which LoadJournal already
+	// tolerates. Anything else in Bad is real mid-file corruption.
+	TornTail bool `json:"torn_tail,omitempty"`
+}
+
+// Clean reports whether the journal needed no repair at all.
+func (r *SalvageReport) Clean() bool {
+	return len(r.Bad) == 0
+}
+
+// String summarizes the pass for progress output.
+func (r *SalvageReport) String() string {
+	switch {
+	case r.Clean():
+		return fmt.Sprintf("%s: clean (%d records)", r.Journal, r.Recovered)
+	case r.TornTail && len(r.Bad) == 1:
+		return fmt.Sprintf("%s: %d records recovered, torn tail dropped (offset %d)",
+			r.Journal, r.Recovered, r.Bad[0].Offset)
+	}
+	return fmt.Sprintf("%s: %d records recovered, %d corrupt line(s) quarantined (first at offset %d)",
+		r.Journal, r.Recovered, len(r.Bad), r.Bad[0].Offset)
+}
+
+// SidecarPath is where WriteSidecar puts the report for a journal.
+func SidecarPath(journalPath string) string {
+	return journalPath + ".salvage.json"
+}
+
+// WriteSidecar writes the report next to the journal (journal path +
+// ".salvage.json") and returns the path. The write is atomic-ish
+// (temp file + rename) so a crash mid-report never leaves a torn
+// sidecar pointing at a repaired journal.
+func (r *SalvageReport) WriteSidecar() (string, error) {
+	path := SidecarPath(r.Journal)
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("exp: encoding salvage report: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// SalvageJournal reads a journal in repair mode: every parseable record
+// is returned in file order, every unparseable line is quarantined into
+// the report with its byte offset and length. The file itself is not
+// modified. A journal that LoadJournal would accept yields an identical
+// record list and a Clean report.
+func SalvageJournal(path string) ([]*Record, *SalvageReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+
+	rep := &SalvageReport{Journal: path}
+	var out []*Record
+	rd := bufio.NewReaderSize(f, 1<<20)
+	var offset int64
+	line := 0
+	for {
+		b, err := rd.ReadBytes('\n')
+		atEOF := errors.Is(err, io.EOF)
+		if err != nil && !atEOF {
+			return nil, nil, fmt.Errorf("exp: reading journal %s: %w", path, err)
+		}
+		raw := b
+		if n := len(raw); n > 0 && raw[n-1] == '\n' {
+			raw = raw[:n-1]
+		}
+		if len(raw) > 0 {
+			line++
+			rep.Lines++
+			rec := &Record{}
+			perr := json.Unmarshal(raw, rec)
+			if perr == nil && rec.Key == "" {
+				perr = fmt.Errorf("record has no key")
+			}
+			if perr != nil {
+				prefix := raw
+				if len(prefix) > 128 {
+					prefix = prefix[:128]
+				}
+				rep.Bad = append(rep.Bad, BadLine{
+					Line:   line,
+					Offset: offset,
+					Length: len(raw),
+					Error:  perr.Error(),
+					Prefix: string(prefix),
+				})
+			} else {
+				out = append(out, rec)
+				rep.Recovered++
+			}
+		}
+		offset += int64(len(b))
+		if atEOF {
+			break
+		}
+	}
+	// A single bad line that is also the file's last line is a torn
+	// tail: the same case LoadJournal drops silently.
+	if len(rep.Bad) == 1 && rep.Bad[0].Line == line {
+		rep.TornTail = true
+	}
+	return out, rep, nil
+}
+
+// RewriteJournal writes the salvaged records as a fresh journal at dst
+// (refusing to overwrite the source in place): the repair output a
+// subsequent resume or merge can consume with the strict loader.
+func RewriteJournal(dst string, recs []*Record) error {
+	if dst == "" {
+		return fmt.Errorf("exp: rewrite needs a destination path")
+	}
+	f, err := os.OpenFile(dst, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, rec := range recs {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("exp: encoding record %s: %w", rec.Key, err)
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,173 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// writeJournalLines writes raw lines (joined with \n) as a journal file.
+func writeJournalLines(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "grid.jsonl")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func recordLine(t *testing.T, key string) string {
+	t.Helper()
+	b, err := json.Marshal(testRecord(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestSalvageCleanJournalMatchesStrictLoader(t *testing.T) {
+	path := writeJournalLines(t, recordLine(t, "aaaa"), recordLine(t, "bbbb"), "")
+	strict, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, rep, err := SalvageJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Recovered != 2 || rep.TornTail {
+		t.Fatalf("clean journal salvage report: %+v", rep)
+	}
+	if !reflect.DeepEqual(recs, strict) {
+		t.Fatalf("salvage of a clean journal differs from LoadJournal:\n%v\nvs\n%v", recs, strict)
+	}
+}
+
+// TestSalvageMidFileCorruption: the case LoadJournal refuses — a bad
+// line with valid records after it — recovers everything parseable and
+// quarantines the bad line with its exact byte extent.
+func TestSalvageMidFileCorruption(t *testing.T) {
+	good1 := recordLine(t, "aaaa")
+	bad := `{"key":"bbbb","run":{"kind":XXX corrupted bytes`
+	good2 := recordLine(t, "cccc")
+	path := writeJournalLines(t, good1, bad, good2, "")
+
+	// The strict loader must still refuse.
+	if _, err := LoadJournal(path); err == nil {
+		t.Fatalf("LoadJournal accepted mid-file corruption")
+	}
+
+	recs, rep, err := SalvageJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Key != "aaaa" || recs[1].Key != "cccc" {
+		t.Fatalf("salvage recovered %d records, want aaaa+cccc: %+v", len(recs), recs)
+	}
+	if rep.TornTail {
+		t.Fatalf("mid-file corruption misclassified as a torn tail: %+v", rep)
+	}
+	if len(rep.Bad) != 1 {
+		t.Fatalf("want 1 quarantined line, got %+v", rep.Bad)
+	}
+	bl := rep.Bad[0]
+	if bl.Line != 2 {
+		t.Errorf("bad line number %d, want 2", bl.Line)
+	}
+	if want := int64(len(good1) + 1); bl.Offset != want {
+		t.Errorf("bad line offset %d, want %d", bl.Offset, want)
+	}
+	if bl.Length != len(bad) {
+		t.Errorf("bad line length %d, want %d", bl.Length, len(bad))
+	}
+	if !strings.Contains(bl.Prefix, `"bbbb"`) {
+		t.Errorf("bad line prefix does not identify the line: %q", bl.Prefix)
+	}
+	if bl.Error == "" {
+		t.Errorf("bad line carries no parse error")
+	}
+}
+
+func TestSalvageTornTail(t *testing.T) {
+	path := writeJournalLines(t, recordLine(t, "aaaa"), `{"key":"bbbb","run":{"kind":"ker`)
+	recs, rep, err := SalvageJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Key != "aaaa" {
+		t.Fatalf("torn-tail salvage kept %d records, want 1", len(recs))
+	}
+	if !rep.TornTail || len(rep.Bad) != 1 {
+		t.Fatalf("torn tail not classified: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "torn tail") {
+		t.Errorf("report summary does not mention the torn tail: %s", rep)
+	}
+}
+
+// A record missing its key parses as JSON but is still quarantined.
+func TestSalvageQuarantinesKeylessRecords(t *testing.T) {
+	path := writeJournalLines(t, `{"run":{},"status":"ok","attempts":1}`, recordLine(t, "aaaa"), "")
+	recs, rep, err := SalvageJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Key != "aaaa" {
+		t.Fatalf("keyless salvage kept %d records", len(recs))
+	}
+	if len(rep.Bad) != 1 || !strings.Contains(rep.Bad[0].Error, "no key") {
+		t.Fatalf("keyless record not quarantined: %+v", rep.Bad)
+	}
+}
+
+func TestSalvageSidecarRoundTrip(t *testing.T) {
+	path := writeJournalLines(t, recordLine(t, "aaaa"), "not json at all", recordLine(t, "cccc"), "")
+	_, rep, err := SalvageJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	side, err := rep.WriteSidecar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if side != SidecarPath(path) {
+		t.Errorf("sidecar at %s, want %s", side, SidecarPath(path))
+	}
+	b, err := os.ReadFile(side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SalvageReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("sidecar is not valid JSON: %v", err)
+	}
+	if back.Recovered != 2 || len(back.Bad) != 1 || back.Bad[0].Offset == 0 {
+		t.Errorf("sidecar round trip lost content: %+v", back)
+	}
+}
+
+func TestRewriteJournalProducesStrictlyLoadableFile(t *testing.T) {
+	path := writeJournalLines(t, recordLine(t, "aaaa"), "garbage", recordLine(t, "cccc"), "")
+	recs, _, err := SalvageJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(t.TempDir(), "repaired.jsonl")
+	if err := RewriteJournal(dst, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJournal(dst)
+	if err != nil {
+		t.Fatalf("repaired journal fails the strict loader: %v", err)
+	}
+	if !reflect.DeepEqual(back, recs) {
+		t.Fatalf("repair round trip mismatch")
+	}
+	// Refuses to clobber an existing file (the source, typically).
+	if err := RewriteJournal(dst, recs); err == nil {
+		t.Fatalf("RewriteJournal overwrote an existing file")
+	}
+}

@@ -1,0 +1,446 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"denovosync/internal/exp"
+)
+
+// Config tunes a coordinator. The zero value gets sane defaults.
+type Config struct {
+	// UnitSize is the number of runs per lease (default 4). Smaller
+	// units spread a grid more evenly and lose less work per crash;
+	// larger units amortize RPC overhead.
+	UnitSize int
+
+	// LeaseTTL is how long a claimed unit stays assigned without a
+	// heartbeat (default 30s). Workers heartbeat at TTL/3.
+	LeaseTTL time.Duration
+
+	// Clock supplies the time for lease bookkeeping (default time.Now).
+	// Tests inject a fake clock to make expiry choreography exact.
+	Clock func() time.Time
+}
+
+func (c Config) unitSize() int {
+	if c.UnitSize <= 0 {
+		return 4
+	}
+	return c.UnitSize
+}
+
+func (c Config) leaseTTL() time.Duration {
+	if c.LeaseTTL <= 0 {
+		return 30 * time.Second
+	}
+	return c.LeaseTTL
+}
+
+func (c Config) now() time.Time {
+	if c.Clock == nil {
+		return time.Now()
+	}
+	return c.Clock()
+}
+
+// lease is one outstanding work unit.
+type lease struct {
+	id      string
+	worker  string
+	keys    map[string]bool // unit keys not yet completed
+	expires time.Time
+}
+
+// Coordinator shards a grid into lease-based work units and accumulates
+// results. All completed state is durable: every accepted record is
+// appended to the fsynced exp journal and every conflict finding to the
+// sidecar before the RPC returns, so a coordinator restarted from the
+// same journal path resumes mid-grid with nothing lost but live leases —
+// which are deliberately soft state (expired or orphaned leases are
+// simply reassigned; duplicate execution is safe by construction).
+type Coordinator struct {
+	cfg Config
+
+	mu        sync.Mutex
+	plan      exp.Plan
+	order     []string           // distinct run keys in plan order
+	runs      map[string]exp.Run // key -> run
+	records   map[string]*exp.Record
+	journal   *exp.Journal // nil = memory-only (tests)
+	conflicts []exp.Conflict
+	conflictF *os.File // fsynced JSONL sidecar; nil = memory-only
+	leases    map[string]*lease
+	leasedKey map[string]string // key -> lease id
+	seq       int
+}
+
+// New builds a memory-only coordinator (no durability; tests and the
+// in-process smoke harness attach journals via Open instead).
+func New(plan exp.Plan, cfg Config) *Coordinator {
+	c := &Coordinator{
+		cfg:       cfg,
+		plan:      plan,
+		runs:      map[string]exp.Run{},
+		records:   map[string]*exp.Record{},
+		leases:    map[string]*lease{},
+		leasedKey: map[string]string{},
+	}
+	for _, r := range plan.Runs {
+		k := r.Key()
+		if _, dup := c.runs[k]; dup {
+			continue // identical config under another label: one execution serves both rows
+		}
+		c.runs[k] = r
+		c.order = append(c.order, k)
+	}
+	return c
+}
+
+// ConflictSidecarPath is where a journal-backed coordinator durably
+// records determinism findings.
+func ConflictSidecarPath(journalPath string) string {
+	return journalPath + ".conflicts.jsonl"
+}
+
+// Open builds a journal-backed coordinator: prior records are replayed
+// from the journal (crash recovery — a restarted coordinator re-issues
+// only what is missing) and conflict findings are reloaded from and
+// appended to the sidecar.
+func Open(plan exp.Plan, journalPath string, cfg Config) (*Coordinator, error) {
+	c := New(plan, cfg)
+	j, prior, err := exp.OpenJournal(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	c.journal = j
+	for k, rec := range prior {
+		if _, ours := c.runs[k]; ours {
+			c.records[k] = rec
+		}
+	}
+	side := ConflictSidecarPath(journalPath)
+	if b, err := os.ReadFile(side); err == nil {
+		for _, line := range splitLines(b) {
+			var cf exp.Conflict
+			if err := json.Unmarshal(line, &cf); err != nil {
+				return nil, fmt.Errorf("fabric: conflict sidecar %s: %w", side, err)
+			}
+			c.conflicts = append(c.conflicts, cf)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	f, err := os.OpenFile(side, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		j.Close()
+		return nil, err
+	}
+	c.conflictF = f
+	return c, nil
+}
+
+func splitLines(b []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i := 0; i < len(b); i++ {
+		if b[i] == '\n' {
+			if i > start {
+				out = append(out, b[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(b) {
+		out = append(out, b[start:])
+	}
+	return out
+}
+
+// Close releases the journal and sidecar handles.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	if c.journal != nil {
+		first = c.journal.Close()
+		c.journal = nil
+	}
+	if c.conflictF != nil {
+		if err := c.conflictF.Close(); err != nil && first == nil {
+			first = err
+		}
+		c.conflictF = nil
+	}
+	return first
+}
+
+// expireLocked returns expired leases' outstanding keys to the pool.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for id, l := range c.leases {
+		if now.After(l.expires) {
+			c.dropLeaseLocked(id)
+		}
+	}
+}
+
+func (c *Coordinator) dropLeaseLocked(id string) {
+	l := c.leases[id]
+	if l == nil {
+		return
+	}
+	for k := range l.keys {
+		if c.leasedKey[k] == id {
+			delete(c.leasedKey, k)
+		}
+	}
+	delete(c.leases, id)
+}
+
+// Claim implements Transport.
+func (c *Coordinator) Claim(req ClaimRequest) (ClaimResponse, error) {
+	if req.Proto != ProtoVersion {
+		return ClaimResponse{}, fmt.Errorf("fabric: protocol mismatch: coordinator %s, worker %q", ProtoVersion, req.Proto)
+	}
+	if req.Worker == "" {
+		return ClaimResponse{}, fmt.Errorf("fabric: claim needs a worker id")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.now()
+	c.expireLocked(now)
+	// A fresh claim supersedes this worker's outstanding leases: the
+	// worker runs one unit at a time, so anything still leased to it
+	// belongs to a previous (dead or done) session.
+	for id, l := range c.leases {
+		if l.worker == req.Worker {
+			c.dropLeaseLocked(id)
+		}
+	}
+
+	var keys []string
+	for _, k := range c.order {
+		if len(keys) >= c.cfg.unitSize() {
+			break
+		}
+		if _, done := c.records[k]; done {
+			continue
+		}
+		if _, leased := c.leasedKey[k]; leased {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return ClaimResponse{Done: c.doneLocked()}, nil
+	}
+	c.seq++
+	l := &lease{
+		id:      fmt.Sprintf("%s#%d", req.Worker, c.seq),
+		worker:  req.Worker,
+		keys:    map[string]bool{},
+		expires: now.Add(c.cfg.leaseTTL()),
+	}
+	unit := &WorkUnit{Lease: l.id, TTLMillis: c.cfg.leaseTTL().Milliseconds()}
+	for _, k := range keys {
+		l.keys[k] = true
+		c.leasedKey[k] = l.id
+		unit.Runs = append(unit.Runs, c.runs[k])
+	}
+	c.leases[l.id] = l
+	return ClaimResponse{Unit: unit}, nil
+}
+
+// Heartbeat implements Transport.
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
+	if req.Proto != ProtoVersion {
+		return HeartbeatResponse{}, fmt.Errorf("fabric: protocol mismatch: coordinator %s, worker %q", ProtoVersion, req.Proto)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.now()
+	c.expireLocked(now)
+	l := c.leases[req.Lease]
+	if l == nil || l.worker != req.Worker {
+		return HeartbeatResponse{Live: false}, nil
+	}
+	l.expires = now.Add(c.cfg.leaseTTL())
+	return HeartbeatResponse{Live: true}, nil
+}
+
+// Complete implements Transport: idempotent, content-addressed result
+// ingestion. Every accepted record is journaled (fsync) before the call
+// returns; a duplicate with an identical fingerprint is dropped; a
+// duplicate with a *different* fingerprint raises a durable determinism
+// finding and keeps the first result.
+func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
+	if req.Proto != ProtoVersion {
+		return CompleteResponse{}, fmt.Errorf("fabric: protocol mismatch: coordinator %s, worker %q", ProtoVersion, req.Proto)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var resp CompleteResponse
+	for _, rec := range req.Records {
+		if rec == nil || rec.Key == "" {
+			resp.Rejected++
+			continue
+		}
+		if _, ours := c.runs[rec.Key]; !ours {
+			resp.Rejected++ // a record from some other grid: not our result set
+			continue
+		}
+		prev := c.records[rec.Key]
+		switch {
+		case prev == nil:
+			if err := c.acceptLocked(rec); err != nil {
+				return resp, err
+			}
+			resp.Accepted++
+		case prev.Status == exp.StatusOK && rec.Status == exp.StatusOK:
+			if prev.ResultFingerprint() == rec.ResultFingerprint() {
+				resp.Duplicates++
+				break
+			}
+			if err := c.conflictLocked(prev, rec, req.Worker); err != nil {
+				return resp, err
+			}
+			resp.Conflicts++
+		case prev.Status != exp.StatusOK && rec.Status == exp.StatusOK:
+			// A success supersedes a journaled failure (another worker's
+			// bounded retry got further). Journal append order makes the
+			// success win on replay, matching exp's later-lines-win rule.
+			if err := c.acceptLocked(rec); err != nil {
+				return resp, err
+			}
+			resp.Accepted++
+		default:
+			resp.Duplicates++ // failure after any terminal record: noise
+		}
+	}
+	return resp, nil
+}
+
+// acceptLocked journals and installs one record, retiring its lease
+// bookkeeping.
+func (c *Coordinator) acceptLocked(rec *exp.Record) error {
+	if c.journal != nil {
+		if err := c.journal.Append(rec); err != nil {
+			return err
+		}
+	}
+	c.records[rec.Key] = rec
+	if id, leased := c.leasedKey[rec.Key]; leased {
+		delete(c.leasedKey, rec.Key)
+		if l := c.leases[id]; l != nil {
+			delete(l.keys, rec.Key)
+			if len(l.keys) == 0 {
+				delete(c.leases, id)
+			}
+		}
+	}
+	return nil
+}
+
+// conflictLocked records a determinism finding durably.
+func (c *Coordinator) conflictLocked(prev, rec *exp.Record, worker string) error {
+	finding := exp.Conflict{
+		Key: rec.Key,
+		Run: prev.Run,
+		Results: []exp.ConflictSide{
+			{Fingerprint: prev.ResultFingerprint(), Sources: []string{"coordinator"}, Record: prev},
+			{Fingerprint: rec.ResultFingerprint(), Sources: []string{worker}, Record: rec},
+		},
+	}
+	c.conflicts = append(c.conflicts, finding)
+	if c.conflictF != nil {
+		b, err := json.Marshal(finding)
+		if err != nil {
+			return fmt.Errorf("fabric: encoding conflict: %w", err)
+		}
+		if _, err := c.conflictF.Write(append(b, '\n')); err != nil {
+			return err
+		}
+		if err := c.conflictF.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) doneLocked() bool {
+	return len(c.records) >= len(c.order)
+}
+
+// Done reports whether every distinct run key has a terminal record.
+func (c *Coordinator) Done() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.doneLocked()
+}
+
+// Records returns a copy of the completed record set keyed by run key.
+func (c *Coordinator) Records() map[string]*exp.Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]*exp.Record, len(c.records))
+	for k, rec := range c.records {
+		out[k] = rec
+	}
+	return out
+}
+
+// Conflicts returns the determinism findings raised so far.
+func (c *Coordinator) Conflicts() []exp.Conflict {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]exp.Conflict(nil), c.conflicts...)
+}
+
+// Status implements Transport.
+func (c *Coordinator) Status() (StatusResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(c.cfg.now())
+	resp := StatusResponse{
+		Proto:     ProtoVersion,
+		Plan:      c.plan.ID,
+		Total:     len(c.order),
+		Done:      c.doneLocked(),
+		Conflicts: append([]exp.Conflict(nil), c.conflicts...),
+	}
+	for _, rec := range c.records {
+		if rec.Status == exp.StatusOK {
+			resp.OK++
+		} else {
+			resp.Failed++
+		}
+	}
+	workers := map[string]int{}
+	for _, l := range c.leases {
+		resp.Leased += len(l.keys)
+		workers[l.worker] += len(l.keys)
+	}
+	if len(workers) > 0 {
+		resp.Workers = workers
+	}
+	resp.Pending = resp.Total - resp.OK - resp.Failed - resp.Leased
+	return resp, nil
+}
+
+// LeasedKeys reports the keys currently under a live lease, sorted (for
+// tests asserting reassignment behavior).
+func (c *Coordinator) LeasedKeys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(c.cfg.now())
+	var keys []string
+	for k := range c.leasedKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,142 @@
+// Package fabric takes internal/exp from one machine to a fleet: a
+// coordinator service that shards an experiment grid into lease-based
+// work units, and a worker agent that claims leases, executes runs
+// through the exp engine (per-run fault isolation, timeout, bounded
+// retry with the shared seeded backoff policy), journals results locally
+// in the established fsynced JSONL format, and hands them off to the
+// coordinator.
+//
+// The design leans entirely on two properties the repo already
+// guarantees:
+//
+//   - runs are content-addressed (exp.Run.Key hashes the full
+//     configuration), so executing a run twice is wasteful but never
+//     wrong — completions are idempotent by key;
+//   - every simulation is cycle-exact deterministic, so two records for
+//     the same key must carry the same result, and a mismatch is not a
+//     merge conflict but a determinism bug (escalated as a structured
+//     exp.Conflict finding, never silently merged).
+//
+// Together they make every failure mode recoverable by construction:
+//
+//   - worker crash mid-run: its lease expires (or its restart
+//     supersedes it) and the keys are reassigned; results it already
+//     journaled locally are re-offered on reconnect and deduplicated;
+//   - dropped heartbeats: the lease expires and is reassigned; if the
+//     original worker finishes anyway, the duplicate completion dedups;
+//   - coordinator crash: all completed results live in its fsynced
+//     journal (and conflict findings in the sidecar) — a restarted
+//     coordinator replays them and re-issues only the missing keys;
+//   - coordinator unreachable: workers finish in-flight runs, park the
+//     records in their local journals, and resume hand-off with seeded
+//     exponential backoff when the coordinator returns.
+//
+// Convergence is provable: however the grid was sharded, killed, and
+// reassigned, reconciling the coordinator and worker journals
+// (exp.Reconcile) yields a result set whose rendered figure CSVs are
+// byte-identical to a serial single-machine run — the fault-injection
+// battery in this package pins exactly that.
+//
+// The package is host-service code, deliberately outside the simulator's
+// determinism boundary (see internal/lint scopes): goroutines, wall
+// clocks, and network timeouts are its job. The only schedule that must
+// stay deterministic — retry backoff — lives in internal/backoff, which
+// *is* inside the determinism lint scope.
+package fabric
+
+import (
+	"denovosync/internal/exp"
+)
+
+// ProtoVersion guards the worker↔coordinator wire protocol: both sides
+// send it and reject mismatches, so a stale worker binary fails loudly
+// instead of corrupting a grid.
+const ProtoVersion = "fabric.v1"
+
+// ClaimRequest asks the coordinator for a work unit. A claim from a
+// worker ID supersedes that worker's outstanding leases (a worker
+// processes one unit at a time, so a new claim means the old process is
+// gone or done — its keys become claimable again immediately instead of
+// waiting out the TTL).
+type ClaimRequest struct {
+	Proto  string `json:"proto"`
+	Worker string `json:"worker"`
+}
+
+// WorkUnit is one leased shard of the grid.
+type WorkUnit struct {
+	Lease     string    `json:"lease"`
+	Runs      []exp.Run `json:"runs"`
+	TTLMillis int64     `json:"ttl_ms"` // lease TTL; heartbeat well inside it
+}
+
+// ClaimResponse carries at most one unit. Done reports the whole grid is
+// complete (the worker can exit); a nil Unit with Done false means
+// everything pending is currently leased elsewhere — back off and retry.
+type ClaimResponse struct {
+	Unit *WorkUnit `json:"unit,omitempty"`
+	Done bool      `json:"done"`
+}
+
+// HeartbeatRequest renews a lease.
+type HeartbeatRequest struct {
+	Proto  string `json:"proto"`
+	Worker string `json:"worker"`
+	Lease  string `json:"lease"`
+}
+
+// HeartbeatResponse: Live false means the lease is no longer held (it
+// expired and was reassigned, or the coordinator restarted) — the worker
+// abandons the unit's remaining runs; everything it already journaled
+// still hands off and dedups.
+type HeartbeatResponse struct {
+	Live bool `json:"live"`
+}
+
+// CompleteRequest hands finished records to the coordinator. Lease is
+// advisory: completions are accepted idempotently by run key even after
+// lease expiry or coordinator restart, because a deterministic run's
+// result is valid no matter who executed it. ParkedLease marks records
+// re-offered from a worker's local journal rather than a live lease.
+type CompleteRequest struct {
+	Proto   string        `json:"proto"`
+	Worker  string        `json:"worker"`
+	Lease   string        `json:"lease"`
+	Records []*exp.Record `json:"records"`
+}
+
+// ParkedLease is the advisory lease name for journal re-offers.
+const ParkedLease = "parked"
+
+// CompleteResponse accounts for every submitted record.
+type CompleteResponse struct {
+	Accepted   int `json:"accepted"`   // new results recorded
+	Duplicates int `json:"duplicates"` // identical key+fingerprint, dropped
+	Conflicts  int `json:"conflicts"`  // determinism findings raised
+	Rejected   int `json:"rejected"`   // keys not in this grid
+}
+
+// StatusResponse is the coordinator's public state summary.
+type StatusResponse struct {
+	Proto     string         `json:"proto"`
+	Plan      string         `json:"plan"`
+	Total     int            `json:"total"`   // distinct run keys in the grid
+	OK        int            `json:"ok"`      // completed successfully
+	Failed    int            `json:"failed"`  // completed as terminal failures
+	Leased    int            `json:"leased"`  // outstanding under a live lease
+	Pending   int            `json:"pending"` // unleased, unexecuted
+	Done      bool           `json:"done"`
+	Workers   map[string]int `json:"workers,omitempty"` // live leased keys per worker
+	Conflicts []exp.Conflict `json:"conflicts,omitempty"`
+}
+
+// Transport is the worker's view of the coordinator. The coordinator
+// itself implements it (in-process fabric, tests, the smoke battery);
+// Client implements it over HTTP; FaultTransport wraps any of them with
+// a deterministic fault script.
+type Transport interface {
+	Claim(ClaimRequest) (ClaimResponse, error)
+	Heartbeat(HeartbeatRequest) (HeartbeatResponse, error)
+	Complete(CompleteRequest) (CompleteResponse, error)
+	Status() (StatusResponse, error)
+}

@@ -1,0 +1,107 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FaultPlan scripts deterministic transport faults by call count: each
+// field names 1-based call indices of that RPC kind to sabotage. The
+// script is exact and repeatable — no probabilities, no clocks — so
+// every failure-mode test in the battery replays identically.
+type FaultPlan struct {
+	// FailClaims: these Claim calls return a transport error.
+	FailClaims []int
+
+	// DropHeartbeats: these Heartbeat calls return a transport error
+	// without reaching the coordinator (the network ate the renewal, the
+	// lease keeps aging).
+	DropHeartbeats []int
+
+	// MuteHeartbeats drops every heartbeat from this call index on —
+	// the choreography for "worker alive but partitioned": its lease
+	// expires and reassigns while it keeps executing.
+	MuteHeartbeats int
+
+	// FailCompletes: these Complete calls return a transport error
+	// without reaching the coordinator (the records park locally).
+	FailCompletes []int
+
+	// DuplicateCompletes: these Complete calls are delivered twice —
+	// the retransmit race the coordinator must dedup.
+	DuplicateCompletes []int
+}
+
+// FaultTransport wraps a Transport with a FaultPlan. Counters are
+// per-wrapper, so give each worker its own wrapper to script its faults
+// independently.
+type FaultTransport struct {
+	Inner Transport
+	Plan  FaultPlan
+
+	mu         sync.Mutex
+	claims     int
+	heartbeats int
+	completes  int
+}
+
+// ErrInjected is the error type FaultTransport returns for scripted
+// failures, so tests can tell injected faults from real ones.
+type ErrInjected struct{ Op string }
+
+func (e ErrInjected) Error() string { return fmt.Sprintf("fabric: injected %s fault", e.Op) }
+
+func hit(list []int, n int) bool {
+	for _, v := range list {
+		if v == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Claim implements Transport.
+func (f *FaultTransport) Claim(req ClaimRequest) (ClaimResponse, error) {
+	f.mu.Lock()
+	f.claims++
+	n := f.claims
+	f.mu.Unlock()
+	if hit(f.Plan.FailClaims, n) {
+		return ClaimResponse{}, ErrInjected{"claim"}
+	}
+	return f.Inner.Claim(req)
+}
+
+// Heartbeat implements Transport.
+func (f *FaultTransport) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
+	f.mu.Lock()
+	f.heartbeats++
+	n := f.heartbeats
+	f.mu.Unlock()
+	if hit(f.Plan.DropHeartbeats, n) || (f.Plan.MuteHeartbeats > 0 && n >= f.Plan.MuteHeartbeats) {
+		return HeartbeatResponse{}, ErrInjected{"heartbeat"}
+	}
+	return f.Inner.Heartbeat(req)
+}
+
+// Complete implements Transport.
+func (f *FaultTransport) Complete(req CompleteRequest) (CompleteResponse, error) {
+	f.mu.Lock()
+	f.completes++
+	n := f.completes
+	f.mu.Unlock()
+	if hit(f.Plan.FailCompletes, n) {
+		return CompleteResponse{}, ErrInjected{"complete"}
+	}
+	if hit(f.Plan.DuplicateCompletes, n) {
+		if _, err := f.Inner.Complete(req); err != nil {
+			return CompleteResponse{}, err
+		}
+	}
+	return f.Inner.Complete(req)
+}
+
+// Status implements Transport.
+func (f *FaultTransport) Status() (StatusResponse, error) {
+	return f.Inner.Status()
+}

@@ -1,0 +1,153 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTP wire protocol: four JSON endpoints mirroring Transport. Errors
+// return text/plain with a non-200 status; the client surfaces them as
+// Go errors, which the worker's seeded-backoff RPC retry absorbs.
+//
+//	POST /v1/claim      ClaimRequest     -> ClaimResponse
+//	POST /v1/heartbeat  HeartbeatRequest -> HeartbeatResponse
+//	POST /v1/complete   CompleteRequest  -> CompleteResponse
+//	GET  /v1/status                      -> StatusResponse
+
+// Handler exposes a coordinator over HTTP.
+func Handler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/claim", func(w http.ResponseWriter, r *http.Request) {
+		var req ClaimRequest
+		rpc(w, r, &req, func() (interface{}, error) { return c.Claim(req) })
+	})
+	mux.HandleFunc("/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		rpc(w, r, &req, func() (interface{}, error) { return c.Heartbeat(req) })
+	})
+	mux.HandleFunc("/v1/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		rpc(w, r, &req, func() (interface{}, error) { return c.Complete(req) })
+	})
+	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		resp, err := c.Status()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	return mux
+}
+
+// rpc decodes a POST body into req, invokes the handler, and writes the
+// JSON response.
+func rpc(w http.ResponseWriter, r *http.Request, req interface{}, call func() (interface{}, error)) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	resp, err := call()
+	if err != nil {
+		// Protocol/validation errors are the caller's fault; retrying the
+		// same request cannot help, but the distinction does not matter to
+		// the worker (both park and retry), so keep the mapping simple.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do.
+		_ = err
+	}
+}
+
+// Client is the HTTP Transport for workers talking to a remote
+// coordinator.
+type Client struct {
+	Base string       // e.g. "http://127.0.0.1:7716"
+	HTTP *http.Client // nil = a 30s-timeout client
+}
+
+// Dial builds a client for a coordinator base URL.
+func Dial(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *Client) post(path string, req, resp interface{}) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := c.http().Post(strings.TrimRight(c.Base, "/")+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 4096))
+		return fmt.Errorf("fabric: %s: %s: %s", path, r.Status, strings.TrimSpace(string(msg)))
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+// Claim implements Transport.
+func (c *Client) Claim(req ClaimRequest) (ClaimResponse, error) {
+	var resp ClaimResponse
+	err := c.post("/v1/claim", req, &resp)
+	return resp, err
+}
+
+// Heartbeat implements Transport.
+func (c *Client) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
+	var resp HeartbeatResponse
+	err := c.post("/v1/heartbeat", req, &resp)
+	return resp, err
+}
+
+// Complete implements Transport.
+func (c *Client) Complete(req CompleteRequest) (CompleteResponse, error) {
+	var resp CompleteResponse
+	err := c.post("/v1/complete", req, &resp)
+	return resp, err
+}
+
+// Status implements Transport.
+func (c *Client) Status() (StatusResponse, error) {
+	r, err := c.http().Get(strings.TrimRight(c.Base, "/") + "/v1/status")
+	if err != nil {
+		return StatusResponse{}, err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 4096))
+		return StatusResponse{}, fmt.Errorf("fabric: /v1/status: %s: %s", r.Status, strings.TrimSpace(string(msg)))
+	}
+	var resp StatusResponse
+	err = json.NewDecoder(r.Body).Decode(&resp)
+	return resp, err
+}

@@ -1,0 +1,385 @@
+package fabric
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"denovosync/internal/backoff"
+	"denovosync/internal/exp"
+	"denovosync/internal/stats"
+)
+
+// WorkerConfig tunes a worker agent.
+type WorkerConfig struct {
+	// ID names the worker. A restarted worker reusing its ID supersedes
+	// its old leases on the first claim, so recovery is immediate
+	// instead of waiting out the lease TTL.
+	ID string
+
+	// JournalPath is the worker's local fsynced JSONL journal: every run
+	// is journaled here *before* hand-off, so a crash or an unreachable
+	// coordinator loses nothing. On startup the whole journal is
+	// re-offered to the coordinator (idempotent by run key).
+	JournalPath string
+
+	// EngineWorkers bounds concurrent runs inside a unit (exp.Engine
+	// semantics: <= 0 means GOMAXPROCS).
+	EngineWorkers int
+
+	// Timeout / Retries / RunBackoff are the per-run fault-isolation
+	// knobs, passed straight to the exp engine.
+	Timeout    time.Duration
+	Retries    int
+	RunBackoff backoff.Policy
+
+	// RPCBackoff schedules retries of worker→coordinator RPCs; the zero
+	// value retries immediately (tests). RPCAttempts bounds attempts per
+	// completion/heartbeat RPC (default 5); claims retry indefinitely —
+	// an idle worker's job is to wait for its coordinator to come back.
+	RPCBackoff  backoff.Policy
+	RPCAttempts int
+
+	// IdleWait is the pause when the grid has pending work but all of it
+	// is leased to other workers (default 100ms).
+	IdleWait time.Duration
+
+	// HeartbeatEvery overrides the lease-renewal period (default TTL/3).
+	HeartbeatEvery time.Duration
+
+	// StopAfter, when > 0, makes the worker exit after journaling that
+	// many runs this session — *without* handing them off or releasing
+	// its lease. It is the deterministic stand-in for SIGKILL (à la exp
+	// -stop-after): everything after the fsynced local journal write is
+	// lost, which is exactly the recovery path a real kill exercises.
+	StopAfter int
+
+	// Stop, when closed, ends the session gracefully: in-flight runs
+	// finish, journal, and hand off.
+	Stop <-chan struct{}
+
+	// Executor overrides run execution (nil = exp.Execute; tests inject
+	// fakes).
+	Executor func(exp.Run) (*stats.RunStats, json.RawMessage, error)
+
+	// Progress, when set, receives worker progress lines.
+	Progress io.Writer
+}
+
+func (c WorkerConfig) rpcAttempts() int {
+	if c.RPCAttempts <= 0 {
+		return 5
+	}
+	return c.RPCAttempts
+}
+
+func (c WorkerConfig) idleWait() time.Duration {
+	if c.IdleWait <= 0 {
+		return 100 * time.Millisecond
+	}
+	return c.IdleWait
+}
+
+// WorkerSummary describes one worker session.
+type WorkerSummary struct {
+	Units     int  // work units claimed and started
+	Executed  int  // runs executed this session
+	Resumed   int  // runs satisfied from the local journal
+	Handed    int  // records the coordinator acknowledged
+	Parked    int  // records still awaiting hand-off at exit
+	Abandoned int  // units dropped after losing their lease
+	Killed    bool // exited via StopAfter
+}
+
+func (s WorkerSummary) String() string {
+	extra := ""
+	if s.Abandoned > 0 {
+		extra += fmt.Sprintf(", %d abandoned units", s.Abandoned)
+	}
+	if s.Parked > 0 {
+		extra += fmt.Sprintf(", %d parked", s.Parked)
+	}
+	if s.Killed {
+		extra += ", killed"
+	}
+	return fmt.Sprintf("%d units: %d executed, %d resumed, %d handed off%s",
+		s.Units, s.Executed, s.Resumed, s.Handed, extra)
+}
+
+// Worker claims lease-based work units from a coordinator and executes
+// them through the exp engine.
+type Worker struct {
+	T   Transport
+	Cfg WorkerConfig
+
+	journal *exp.Journal
+	prior   map[string]*exp.Record
+	parked  []*exp.Record
+	sum     WorkerSummary
+}
+
+// NewWorker wires a worker to a transport.
+func NewWorker(t Transport, cfg WorkerConfig) *Worker {
+	return &Worker{T: t, Cfg: cfg}
+}
+
+func (w *Worker) progressf(format string, args ...interface{}) {
+	if w.Cfg.Progress != nil {
+		fmt.Fprintf(w.Cfg.Progress, format, args...)
+	}
+}
+
+func (w *Worker) stopped() bool {
+	select {
+	case <-w.Cfg.Stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// Run executes the worker session: re-offer any locally journaled
+// results, then claim, execute, journal, and hand off units until the
+// coordinator reports the grid done (or Stop / StopAfter ends the
+// session). The returned summary is best-effort bookkeeping; the local
+// journal is the durable truth.
+func (w *Worker) Run() (WorkerSummary, error) {
+	if w.Cfg.ID == "" {
+		return w.sum, fmt.Errorf("fabric: worker needs an ID")
+	}
+	w.prior = map[string]*exp.Record{}
+	if w.Cfg.JournalPath != "" {
+		j, prior, err := exp.OpenJournal(w.Cfg.JournalPath)
+		if err != nil {
+			return w.sum, err
+		}
+		defer j.Close()
+		w.journal = j
+		w.prior = prior
+		// Re-offer everything journaled locally: the coordinator dedups
+		// by key, so this is the resume half of parked hand-off.
+		for _, rec := range w.prior {
+			w.parked = append(w.parked, rec)
+		}
+		if len(w.parked) > 0 {
+			w.progressf("fabric[%s]: re-offering %d journaled record(s)\n", w.Cfg.ID, len(w.parked))
+		}
+	}
+
+	claimFails := 0
+	for {
+		if w.stopped() {
+			w.sum.Parked = len(w.parked)
+			return w.sum, nil
+		}
+		w.flushParked()
+		resp, err := w.T.Claim(ClaimRequest{Proto: ProtoVersion, Worker: w.Cfg.ID})
+		if err != nil {
+			claimFails++
+			if claimFails == 1 {
+				w.progressf("fabric[%s]: coordinator unreachable (%v); parking and retrying\n", w.Cfg.ID, err)
+			}
+			if !w.Cfg.RPCBackoff.Keyed("claim").Sleep(claimFails, w.Cfg.Stop) {
+				w.sum.Parked = len(w.parked)
+				return w.sum, nil
+			}
+			continue
+		}
+		claimFails = 0
+		if resp.Unit == nil {
+			if resp.Done && len(w.parked) == 0 {
+				w.progressf("fabric[%s]: grid complete: %s\n", w.Cfg.ID, w.sum)
+				return w.sum, nil
+			}
+			// Either everything pending is leased elsewhere, or we still
+			// hold parked records the coordinator has not acknowledged.
+			if !sleepFor(w.Cfg.idleWait(), w.Cfg.Stop) {
+				w.sum.Parked = len(w.parked)
+				return w.sum, nil
+			}
+			continue
+		}
+		killed, err := w.runUnit(resp.Unit)
+		if err != nil {
+			w.sum.Parked = len(w.parked)
+			return w.sum, err
+		}
+		if killed {
+			w.sum.Killed = true
+			w.sum.Parked = len(w.parked)
+			w.progressf("fabric[%s]: stop-after reached: %s\n", w.Cfg.ID, w.sum)
+			return w.sum, nil
+		}
+	}
+}
+
+// runUnit executes one leased unit through the exp engine, with a
+// heartbeat loop renewing the lease. Returns killed=true when StopAfter
+// ended the session mid-grid.
+func (w *Worker) runUnit(unit *WorkUnit) (killed bool, err error) {
+	w.sum.Units++
+	w.progressf("fabric[%s]: claimed %s (%d runs)\n", w.Cfg.ID, unit.Lease, len(unit.Runs))
+
+	// Merge the three stop sources (graceful Stop, lost lease, engine
+	// teardown) into the engine's single stop channel.
+	engStop := make(chan struct{})
+	leaseLost := make(chan struct{})
+	execDone := make(chan struct{})
+	var stopOnce sync.Once
+	closeEngStop := func() { stopOnce.Do(func() { close(engStop) }) }
+	go func() {
+		select {
+		case <-w.Cfg.Stop:
+		case <-leaseLost:
+		case <-execDone:
+		}
+		closeEngStop()
+	}()
+
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		w.heartbeat(unit, leaseLost, execDone)
+	}()
+
+	stopAfter := 0
+	if w.Cfg.StopAfter > 0 {
+		stopAfter = w.Cfg.StopAfter - w.sum.Executed
+		if stopAfter <= 0 {
+			stopAfter = 1 // claimed past the budget: stop on the next run
+		}
+	}
+	eng := &exp.Engine{
+		Workers: w.Cfg.EngineWorkers,
+		Timeout: w.Cfg.Timeout,
+		Retries: w.Cfg.Retries,
+		Backoff: w.Cfg.RunBackoff,
+		Journal: w.journal,
+		Prior:   w.prior,
+
+		StopAfter: stopAfter,
+		Stop:      engStop,
+		Executor:  w.Cfg.Executor,
+	}
+	records, esum, eerr := eng.Execute(exp.Plan{ID: unit.Lease, Runs: unit.Runs})
+	close(execDone)
+	hbWG.Wait()
+	if eerr != nil && !errors.Is(eerr, exp.ErrStopped) {
+		return false, eerr // journal write failure: the session cannot be trusted
+	}
+	w.sum.Executed += esum.Executed
+	w.sum.Resumed += esum.Resumed
+
+	var recs []*exp.Record
+	for _, r := range unit.Runs {
+		if rec := records[r.Key()]; rec != nil {
+			w.prior[r.Key()] = rec
+			recs = append(recs, rec)
+		}
+	}
+
+	if w.Cfg.StopAfter > 0 && w.sum.Executed >= w.Cfg.StopAfter {
+		// Deterministic kill: journaled but never handed off — the
+		// records are parked for the *next* session's re-offer.
+		w.parked = append(w.parked, recs...)
+		return true, nil
+	}
+
+	select {
+	case <-leaseLost:
+		w.sum.Abandoned++
+		w.progressf("fabric[%s]: lease %s lost; abandoning %d unfinished run(s)\n",
+			w.Cfg.ID, unit.Lease, len(unit.Runs)-len(recs))
+	default:
+	}
+
+	if len(recs) > 0 {
+		w.handOff(unit.Lease, recs)
+	}
+	return false, nil
+}
+
+// heartbeat renews the unit's lease until execution finishes, closing
+// leaseLost if the coordinator no longer honors it. RPC errors are
+// tolerated silently: an unreachable coordinator must not kill the run —
+// the results journal locally and park.
+func (w *Worker) heartbeat(unit *WorkUnit, leaseLost chan<- struct{}, done <-chan struct{}) {
+	every := w.Cfg.HeartbeatEvery
+	if every <= 0 {
+		every = time.Duration(unit.TTLMillis) * time.Millisecond / 3
+	}
+	if every <= 0 {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			resp, err := w.T.Heartbeat(HeartbeatRequest{Proto: ProtoVersion, Worker: w.Cfg.ID, Lease: unit.Lease})
+			if err != nil {
+				continue
+			}
+			if !resp.Live {
+				close(leaseLost)
+				return
+			}
+		}
+	}
+}
+
+// handOff completes records against the coordinator with bounded
+// seeded-backoff retry; on persistent failure they park locally.
+func (w *Worker) handOff(leaseID string, recs []*exp.Record) {
+	req := CompleteRequest{Proto: ProtoVersion, Worker: w.Cfg.ID, Lease: leaseID, Records: recs}
+	for attempt := 1; ; attempt++ {
+		resp, err := w.T.Complete(req)
+		if err == nil {
+			w.sum.Handed += resp.Accepted + resp.Duplicates + resp.Conflicts
+			if resp.Conflicts > 0 {
+				w.progressf("fabric[%s]: coordinator flagged %d determinism conflict(s) on hand-off\n", w.Cfg.ID, resp.Conflicts)
+			}
+			return
+		}
+		if attempt >= w.Cfg.rpcAttempts() || !w.Cfg.RPCBackoff.Keyed("complete:"+leaseID).Sleep(attempt, w.Cfg.Stop) {
+			w.progressf("fabric[%s]: hand-off failed (%v); parking %d record(s)\n", w.Cfg.ID, err, len(recs))
+			w.parked = append(w.parked, recs...)
+			return
+		}
+	}
+}
+
+// flushParked re-offers parked records. A partial/failed flush keeps
+// them parked; the claim loop retries before every claim.
+func (w *Worker) flushParked() {
+	if len(w.parked) == 0 {
+		return
+	}
+	req := CompleteRequest{Proto: ProtoVersion, Worker: w.Cfg.ID, Lease: ParkedLease, Records: w.parked}
+	resp, err := w.T.Complete(req)
+	if err != nil {
+		return
+	}
+	w.sum.Handed += resp.Accepted + resp.Duplicates + resp.Conflicts
+	w.progressf("fabric[%s]: handed off %d parked record(s) (%d new, %d duplicate)\n",
+		w.Cfg.ID, len(w.parked), resp.Accepted, resp.Duplicates)
+	w.parked = nil
+}
+
+// sleepFor waits d unless cancel closes first (false on cancel).
+func sleepFor(d time.Duration, cancel <-chan struct{}) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-cancel:
+		return false
+	}
+}
