@@ -6,7 +6,7 @@ GO ?= go
 all: check
 
 .PHONY: check
-check: vet lint build race golden atlas-check isolate-check fuzz-smoke pdes-smoke fabric-smoke
+check: vet lint build race golden atlas-check isolate-check liveness-check fuzz-smoke pdes-smoke fabric-smoke
 
 .PHONY: vet
 vet:
@@ -52,6 +52,38 @@ isolate:
 .PHONY: isolate-check
 isolate-check:
 	$(GO) run ./cmd/lpisolate -mode check
+
+# liveness regenerates the protocol-liveness certificate
+# (docs/liveness/waitgraph.json): the waits-for atlas over the mesi and
+# denovo controllers with every liveness obligation (park wakeups,
+# request answering, per-class cycle freedom, bounded backoff, stale
+# ownership retirement) and its discharge site. Run it after any
+# deliberate protocol change, then review the diff.
+.PHONY: liveness
+liveness:
+	$(GO) run ./cmd/protolive -mode extract
+
+# liveness-check is the CI gate over the liveness certificate: the
+# golden must match the source byte-for-byte and the certifier must
+# report zero unassumed findings. Audit a deliberate escape at the site
+# with `//protolive:assume(reason)`; see docs/analysis.md.
+.PHONY: liveness-check
+liveness-check:
+	$(GO) run ./cmd/protolive -mode check
+
+# analyze runs the full static-analysis suite (the repo's own analyzers
+# plus the three checked-in certificates) with a per-analyzer wall-time
+# summary — the one target behind the CI `analyze` job.
+.PHONY: analyze
+analyze:
+	@fail=0; \
+	for t in lint atlas-check isolate-check liveness-check; do \
+		start=$$(date +%s); \
+		if $(MAKE) --no-print-directory $$t; then status=ok; else status=FAIL; fail=1; fi; \
+		end=$$(date +%s); \
+		echo "analyze: $$t $$status ($$((end-start))s)"; \
+	done; \
+	exit $$fail
 
 .PHONY: build
 build:

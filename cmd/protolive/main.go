@@ -1,0 +1,99 @@
+// Command protolive maintains and enforces the protocol-liveness
+// certificate (docs/liveness/waitgraph.json): the static waits-for
+// atlas over the mesi and denovo controllers, proved free of parking
+// deadlocks, dropped requests, per-class message cycles, and unbounded
+// backoff by the six liveness rules in internal/lint/liveness.
+//
+// Modes:
+//
+//	-mode extract    regenerate docs/liveness/waitgraph.json
+//	-mode check      fail if the checked-in golden drifts from the source,
+//	                 or if the analysis reports any unassumed finding
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"denovosync/internal/lint/atlas"
+	"denovosync/internal/lint/liveness"
+)
+
+func main() {
+	mode := flag.String("mode", "check", "extract | check")
+	dirFlag := flag.String("dir", "", "module root (default: walk up from cwd)")
+	flag.Parse()
+
+	moduleDir := *dirFlag
+	if moduleDir == "" {
+		d, err := atlas.FindModuleDir(".")
+		if err != nil {
+			fatal(err)
+		}
+		moduleDir = d
+	}
+	module, err := atlas.ModulePath(moduleDir)
+	if err != nil {
+		fatal(err)
+	}
+	goldenPath := filepath.Join(moduleDir, "docs", "liveness", "waitgraph.json")
+
+	fresh, err := liveness.ExtractDir(moduleDir, liveness.DefaultSpec(module))
+	if err != nil {
+		fatal(err)
+	}
+
+	ok := true
+	switch *mode {
+	case "extract":
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			fatal(err)
+		}
+		if err := fresh.WriteFile(goldenPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("protolive: wrote %s (%d nodes, %d edges, %d obligations, %d findings)\n",
+			goldenPath, len(fresh.Nodes), len(fresh.Edges), len(fresh.Obligations), len(fresh.Findings))
+		for _, f := range fresh.Findings {
+			fmt.Printf("protolive: FINDING %s\n", f)
+		}
+	case "check":
+		for _, f := range fresh.Findings {
+			fmt.Printf("protolive: FINDING %s\n", f)
+		}
+		if len(fresh.Findings) > 0 {
+			fmt.Printf("protolive: %d liveness findings — fix the arm or audit it with //protolive:assume(reason)\n",
+				len(fresh.Findings))
+			ok = false
+		}
+		golden, err := liveness.ReadFile(goldenPath)
+		if err != nil {
+			fmt.Printf("protolive: %v (run `make liveness`)\n", err)
+			ok = false
+			break
+		}
+		diffs := liveness.Diff(golden, fresh)
+		for _, d := range diffs {
+			fmt.Printf("protolive: waitgraph drift: %s\n", d)
+		}
+		if len(diffs) > 0 || !liveness.Equal(golden, fresh) {
+			fmt.Printf("protolive: waits-for atlas is stale — run `make liveness` and commit docs/liveness/waitgraph.json\n")
+			ok = false
+		} else {
+			fmt.Printf("protolive: waits-for atlas up to date (%d nodes, %d edges, %d obligations discharged)\n",
+				len(golden.Nodes), len(golden.Edges), len(golden.Obligations))
+		}
+	default:
+		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "protolive:", err)
+	os.Exit(1)
+}

@@ -80,6 +80,30 @@ var excludeActions = map[string]bool{
 // context (latency/residency plumbing): the walker descends into it.
 var descendCalls = map[string]bool{"Schedule": true, "withResident": true, "Fetch": true}
 
+// Specs returns the controller specs for one protocol package ("mesi",
+// "denovo"), the authoritative handler registry the atlas and the
+// liveness certifier both extract from.
+func Specs(protocol string) []ControllerSpec {
+	out := make([]ControllerSpec, len(specs[protocol]))
+	copy(out, specs[protocol])
+	return out
+}
+
+// DescendCall reports whether a call named name carries a trailing
+// closure running in the same controller context (Schedule/withResident/
+// Fetch), so cross-analyzer walkers descend consistently.
+func DescendCall(name string) bool { return descendCalls[name] }
+
+// ExcludedAction reports whether a method name is a pure read/naming
+// helper rather than a transition action, so cross-analyzer call graphs
+// stay in sync with the atlas.
+func ExcludedAction(name string) bool { return excludeActions[name] }
+
+// FindMethod locates the method declaration recv.name among files.
+func FindMethod(files []*ast.File, recv, name string) *ast.FuncDecl {
+	return findMethod(files, recv, name)
+}
+
 // Extract builds the transition atlas of one protocol package
 // (internal/mesi or internal/denovo) from its parsed, type-checked form.
 func Extract(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) (*Atlas, error) {

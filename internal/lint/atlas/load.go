@@ -25,13 +25,15 @@ func ModulePath(moduleDir string) (string, error) {
 	return "", fmt.Errorf("atlas: no module line in %s/go.mod", moduleDir)
 }
 
-// ExtractDir loads one protocol package from a module tree (via the
-// simlint loader — source-only, offline) and extracts its atlas.
-// pkgPath is the import path (e.g. "denovosync/internal/mesi").
-func ExtractDir(moduleDir, pkgPath string) (*Atlas, error) {
+// LoadDir parses and type-checks one package of the module rooted at
+// moduleDir (via the simlint loader — source-only, offline). pkgPath is
+// the import path (e.g. "denovosync/internal/mesi"). Shared by the
+// atlas extractor and the liveness certifier so both read the module
+// tree the same way.
+func LoadDir(moduleDir, pkgPath string) (*token.FileSet, *loader.Package, error) {
 	modPath, err := ModulePath(moduleDir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	fset := token.NewFileSet()
 	ld := loader.New(fset, func(p string) (string, bool) {
@@ -44,6 +46,16 @@ func ExtractDir(moduleDir, pkgPath string) (*Atlas, error) {
 		return "", false
 	})
 	pkg, err := ld.Load(pkgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fset, pkg, nil
+}
+
+// ExtractDir loads one protocol package from a module tree and extracts
+// its atlas.
+func ExtractDir(moduleDir, pkgPath string) (*Atlas, error) {
+	fset, pkg, err := LoadDir(moduleDir, pkgPath)
 	if err != nil {
 		return nil, err
 	}

@@ -4,7 +4,10 @@ import (
 	"go/ast"
 	"go/token"
 	"regexp"
+	"strconv"
 	"strings"
+
+	"denovosync/internal/lint/analysis"
 )
 
 // Directive comments share one scoping rule across the lint tooling,
@@ -25,6 +28,10 @@ var allowRE = regexp.MustCompile(`//simlint:allow\s+([a-z]+)\s*:\s*(\S.*)`)
 // BoundaryRE matches an lpisolate audited-crossing annotation:
 // //lpisolate:boundary(reason). The reason is mandatory.
 var BoundaryRE = regexp.MustCompile(`//lpisolate:boundary\((\S[^)]*)\)`)
+
+// AssumeRE matches a protolive audited-obligation escape:
+// //protolive:assume(reason). The reason is mandatory.
+var AssumeRE = regexp.MustCompile(`//protolive:assume\((\S[^)]*)\)`)
 
 // BlessedLines scans the files' comments with parse — which returns the
 // directive's payload (e.g. a suppression reason) and whether the
@@ -73,6 +80,76 @@ func BoundaryDirective(text string) (reason string, ok bool) {
 		return "", false
 	}
 	return strings.TrimSpace(m[1]), true
+}
+
+// AssumeDirective parses one //protolive:assume(reason) comment,
+// returning the mandatory reason.
+func AssumeDirective(text string) (reason string, ok bool) {
+	m := AssumeRE.FindStringSubmatch(text)
+	if m == nil || strings.TrimSpace(m[1]) == "" {
+		return "", false
+	}
+	return strings.TrimSpace(m[1]), true
+}
+
+// Malformed-directive detection. A directive that names an unknown
+// analyzer (or omits its mandatory reason) suppresses nothing — silently,
+// which turns a typo into a no-op waiver. CheckDirectives makes that
+// shape a build-failing diagnostic (wired into the driver, so `make
+// lint` and the simlint CI step fail on it). The attempt patterns are
+// deliberately stricter than free prose: an identifier followed by a
+// colon for //simlint:allow, an open parenthesis for the
+// reason-in-parens directives — documentation like
+// "`//simlint:allow <analyzer>: <reason>`" does not match.
+var (
+	allowAttemptRE  = regexp.MustCompile(`//simlint:allow\s+([A-Za-z][A-Za-z0-9]*)\s*:`)
+	assumeAttemptRE = regexp.MustCompile(`//protolive:assume\(`)
+	boundaryAttRE   = regexp.MustCompile(`//lpisolate:boundary\(`)
+)
+
+// CheckDirectives validates every lint directive comment in files against
+// the known analyzer registry and the mandatory-reason rules, returning
+// one diagnostic per malformed directive. known reports whether an
+// analyzer name is valid (pass lint.ByName(name) != nil; a parameter so
+// the directive layer stays decoupled from the analyzer registry).
+// Files must have been parsed with parser.ParseComments.
+func CheckDirectives(files []*ast.File, known func(name string) bool) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	report := func(pos token.Pos, msg string) {
+		out = append(out, analysis.Diagnostic{Pos: pos, Message: msg})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if m := allowAttemptRE.FindStringSubmatch(text); m != nil {
+					switch {
+					case !known(m[1]):
+						report(c.Pos(), "//simlint:allow names unknown analyzer "+strconv.Quote(m[1])+" — the directive suppresses nothing")
+					case m[1] != strings.ToLower(m[1]):
+						report(c.Pos(), "//simlint:allow analyzer name "+strconv.Quote(m[1])+" must be lowercase — the directive suppresses nothing")
+					default:
+						if _, ok := AllowDirective(text, m[1]); !ok {
+							report(c.Pos(), "//simlint:allow "+m[1]+" is missing its mandatory reason — the directive suppresses nothing")
+						}
+					}
+					continue
+				}
+				if assumeAttemptRE.MatchString(text) {
+					if _, ok := AssumeDirective(text); !ok {
+						report(c.Pos(), "//protolive:assume is missing its mandatory reason — the escape audits nothing")
+					}
+					continue
+				}
+				if boundaryAttRE.MatchString(text) {
+					if _, ok := BoundaryDirective(text); !ok {
+						report(c.Pos(), "//lpisolate:boundary is missing its mandatory reason — the annotation audits nothing")
+					}
+				}
+			}
+		}
+	}
+	return out
 }
 
 // codeLines marks the lines of f on which non-comment code starts (used

@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"strings"
 	"testing"
 
 	"denovosync/internal/lint"
@@ -60,6 +61,96 @@ func TestBoundaryDirectiveRequiresReason(t *testing.T) {
 	reason, ok := lint.BoundaryDirective("//lpisolate:boundary(committed image: PDES port shards by home tile)")
 	if !ok || reason != "committed image: PDES port shards by home tile" {
 		t.Errorf("valid directive parsed as (%q, %v)", reason, ok)
+	}
+}
+
+// TestAssumeDirectiveRequiresReason pins the protolive escape syntax to
+// the boundary rules: parenthesized, reason mandatory.
+func TestAssumeDirectiveRequiresReason(t *testing.T) {
+	for _, text := range []string{
+		"//protolive:assume()",
+		"//protolive:assume( )",
+		"//protolive:assume",
+		"// an ordinary comment",
+	} {
+		if _, ok := lint.AssumeDirective(text); ok {
+			t.Errorf("%q parsed as a valid assume directive", text)
+		}
+	}
+	reason, ok := lint.AssumeDirective("//protolive:assume(handoff bounded by the registry serial)")
+	if !ok || reason != "handoff bounded by the registry serial" {
+		t.Errorf("valid directive parsed as (%q, %v)", reason, ok)
+	}
+}
+
+// TestCheckDirectivesUnknownAnalyzer pins the build-failing diagnostic
+// for directives naming an unknown analyzer: a typo used to silently
+// suppress nothing.
+func TestCheckDirectivesUnknownAnalyzer(t *testing.T) {
+	fset, files, _ := filterFixture(t, map[string]string{
+		"a.go": `package p
+
+func f() {
+	_ = 1 //simlint:allow determinsm: typo in the analyzer name
+	_ = 2 //simlint:allow determinism: valid directive
+	_ = 3 //simlint:allow Determinism: miscased name never matches
+	_ = 4 //simlint:allow determinism:
+	//protolive:assume()
+	_ = 5
+	//protolive:assume(justified: fixture)
+	_ = 6
+	//lpisolate:boundary()
+	_ = 7
+}
+`,
+	})
+	known := func(name string) bool { return lint.ByName(name) != nil }
+	diags := lint.CheckDirectives(files, known)
+	wantLines := map[int]string{
+		4:  "unknown analyzer",
+		6:  "must be lowercase",
+		7:  "missing its mandatory reason",
+		8:  "//protolive:assume is missing",
+		12: "//lpisolate:boundary is missing",
+	}
+	if len(diags) != len(wantLines) {
+		for _, d := range diags {
+			t.Logf("diag: %s: %s", fset.Position(d.Pos), d.Message)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(wantLines))
+	}
+	for _, d := range diags {
+		line := fset.Position(d.Pos).Line
+		substr, ok := wantLines[line]
+		if !ok {
+			t.Errorf("unexpected diagnostic at line %d: %s", line, d.Message)
+			continue
+		}
+		if !strings.Contains(d.Message, substr) {
+			t.Errorf("line %d: message %q does not mention %q", line, d.Message, substr)
+		}
+	}
+}
+
+// TestCheckDirectivesIgnoresProse proves documentation that merely
+// mentions the directive syntax is not flagged.
+func TestCheckDirectivesIgnoresProse(t *testing.T) {
+	_, files, _ := filterFixture(t, map[string]string{
+		"a.go": `package p
+
+// Suppress a finding at the site with
+// "//simlint:allow <analyzer>: <reason>"; audit a crossing with
+// //lpisolate:boundary(reason) and an obligation with
+// //protolive:assume(reason). The //simlint:allow suppression filter
+// shares its scoping rule with both.
+func f() {}
+`,
+	})
+	known := func(name string) bool { return lint.ByName(name) != nil }
+	if diags := lint.CheckDirectives(files, known); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("prose flagged: %s", d.Message)
+		}
 	}
 }
 

@@ -7,6 +7,8 @@ package driver
 
 import (
 	"fmt"
+	"go/ast"
+	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
@@ -121,6 +123,24 @@ func RunAll(moduleDir string, analyzers []*analysis.Analyzer) ([]Finding, error)
 
 	var findings []Finding
 	for _, rel := range rels {
+		// Directive hygiene runs on every package — including ones outside
+		// all analyzer scopes — so a //simlint:allow naming an unknown
+		// analyzer (or a reason-less //protolive:assume or
+		// //lpisolate:boundary) is a build-failing diagnostic instead of a
+		// silent no-op. Comment scanning needs parsing only, not types, and
+		// covers _test.go files the typed load below excludes.
+		dfset, dfiles, err := parseDirComments(filepath.Join(moduleDir, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, fmt.Errorf("driver: parsing %s for directives: %w", rel, err)
+		}
+		for _, d := range lint.CheckDirectives(dfiles, func(name string) bool { return lint.ByName(name) != nil }) {
+			findings = append(findings, Finding{
+				Analyzer: "directive",
+				Pos:      dfset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+
 		var scoped []*analysis.Analyzer
 		for _, a := range analyzers {
 			if lint.InScope(a, rel) {
@@ -184,6 +204,30 @@ func RunAll(moduleDir string, analyzers []*analysis.Analyzer) ([]Finding, error)
 		return a.Analyzer < b.Analyzer
 	})
 	return findings, nil
+}
+
+// parseDirComments parses every .go file of one directory (tests
+// included) with comments, for the directive hygiene scan. No type
+// checking: directive validation is purely syntactic.
+func parseDirComments(dir string) (*token.FileSet, []*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	return fset, files, nil
 }
 
 // packageDirs returns the module-relative directories containing

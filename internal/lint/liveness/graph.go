@@ -1,0 +1,310 @@
+// Package liveness is protolive's analysis core: a whole-program static
+// certifier for the protocol-liveness obligations of internal/mesi and
+// internal/denovo. From every (controller, state, event) handler arm it
+// derives the arm's blocking behavior — replies immediately, parks the
+// request on a chain, forwards it, or NACKs into bounded backoff — and
+// assembles the cross-controller waits-for graph over message classes
+// and finite resources (MSHRs, park chains, registry entries). Six rules
+// then prove the liveness obligations:
+//
+//	unguarded-park     every chain with park sites has a statically
+//	                   reachable discharge arm (wakeup)
+//	mutual-park        a handler that parks requests AND answers its
+//	                   peers' parks carries a serialization-order guard
+//	                   (the PR 5 registration-forward deadlock shape)
+//	unanswered-request every consumed request is answered, parked, or
+//	                   fail-stopped on all paths
+//	class-cycle        the per-class message dependency graph is acyclic
+//	                   unless a finite-queue discharge breaks the cycle
+//	backoff-clamped    counters in masked-update functions only grow
+//	                   toward their clamp
+//	stale-retire       ownership retired on sender identity also checks
+//	                   a grant serial (the PR 6 stale-Put shape)
+//
+// The result is a deterministic Graph, checked in as
+// docs/liveness/waitgraph.json and gated byte-for-byte by
+// `make liveness-check`. Audited escapes use //protolive:assume(reason).
+package liveness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Schema identifies the golden file format.
+const Schema = "liveness.v1"
+
+// Node is one handler arm or helper in the waits-for graph.
+type Node struct {
+	ID         string `json:"id"`         // "denovo.L1.recvFwdReg"
+	Controller string `json:"controller"` // "denovo.L1"
+	Handler    string `json:"handler"`    // method name
+	// Kind: "message" (a message-consuming arm: send target or declared
+	// handler), "entry" (externally driven exported method), "helper".
+	Kind string `json:"kind"`
+	Pos  string `json:"pos"`
+}
+
+// Edge is one waits-for dependency: a message send (kind "message",
+// with its network class) or a local call (kind "call").
+type Edge struct {
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Class string `json:"class,omitempty"` // constant name, "?" if unresolved
+	Kind  string `json:"kind"`
+	// ViaDischarge marks an edge originating in a function that drains a
+	// park chain: traversing it consumes finite queued work, so a cycle
+	// through it is bounded progress, not a livelock.
+	ViaDischarge bool   `json:"viaDischarge,omitempty"`
+	Pos          string `json:"pos"`
+}
+
+// Chain is one park chain: a slice (or map-of-slice) field holding
+// parked continuations or parked requests.
+type Chain struct {
+	ID         string   `json:"id"`   // "denovo.wtxn.parked"
+	Elem       string   `json:"elem"` // "func" or the element struct name
+	Parks      []string `json:"parks,omitempty"`
+	Discharges []string `json:"discharges,omitempty"`
+}
+
+// Resource is one finite allocation table (MSHRs, registry/directory
+// entries): a map field holding per-key records.
+type Resource struct {
+	ID string `json:"id"` // "denovo.L1.txns"
+	// Kind: "transaction" (entries are freed — MSHR-like) or
+	// "persistent" (entries live for the run — registry/directory state).
+	Kind   string   `json:"kind"`
+	Allocs []string `json:"allocs,omitempty"`
+	Frees  []string `json:"frees,omitempty"`
+}
+
+// Obligation is one liveness proof obligation and how it was discharged.
+type Obligation struct {
+	Rule    string `json:"rule"`
+	Subject string `json:"subject"`
+	// Status: "discharged" or "violated" (violations also produce a
+	// Finding; the golden is only accepted at zero findings).
+	Status string `json:"status"`
+	By     string `json:"by,omitempty"` // discharge argument
+	Pos    string `json:"pos"`
+}
+
+// Assume is one audited //protolive:assume(reason) escape.
+type Assume struct {
+	Pos    string `json:"pos"`
+	Reason string `json:"reason"`
+}
+
+// Finding is one liveness violation.
+type Finding struct {
+	Rule    string `json:"rule"`
+	Pos     string `json:"pos"`
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Rule)
+}
+
+// Graph is the checked-in liveness certificate.
+type Graph struct {
+	Schema      string       `json:"schema"`
+	Packages    []string     `json:"packages"`
+	Nodes       []Node       `json:"nodes"`
+	Edges       []Edge       `json:"edges"`
+	Chains      []Chain      `json:"chains"`
+	Resources   []Resource   `json:"resources"`
+	Obligations []Obligation `json:"obligations"`
+	Assumes     []Assume     `json:"assumes,omitempty"`
+	Findings    []Finding    `json:"findings,omitempty"`
+}
+
+// Sort puts the graph in canonical order so serialization is
+// deterministic and regenerations are byte-stable.
+func (g *Graph) Sort() {
+	sort.Strings(g.Packages)
+	sort.Slice(g.Nodes, func(i, j int) bool { return g.Nodes[i].ID < g.Nodes[j].ID })
+	sort.Slice(g.Edges, func(i, j int) bool {
+		a, b := g.Edges[i], g.Edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Pos < b.Pos
+	})
+	for i := range g.Chains {
+		sort.Strings(g.Chains[i].Parks)
+		sort.Strings(g.Chains[i].Discharges)
+	}
+	sort.Slice(g.Chains, func(i, j int) bool { return g.Chains[i].ID < g.Chains[j].ID })
+	for i := range g.Resources {
+		sort.Strings(g.Resources[i].Allocs)
+		sort.Strings(g.Resources[i].Frees)
+	}
+	sort.Slice(g.Resources, func(i, j int) bool { return g.Resources[i].ID < g.Resources[j].ID })
+	sort.Slice(g.Obligations, func(i, j int) bool {
+		a, b := g.Obligations[i], g.Obligations[j]
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		return a.Pos < b.Pos
+	})
+	sort.Slice(g.Assumes, func(i, j int) bool { return g.Assumes[i].Pos < g.Assumes[j].Pos })
+	sort.Slice(g.Findings, func(i, j int) bool {
+		a, b := g.Findings[i], g.Findings[j]
+		if a.Pos != b.Pos {
+			return a.Pos < b.Pos
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// WriteFile writes the canonical JSON encoding (sorted, indented, with a
+// trailing newline) to path.
+func (g *Graph) WriteFile(path string) error {
+	g.Sort()
+	data, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile loads a golden waitgraph.
+func ReadFile(path string) (*Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var g Graph
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("liveness: parsing %s: %w", path, err)
+	}
+	if g.Schema != Schema {
+		return nil, fmt.Errorf("liveness: %s has schema %q, want %q", path, g.Schema, Schema)
+	}
+	return &g, nil
+}
+
+// Equal reports whether two graphs have identical canonical forms.
+func Equal(a, b *Graph) bool {
+	a.Sort()
+	b.Sort()
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	return string(aj) == string(bj)
+}
+
+// Diff returns human-readable drift lines between the golden (want) and
+// a fresh extraction (got).
+func Diff(want, got *Graph) []string {
+	var out []string
+	diffKeys := func(kind string, w, g []string) {
+		ws, gs := map[string]bool{}, map[string]bool{}
+		for _, k := range w {
+			ws[k] = true
+		}
+		for _, k := range g {
+			gs[k] = true
+		}
+		var lines []string
+		for _, k := range w {
+			if !gs[k] {
+				lines = append(lines, fmt.Sprintf("- %s %s", kind, k))
+			}
+		}
+		for _, k := range g {
+			if !ws[k] {
+				lines = append(lines, fmt.Sprintf("+ %s %s", kind, k))
+			}
+		}
+		sort.Strings(lines)
+		out = append(out, lines...)
+	}
+	diffKeys("node", nodeKeys(want), nodeKeys(got))
+	diffKeys("edge", edgeKeys(want), edgeKeys(got))
+	diffKeys("chain", chainKeys(want), chainKeys(got))
+	diffKeys("resource", resourceKeys(want), resourceKeys(got))
+	diffKeys("obligation", obligationKeys(want), obligationKeys(got))
+	diffKeys("assume", assumeKeys(want), assumeKeys(got))
+	diffKeys("finding", findingKeys(want), findingKeys(got))
+	return out
+}
+
+func nodeKeys(g *Graph) []string {
+	out := make([]string, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		out = append(out, fmt.Sprintf("%s kind=%s pos=%s", n.ID, n.Kind, n.Pos))
+	}
+	return out
+}
+
+func edgeKeys(g *Graph) []string {
+	out := make([]string, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		k := fmt.Sprintf("%s -> %s kind=%s", e.From, e.To, e.Kind)
+		if e.Class != "" {
+			k += " class=" + e.Class
+		}
+		if e.ViaDischarge {
+			k += " viaDischarge"
+		}
+		out = append(out, k+" pos="+e.Pos)
+	}
+	return out
+}
+
+func chainKeys(g *Graph) []string {
+	out := make([]string, 0, len(g.Chains))
+	for _, c := range g.Chains {
+		out = append(out, fmt.Sprintf("%s elem=%s parks=%d discharges=%d", c.ID, c.Elem, len(c.Parks), len(c.Discharges)))
+	}
+	return out
+}
+
+func resourceKeys(g *Graph) []string {
+	out := make([]string, 0, len(g.Resources))
+	for _, r := range g.Resources {
+		out = append(out, fmt.Sprintf("%s kind=%s", r.ID, r.Kind))
+	}
+	return out
+}
+
+func obligationKeys(g *Graph) []string {
+	out := make([]string, 0, len(g.Obligations))
+	for _, o := range g.Obligations {
+		out = append(out, fmt.Sprintf("%s %s status=%s pos=%s", o.Rule, o.Subject, o.Status, o.Pos))
+	}
+	return out
+}
+
+func assumeKeys(g *Graph) []string {
+	out := make([]string, 0, len(g.Assumes))
+	for _, a := range g.Assumes {
+		out = append(out, fmt.Sprintf("%s %q", a.Pos, a.Reason))
+	}
+	return out
+}
+
+func findingKeys(g *Graph) []string {
+	out := make([]string, 0, len(g.Findings))
+	for _, f := range g.Findings {
+		out = append(out, f.String())
+	}
+	return out
+}

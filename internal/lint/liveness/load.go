@@ -1,0 +1,43 @@
+package liveness
+
+import (
+	"denovosync/internal/lint/atlas"
+)
+
+// DefaultSpec is the repo's certification target: the two protocol
+// packages, with the controller/handler registry shared with the atlas
+// extractor so the two analyzers cannot drift apart.
+func DefaultSpec(module string) Spec {
+	var s Spec
+	for _, protocol := range []string{"denovo", "mesi"} {
+		pkg := Package{Path: module + "/internal/" + protocol}
+		for _, cs := range atlas.Specs(protocol) {
+			pkg.Controllers = append(pkg.Controllers, Controller{
+				Name:     cs.Controller,
+				Recv:     cs.Recv,
+				Handlers: cs.Handlers,
+			})
+		}
+		s = append(s, pkg)
+	}
+	return s
+}
+
+// ExtractDir loads every spec package from the module rooted at
+// moduleDir (source-only, offline), extracts the waits-for model, and
+// certifies it.
+func ExtractDir(moduleDir string, spec Spec) (*Graph, error) {
+	var models []*pkgModel
+	for _, sp := range spec {
+		fset, pkg, err := atlas.LoadDir(moduleDir, sp.Path)
+		if err != nil {
+			return nil, err
+		}
+		m, err := extractPackage(fset, pkg.Files, pkg.Types, pkg.Info, sp)
+		if err != nil {
+			return nil, err
+		}
+		models = append(models, m)
+	}
+	return certify(models), nil
+}

@@ -1,0 +1,18 @@
+// Package boff pins the backoff-clamped rule: inside a masked-update
+// arm, a companion counter that grows without a mask or compare-clamp
+// escapes the bounded-backoff guarantee (§4.2's clamp).
+package boff
+
+type Cycle uint64
+
+type Ctl struct {
+	backoff Cycle
+	inc     Cycle
+	mask    Cycle
+}
+
+// noteRemote grows the increment with no clamp toward the mask.
+func (c *Ctl) noteRemote() {
+	c.backoff = (c.backoff + c.inc) & c.mask
+	c.inc += 2
+}

@@ -1,0 +1,69 @@
+// Package dn pins the pre-fix shape of the denovo registration-forward
+// parking deadlock: recvFwdReg parks every forwarded request while a
+// local registration is in flight, with no serialization-order guard.
+// Two L1s forwarding to each other can then park each other's
+// registration forever. The liveness certifier must flag the park as a
+// mutual-park violation; the fixed tree (guarded by the registry-serial
+// ordering comparison) must stay silent.
+package dn
+
+type Class int
+
+const (
+	ClassST Class = iota
+	ClassSynch
+)
+
+type Net struct{}
+
+func (n *Net) Send(from, to int, cls Class, flits int, fn func()) { fn() }
+
+type Eng struct{}
+
+func (e *Eng) Schedule(d int, fn func()) { fn() }
+
+type parked struct {
+	kind int
+	from *L1
+}
+
+type txn struct {
+	word    int
+	parked  []parked
+	waiters []func()
+}
+
+type L1 struct {
+	node int
+	net  *Net
+	eng  *Eng
+	txns map[int]*txn
+}
+
+// recvFwdReg parks the forwarded request whenever a local registration
+// is outstanding — unconditionally, which is the deadlock.
+func (c *L1) recvFwdReg(word, kind int, from *L1) {
+	if t := c.txns[word]; t != nil {
+		t.parked = append(t.parked, parked{kind: kind, from: from})
+		return
+	}
+	c.eng.Schedule(1, func() { c.serviceFwd(kind, from, word) })
+}
+
+func (c *L1) serviceFwd(kind int, from *L1, word int) {
+	c.net.Send(c.node, from.node, ClassSynch, 1, func() { from.recvRegAck(word, kind) })
+}
+
+func (c *L1) recvRegAck(word, kind int) {
+	t := c.txns[word]
+	if t == nil {
+		panic("dn: ack without txn")
+	}
+	delete(c.txns, word)
+	for _, fn := range t.waiters {
+		fn()
+	}
+	for _, p := range t.parked {
+		c.serviceFwd(p.kind, p.from, word)
+	}
+}

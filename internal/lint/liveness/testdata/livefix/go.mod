@@ -1,0 +1,3 @@
+module livefix
+
+go 1.22

@@ -1,0 +1,51 @@
+// Package md pins two planted directory bugs. recvPut is the pre-fix
+// MESI stale-Put shape: ownership is retired on sender identity alone,
+// with no epoch (grant-serial) check, so a stale writeback racing a
+// re-grant can revoke the newer owner (stale-retire). recvDrop consumes
+// a request and silently returns while the entry is busy — neither
+// answered, parked, nor fail-stopped (unanswered-request).
+package md
+
+type Class int
+
+const ClassWB Class = 0
+
+type Net struct{}
+
+func (n *Net) Send(from, to int, cls Class, flits int, fn func()) { fn() }
+
+type entry struct {
+	state int
+	owner *L1
+	busy  bool
+}
+
+type L1 struct{ node int }
+
+func (c *L1) recvAck(line int) {}
+
+type Dir struct {
+	node    int
+	net     *Net
+	entries map[int]*entry
+}
+
+// recvPut retires ownership if the sender is the recorded owner: no
+// grant-serial freshness check.
+func (d *Dir) recvPut(line int, from *L1) {
+	e := d.entries[line]
+	if !e.busy && e.owner == from {
+		e.state = 0
+		e.owner = nil
+	}
+	d.net.Send(d.node, from.node, ClassWB, 1, func() { from.recvAck(line) })
+}
+
+// recvDrop silently drops the request while the entry is busy.
+func (d *Dir) recvDrop(line int, from *L1) {
+	e := d.entries[line]
+	if e.busy {
+		return
+	}
+	d.net.Send(d.node, from.node, ClassWB, 1, func() { from.recvAck(line) })
+}

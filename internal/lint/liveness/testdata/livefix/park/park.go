@@ -1,0 +1,27 @@
+// Package park pins the unguarded-park rule: a chain that accumulates
+// parked continuations with no discharge arm anywhere in the package is
+// a black hole, while an identical park under //protolive:assume is an
+// audited escape, not a finding.
+package park
+
+type line struct {
+	waiters []func()
+	stalls  []func()
+}
+
+type Ctl struct {
+	lines map[int]*line
+}
+
+// recvMiss parks the access with no wakeup arm anywhere in the package.
+func (c *Ctl) recvMiss(word int, fn func()) {
+	l := c.lines[word]
+	l.waiters = append(l.waiters, fn)
+}
+
+// recvStall parks on a chain drained outside the modeled controllers.
+func (c *Ctl) recvStall(word int, fn func()) {
+	l := c.lines[word]
+	//protolive:assume(drained by the host runtime between epochs)
+	l.stalls = append(l.stalls, fn)
+}

@@ -1,0 +1,26 @@
+// Package ping pins the class-cycle rule: two arms that answer each
+// other on the same network class, with no finite-queue discharge in
+// the cycle, can ping-pong forever without making progress.
+package ping
+
+type Class int
+
+const ClassSynch Class = 0
+
+type Net struct{}
+
+func (n *Net) Send(from, to int, cls Class, flits int, fn func()) { fn() }
+
+type Node struct {
+	net  *Net
+	id   int
+	peer *Node
+}
+
+func (a *Node) recvPing(v int) {
+	a.net.Send(a.id, a.peer.id, ClassSynch, 1, func() { a.peer.recvPong(v) })
+}
+
+func (a *Node) recvPong(v int) {
+	a.net.Send(a.id, a.peer.id, ClassSynch, 1, func() { a.peer.recvPing(v) })
+}
